@@ -1,0 +1,43 @@
+// Shared plumbing for the experiment benches.
+//
+// Every bench binary reproduces one experiment from DESIGN.md's index,
+// printing a titled table with the seed and parameters in the header so the
+// run can be regenerated exactly.  Benches are plain executables (not
+// google-benchmark) because they measure *round complexity* of randomized
+// schedules, not wall-clock time; the micro benches in bench_micro_engine
+// cover wall-clock performance.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace nrn::bench {
+
+/// Fixed seed for all experiment tables; change on the command line by
+/// passing a decimal seed as argv[1].
+inline constexpr std::uint64_t kDefaultSeed = 20170721;  // PODC'17 week
+
+inline std::uint64_t seed_from_args(int argc, char** argv) {
+  if (argc >= 2) return std::strtoull(argv[1], nullptr, 10);
+  return kDefaultSeed;
+}
+
+/// Median of `trials` runs of a rounds-valued experiment.
+template <typename Fn>
+double median_rounds(Fn&& run_once, int trials, Rng& rng) {
+  std::vector<double> rounds;
+  rounds.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(t));
+    rounds.push_back(run_once(trial_rng));
+  }
+  return quantile(rounds, 0.5);
+}
+
+}  // namespace nrn::bench

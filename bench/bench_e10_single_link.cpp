@@ -1,0 +1,97 @@
+// E11/E12 (Appendix A, Lemmas 29-33): the single-link topology.
+// Non-adaptive routing pays Theta(log k) per message; coding and adaptive
+// routing pay Theta(1); so the non-adaptive gap grows like log k and the
+// adaptive gap is constant.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/single_link.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nrn;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+  const double p = 0.5;
+  const int trials = 5;
+  const auto g = graph::make_single_link();
+
+  {
+    TableWriter t(
+        "E11  Single link, receiver faults p=0.5: rounds/message vs k "
+        "(Lemmas 29/30/31)",
+        {"k", "non-adaptive rpm", "adaptive rpm", "coding rpm",
+         "non-adaptive gap", "gap/log2(k)"});
+    t.add_note("seed: " + std::to_string(seed));
+    t.add_note("theory: non-adaptive = Theta(log k); adaptive and coding "
+               "= Theta(1); gap/log2(k) ~ constant");
+    for (const std::int64_t k : {16, 64, 256, 1024, 4096, 16384}) {
+      const double na = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, radio::FaultModel::receiver(p),
+                                    Rng(r()));
+            const auto res = core::run_link_nonadaptive_routing(
+                net, k, core::link_nonadaptive_reps(k, p));
+            NRN_ENSURES(res.completed, "non-adaptive link failed in E11");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double ad = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, radio::FaultModel::receiver(p),
+                                    Rng(r()));
+            const auto res =
+                core::run_link_adaptive_routing(net, k, 1'000'000'000);
+            NRN_ENSURES(res.completed, "adaptive link failed in E11");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double cd = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, radio::FaultModel::receiver(p),
+                                    Rng(r()));
+            const auto res = core::run_link_rs_coding(
+                net, k, core::link_rs_packet_count(k, p));
+            NRN_ENSURES(res.completed, "coded link failed in E11");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double gap = na / cd;
+      t.add_row({fmt(k), fmt(na / k, 2), fmt(ad / k, 2), fmt(cd / k, 2),
+                 fmt(gap, 2), fmt(gap / std::log2(k), 3)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t(
+        "E12  Adaptive routing on the link: rounds/message vs p "
+        "(Lemma 32: 1/(1-p))",
+        {"p", "fault model", "rounds/message", "1/(1-p)"});
+    const std::int64_t k = 4096;
+    for (const bool sender : {false, true}) {
+      for (const double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const auto fm = sender ? radio::FaultModel::sender(q)
+                               : radio::FaultModel::receiver(q);
+        const double ad = bench::median_rounds(
+            [&](Rng& r) {
+              radio::RadioNetwork net(g, fm, Rng(r()));
+              const auto res =
+                  core::run_link_adaptive_routing(net, k, 1'000'000'000);
+              NRN_ENSURES(res.completed, "adaptive link failed in E12");
+              return static_cast<double>(res.rounds);
+            },
+            trials, rng);
+        t.add_row({fmt(q, 1), sender ? "sender" : "receiver",
+                   fmt(ad / k, 2), fmt(1.0 / (1.0 - q), 2)});
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E1 (Lemma 6): Decay in the faultless model finishes in
+// O(D log n + log^2 n) rounds.
+//
+// Series 1: paths of growing length at fixed n-per-phase scaling --
+// rounds/D should approach a constant multiple of log n.
+// Series 2: fixed diameter (star), growing n -- rounds should stay
+// polylogarithmic.
+// Ablation: the Decay phase length (the paper's ceil(log2 n) + 1 vs
+// shorter/longer phases).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/decay.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nrn;
+
+double run_decay(const graph::Graph& g, radio::FaultModel fm, Rng& rng,
+                 core::DecayParams params = {}) {
+  radio::RadioNetwork net(g, fm, Rng(rng()));
+  Rng algo_rng(rng());
+  const auto r = core::Decay(params).run(net, 0, algo_rng);
+  NRN_ENSURES(r.completed, "Decay exceeded its budget in E1");
+  return static_cast<double>(r.rounds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+  const int trials = 9;
+
+  {
+    TableWriter t("E1a  Decay faultless on paths: rounds vs D (Lemma 6)",
+                  {"n=D+1", "log2(n)", "median rounds", "rounds/(D log n)"});
+    t.add_note("seed: " + std::to_string(seed) +
+               ", trials: " + std::to_string(trials));
+    t.add_note("theory: rounds = O(D log n + log^2 n)");
+    std::vector<double> xs, ys;
+    for (const std::int32_t n : {64, 128, 256, 512, 1024, 2048}) {
+      const auto g = graph::make_path(n);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) { return run_decay(g, radio::FaultModel::faultless(), r); },
+          trials, rng);
+      const double logn = std::log2(n);
+      xs.push_back(n);
+      ys.push_back(rounds);
+      t.add_row({fmt(n), fmt(logn, 1), fmt(rounds, 0),
+                 fmt(rounds / ((n - 1) * logn), 3)});
+    }
+    const auto fit = fit_power_law(xs, ys);
+    t.add_note("power-law fit exponent (expect ~1 for D-dominated): " +
+               fmt(fit.slope, 3) + " (r2 " + fmt(fit.r2, 3) + ")");
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t("E1b  Decay faultless on stars: rounds vs n at D = 2",
+                  {"leaves", "median rounds", "rounds/log2(n)^2"});
+    t.add_note("theory: rounds = O(log^2 n) when D = O(1)");
+    for (const std::int32_t n : {64, 256, 1024, 4096, 16384}) {
+      const auto g = graph::make_star(n);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) { return run_decay(g, radio::FaultModel::faultless(), r); },
+          trials, rng);
+      const double l = std::log2(n);
+      t.add_row({fmt(n), fmt(rounds, 0), fmt(rounds / (l * l), 3)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t("E1c  Ablation: Decay phase length on a 512-path",
+                  {"phase length", "median rounds", "vs default"});
+    t.add_note("default phase = ceil(log2 n) + 1 = 10; too-short phases "
+               "can stall dense frontiers, too-long ones waste sub-rounds");
+    const auto g = graph::make_path(512);
+    double base = 0.0;
+    for (const std::int32_t phase : {10, 3, 6, 14, 20}) {
+      core::DecayParams params;
+      params.phase_length = phase;
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) {
+            return run_decay(g, radio::FaultModel::faultless(), r, params);
+          },
+          trials, rng);
+      if (base == 0.0) base = rounds;
+      t.add_row({fmt(phase), fmt(rounds, 0), fmt(rounds / base, 2) + "x"});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

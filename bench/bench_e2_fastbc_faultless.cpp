@@ -1,0 +1,122 @@
+// E2 (Lemmas 7/8, Figure 1): FASTBC in the faultless model runs in
+// D + O(log^2 n) rounds on a known topology, and the GBST machinery obeys
+// Lemma 7 (rmax <= ceil(log2 n)).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/decay.hpp"
+#include "core/fastbc.hpp"
+#include "graph/generators.hpp"
+#include "trees/gbst.hpp"
+
+namespace {
+
+using namespace nrn;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+  const int trials = 7;
+
+  {
+    TableWriter t(
+        "E2a  FASTBC vs Decay, faultless paths (Lemma 8 vs Lemma 6)",
+        {"n=D+1", "FASTBC rounds", "Decay rounds", "FASTBC/(2D)",
+         "Decay/(D log n)"});
+    t.add_note("seed: " + std::to_string(seed));
+    t.add_note("theory: FASTBC = D + O(log^2 n) (2D here: fast rounds are "
+               "even rounds only); Decay = Theta(D log n)");
+    for (const std::int32_t n : {128, 256, 512, 1024, 2048}) {
+      const auto g = graph::make_path(n);
+      core::Fastbc fastbc(g, 0);
+      const double fr = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, radio::FaultModel::faultless(),
+                                    Rng(r()));
+            Rng algo(r());
+            const auto res = fastbc.run(net, algo);
+            NRN_ENSURES(res.completed, "FASTBC failed in E2");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double dr = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, radio::FaultModel::faultless(),
+                                    Rng(r()));
+            Rng algo(r());
+            const auto res = core::Decay().run(net, 0, algo);
+            NRN_ENSURES(res.completed, "Decay failed in E2");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      t.add_row({fmt(n), fmt(fr, 0), fmt(dr, 0),
+                 fmt(fr / (2.0 * (n - 1)), 2),
+                 fmt(dr / ((n - 1) * std::log2(n)), 2)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t("E2b  Lemma 7: realized max rank vs ceil(log2 n)",
+                  {"topology", "n", "max rank", "ceil(log2 n)", "within bound"});
+    Rng grng(seed ^ 0x777);
+    struct Case {
+      std::string name;
+      graph::Graph g;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"path-1024", graph::make_path(1024)});
+    cases.push_back({"star-1023", graph::make_star(1023)});
+    cases.push_back({"grid-32x32", graph::make_grid(32, 32)});
+    cases.push_back({"binary-tree-1023", graph::make_binary_tree(1023)});
+    cases.push_back({"caterpillar-128x3", graph::make_caterpillar(128, 3)});
+    cases.push_back({"gnp-1024-0.01", graph::make_connected_gnp(1024, 0.01, grng)});
+    cases.push_back({"random-tree-1024", graph::make_random_tree(1024, grng)});
+    for (const auto& c : cases) {
+      trees::GbstBuildStats stats;
+      const auto tree = trees::build_gbst(c.g, 0, &stats);
+      NRN_ENSURES(stats.violations_remaining == 0, "GBST failed in E2b");
+      const auto bound = static_cast<std::int32_t>(
+          std::ceil(std::log2(c.g.node_count())));
+      t.add_row({c.name, fmt(c.g.node_count()), fmt(tree.max_rank),
+                 fmt(bound), verdict(tree.max_rank <= bound)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t("E2c  FASTBC on mixed faultless topologies",
+                  {"topology", "n", "D", "rounds", "rounds - 2D"});
+    t.add_note("additive overhead (rounds - 2D) should be polylog, not "
+               "linear in n");
+    Rng grng(seed ^ 0x888);
+    struct Case {
+      std::string name;
+      graph::Graph g;
+      std::int32_t diameter;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"grid-24x24", graph::make_grid(24, 24), 46});
+    cases.push_back({"caterpillar-200x2", graph::make_caterpillar(200, 2), 201});
+    cases.push_back({"lollipop-32+256", graph::make_lollipop(32, 256), 257});
+    for (const auto& c : cases) {
+      core::Fastbc fastbc(c.g, 0);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(c.g, radio::FaultModel::faultless(),
+                                    Rng(r()));
+            Rng algo(r());
+            const auto res = fastbc.run(net, algo);
+            NRN_ENSURES(res.completed, "FASTBC failed in E2c");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      t.add_row({c.name, fmt(c.g.node_count()), fmt(c.diameter),
+                 fmt(rounds, 0), fmt(rounds - 2.0 * c.diameter, 0)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

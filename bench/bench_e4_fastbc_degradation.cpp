@@ -1,0 +1,104 @@
+// E4 (Lemma 10): FASTBC degrades under faults --
+// Theta(p/(1-p) D log n + D/(1-p)) on a path.
+//
+// Two views:
+//   (a) fixed path, sweep p: rounds should track 2D + p/(1-p) * D * W
+//       where W is the effective per-failure wait;
+//   (b) fixed p, sweep the schedule period (rank modulus): the per-failure
+//       wait is proportional to the period until Decay's slow-round rescue
+//       (itself Theta(log n)) caps it.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/fastbc.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nrn;
+
+double run_fastbc(const graph::Graph& g, const core::Fastbc& algo,
+                  radio::FaultModel fm, Rng& rng) {
+  radio::RadioNetwork net(g, fm, Rng(rng()));
+  Rng algo_rng(rng());
+  const auto r = algo.run(net, algo_rng);
+  NRN_ENSURES(r.completed, "FASTBC exceeded its budget in E4");
+  return static_cast<double>(r.rounds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+  const int trials = 7;
+
+  {
+    const auto g = graph::make_path(512);
+    core::Fastbc fastbc(g, 0);
+    TableWriter t("E4a  FASTBC on a 512-path: rounds vs p (Lemma 10)",
+                  {"p", "median rounds", "rounds/D", "slowdown vs p=0"});
+    t.add_note("seed: " + std::to_string(seed));
+    t.add_note("theory: rounds/D ~ 2 + (p/(1-p)) * Theta(log n)");
+    double base = 0.0;
+    for (const double p : {0.0, 0.1, 0.3, 0.5, 0.7, 0.8}) {
+      const auto fm = p == 0.0 ? radio::FaultModel::faultless()
+                               : radio::FaultModel::receiver(p);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) { return run_fastbc(g, fastbc, fm, r); }, trials, rng);
+      if (base == 0.0) base = rounds;
+      t.add_row({fmt(p, 1), fmt(rounds, 0), fmt(rounds / 511.0, 1),
+                 fmt(rounds / base, 2) + "x"});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t(
+        "E4b  FASTBC noisy path: rounds vs schedule period (p = 0.5)",
+        {"rank modulus", "period (fast rounds)", "median rounds",
+         "rounds/D"});
+    t.add_note("per-failure wait ~ period until the Decay slow rounds "
+               "(Theta(log n)) rescue stalled messages");
+    const auto g = graph::make_path(256);
+    for (const std::int32_t mod : {1, 2, 4, 8, 16, 32}) {
+      core::FastbcParams params;
+      params.rank_modulus = mod;
+      core::Fastbc fastbc(g, 0, params);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) {
+            return run_fastbc(g, fastbc, radio::FaultModel::receiver(0.5), r);
+          },
+          trials, rng);
+      t.add_row({fmt(mod), fmt(6 * mod), fmt(rounds, 0),
+                 fmt(rounds / 255.0, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t("E4c  FASTBC noisy: rounds vs D at p = 0.5",
+                  {"n=D+1", "median rounds", "rounds/(D log n)"});
+    t.add_note("theory: slope per level grows with log n (Lemma 10), so "
+               "rounds/(D log n) should be roughly flat");
+    std::vector<double> xs, ys;
+    for (const std::int32_t n : {64, 128, 256, 512, 1024}) {
+      const auto g = graph::make_path(n);
+      core::Fastbc fastbc(g, 0);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) {
+            return run_fastbc(g, fastbc, radio::FaultModel::receiver(0.5), r);
+          },
+          trials, rng);
+      xs.push_back(n);
+      ys.push_back(rounds);
+      t.add_row({fmt(n), fmt(rounds, 0),
+                 fmt(rounds / ((n - 1) * std::log2(n)), 3)});
+    }
+    const auto fit = fit_power_law(xs, ys);
+    t.add_note("power-law fit exponent (expect slightly above 1): " +
+               fmt(fit.slope, 3));
+    t.print(std::cout);
+  }
+  return 0;
+}

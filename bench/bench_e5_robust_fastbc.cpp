@@ -1,0 +1,138 @@
+// E5 (Theorem 11): Robust FASTBC -- the paper's headline single-message
+// figure.  Rounds vs D for Decay / FASTBC / Robust FASTBC under receiver
+// faults, plus the block-size ablation from DESIGN.md.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/decay.hpp"
+#include "core/fastbc.hpp"
+#include "core/robust_fastbc.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace nrn;
+
+core::RobustFastbcParams tuned_robust_params() {
+  // Large blocks amortize the per-block Chernoff slack; c near its mean
+  // 1 + 3p/(1-p) for p = 0.7 keeps the steady cost at ~2c rounds/level.
+  core::RobustFastbcParams params;
+  params.block_size = 32;
+  params.window_multiplier = 10;
+  return params;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+  const int trials = 5;
+  const double p = 0.7;
+  const auto fm = radio::FaultModel::receiver(p);
+
+  {
+    TableWriter t(
+        "E5a  Single-message broadcast on noisy paths, p = 0.7 "
+        "(the Theorem 11 figure)",
+        {"n=D+1", "Decay", "FASTBC", "RobustFASTBC", "robust speedup"});
+    t.add_note("seed: " + std::to_string(seed) +
+               ", trials: " + std::to_string(trials));
+    t.add_note("theory: Decay = Theta(D log n / (1-p)); FASTBC = "
+               "Theta(p/(1-p) D log n); RobustFASTBC = O(D) + polylog");
+    for (const std::int32_t n : {128, 256, 512, 1024, 2048}) {
+      const auto g = graph::make_path(n);
+      core::Fastbc fastbc(g, 0);
+      core::RobustFastbc robust(g, 0, tuned_robust_params());
+      const double dr = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, fm, Rng(r()));
+            Rng algo(r());
+            const auto res = core::Decay().run(net, 0, algo);
+            NRN_ENSURES(res.completed, "Decay failed in E5");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double fr = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, fm, Rng(r()));
+            Rng algo(r());
+            const auto res = fastbc.run(net, algo);
+            NRN_ENSURES(res.completed, "FASTBC failed in E5");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double rr = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, fm, Rng(r()));
+            Rng algo(r());
+            const auto res = robust.run(net, algo);
+            NRN_ENSURES(res.completed, "RobustFASTBC failed in E5");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      t.add_row({fmt(n), fmt(dr, 0), fmt(fr, 0), fmt(rr, 0),
+                 fmt(fr / rr, 2) + "x"});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t("E5b  Robust FASTBC across topologies, p = 0.5",
+                  {"topology", "n", "rounds", "rounds/D"});
+    const auto fm05 = radio::FaultModel::receiver(0.5);
+    struct Case {
+      std::string name;
+      graph::Graph g;
+      double diameter;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"path-512", graph::make_path(512), 511});
+    cases.push_back({"grid-20x20", graph::make_grid(20, 20), 38});
+    cases.push_back({"caterpillar-150x2", graph::make_caterpillar(150, 2), 151});
+    for (const auto& c : cases) {
+      core::RobustFastbc robust(c.g, 0);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(c.g, fm05, Rng(r()));
+            Rng algo(r());
+            const auto res = robust.run(net, algo);
+            NRN_ENSURES(res.completed, "RobustFASTBC failed in E5b");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      t.add_row({c.name, fmt(c.g.node_count()), fmt(rounds, 0),
+                 fmt(rounds / c.diameter, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t(
+        "E5c  Ablation: block size S on a 1024-path, p = 0.5 "
+        "(paper picks S = Theta(log log n))",
+        {"S", "window mult c", "median rounds", "rounds/D"});
+    t.add_note("small S: tight barriers need large c slack; large S: "
+               "rarely-failing blocks but a bigger additive alignment cost");
+    const auto g = graph::make_path(1024);
+    const auto fm05 = radio::FaultModel::receiver(0.5);
+    for (const std::int32_t S : {2, 4, 8, 16, 32, 64}) {
+      core::RobustFastbcParams params;
+      params.block_size = S;
+      params.window_multiplier = 8;
+      core::RobustFastbc robust(g, 0, params);
+      const double rounds = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(g, fm05, Rng(r()));
+            Rng algo(r());
+            const auto res = robust.run(net, algo);
+            NRN_ENSURES(res.completed, "RobustFASTBC failed in E5c");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      t.add_row({fmt(S), fmt(8), fmt(rounds, 0), fmt(rounds / 1023.0, 1)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// E7 (Lemmas 15/16, Theorem 17): the Theta(log n) coding gap on the star
+// with receiver faults and adaptive routing.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/star_schedules.hpp"
+#include "core/throughput.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace nrn;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+  const int trials = 5;
+  const double p = 0.5;
+  const std::int64_t k = 256;
+
+  {
+    TableWriter t(
+        "E7a  Star with receiver faults p=0.5: adaptive routing vs RS "
+        "coding (Theorem 17)",
+        {"leaves n", "log2 n", "routing rpm", "coding rpm", "gap",
+         "gap/log2(n)"});
+    t.add_note("seed: " + std::to_string(seed) + ", k: " + std::to_string(k) +
+               ", trials: " + std::to_string(trials));
+    t.add_note("theory: routing rpm = Theta(log n) (Lemma 15), coding rpm "
+               "= Theta(1) (Lemma 16); gap/log2(n) should be ~constant");
+    std::vector<double> ns, routing_rpms, coding_rpms;
+    for (const std::int32_t n : {64, 128, 256, 512, 1024, 2048, 4096}) {
+      const auto star = topology::make_star(n);
+      const double routing = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
+                                    Rng(r()));
+            const auto res =
+                core::run_star_adaptive_routing(net, star, k, 1'000'000'000);
+            NRN_ENSURES(res.completed, "star routing failed in E7");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double coding = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
+                                    Rng(r()));
+            const auto res = core::run_star_rs_coding(
+                net, star, k, core::rs_packet_count(k, n + 1, p));
+            NRN_ENSURES(res.completed, "star coding failed in E7");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double gap = routing / coding;
+      ns.push_back(n);
+      routing_rpms.push_back(routing / k);
+      coding_rpms.push_back(coding / k);
+      t.add_row({fmt(n), fmt(std::log2(n), 1), fmt(routing / k, 2),
+                 fmt(coding / k, 2), fmt(gap, 2),
+                 fmt(gap / std::log2(n), 3)});
+    }
+    const auto routing_fit = fit_log_linear(ns, routing_rpms);
+    const auto coding_fit = fit_log_linear(ns, coding_rpms);
+    t.add_note("routing rpm ~ " + fmt(routing_fit.intercept, 2) + " + " +
+               fmt(routing_fit.slope, 2) + " * log2(n)  (r2 " +
+               fmt(routing_fit.r2, 3) + "; Lemma 15 predicts slope ~1)");
+    t.add_note("coding rpm ~ " + fmt(coding_fit.intercept, 2) + " + " +
+               fmt(coding_fit.slope, 2) + " * log2(n)  (Lemma 16 predicts "
+               "slope ~0)");
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t(
+        "E7b  Adaptivity ablation on a 1024-star (non-adaptive routing "
+        "needs log k repetition)",
+        {"schedule", "rounds/message", "success"});
+    const auto star = topology::make_star(1024);
+    const std::int64_t k_small = 64;
+    {
+      radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
+                              Rng(rng()));
+      const auto res =
+          core::run_star_adaptive_routing(net, star, k_small, 1'000'000'000);
+      t.add_row({"adaptive routing", fmt(res.rounds_per_message(), 2),
+                 verdict(res.completed)});
+    }
+    {
+      // Repetitions for per-leaf, per-message failure below 1/(n k).
+      const auto reps = static_cast<std::int64_t>(
+          std::ceil(std::log2(1024.0 * 64 * 64)));
+      radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
+                              Rng(rng()));
+      const auto res =
+          core::run_star_nonadaptive_routing(net, star, k_small, reps);
+      t.add_row({"non-adaptive routing (" + std::to_string(reps) + " reps)",
+                 fmt(res.rounds_per_message(), 2), verdict(res.completed)});
+    }
+    {
+      radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
+                              Rng(rng()));
+      const auto res = core::run_star_rs_coding(
+          net, star, k_small, core::rs_packet_count(k_small, 1025, p));
+      t.add_row({"RS coding", fmt(res.rounds_per_message(), 2),
+                 verdict(res.completed)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t(
+        "E7c  Sender faults make the star cheap for routing too "
+        "(the Theorem 28 asymmetry)",
+        {"fault model", "routing rpm", "coding rpm", "gap"});
+    const auto star = topology::make_star(1024);
+    for (const bool sender : {false, true}) {
+      const auto fm = sender ? radio::FaultModel::sender(p)
+                             : radio::FaultModel::receiver(p);
+      const double routing = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(star.graph, fm, Rng(r()));
+            const auto res =
+                core::run_star_adaptive_routing(net, star, k, 1'000'000'000);
+            NRN_ENSURES(res.completed, "star routing failed in E7c");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double coding = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(star.graph, fm, Rng(r()));
+            const auto res = core::run_star_rs_coding(
+                net, star, k, core::rs_packet_count(k, 1025, p));
+            NRN_ENSURES(res.completed, "star coding failed in E7c");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      t.add_row({sender ? "sender p=0.5" : "receiver p=0.5",
+                 fmt(routing / k, 2), fmt(coding / k, 2),
+                 fmt(routing / coding, 2)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E8 (Lemmas 18/19/21/22/23, Theorem 24): the worst-case topology WCT.
+//   E8a verifies the Lemma 18 structural bound (unique-reception fraction
+//        O(1/log n) per round, for any broadcast set size).
+//   E8b measures adaptive routing (layered pipeline, Theta(1/log^2 n))
+//        against the coded schedule (Theta(1/log n)).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/bipartite_pipeline.hpp"
+#include "core/greedy_router.hpp"
+#include "core/wct_schedules.hpp"
+#include "topology/wct.hpp"
+
+namespace {
+
+using namespace nrn;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::seed_from_args(argc, argv);
+  Rng rng(seed);
+
+  {
+    TableWriter t(
+        "E8a  Lemma 18: max fraction of clusters uniquely served per round",
+        {"classes L", "worst fraction over set sizes", "fraction * L"});
+    t.add_note("seed: " + std::to_string(seed));
+    t.add_note("theory: fraction = O(1/L); the product column should stay "
+               "bounded (~2-3) as L grows");
+    for (const std::int32_t L : {2, 4, 6, 8, 10}) {
+      topology::WctParams params;
+      params.sender_count = 1 << (L + 1);
+      params.class_count = L;
+      params.clusters_per_class = 48;
+      params.cluster_size = 1;  // structural probe: members irrelevant
+      Rng grng(rng());
+      const topology::WctNetwork wct(params, grng);
+      double worst = 0.0;
+      for (std::int32_t s = 1; s <= params.sender_count; s *= 2) {
+        for (int trial = 0; trial < 12; ++trial) {
+          std::vector<std::int32_t> ids(
+              static_cast<std::size_t>(params.sender_count));
+          for (std::int32_t i = 0; i < params.sender_count; ++i)
+            ids[static_cast<std::size_t>(i)] = i;
+          grng.shuffle(ids);
+          std::vector<bool> mask(
+              static_cast<std::size_t>(params.sender_count), false);
+          for (std::int32_t i = 0; i < s; ++i)
+            mask[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
+                true;
+          worst = std::max(worst, wct.unique_reception_fraction(mask));
+        }
+      }
+      t.add_row({fmt(L), fmt(worst, 3), fmt(worst * L, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    TableWriter t(
+        "E8b  WCT with receiver faults p=0.5: adaptive routing vs coding "
+        "(Theorem 24)",
+        {"~n", "classes L", "pipeline rpm", "greedy rpm", "coding rpm",
+         "gap (best routing / coding)", "gap/log2(n)"});
+    t.add_note("theory: routing rpm = Theta(log^2 n), coding rpm = "
+               "Theta(log n); their ratio should grow with log n");
+    t.add_note("two routing schedules bracket Definition 14: the Lemma 21 "
+               "pipeline and a greedy marginal-coverage scheduler; the gap "
+               "uses whichever is better");
+    const std::int64_t k = 64;
+    const int trials = 3;
+    for (const std::int32_t budget : {1024, 4096, 16384}) {
+      auto params = topology::WctParams::from_node_budget(budget);
+      Rng grng(rng());
+      const topology::WctNetwork wct(params, grng);
+      const auto n = wct.graph().node_count();
+      const double pipeline = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(wct.graph(),
+                                    radio::FaultModel::receiver(0.5),
+                                    Rng(r()));
+            core::PipelineParams pp;
+            pp.k = k;
+            Rng algo(r());
+            const auto res = core::run_layered_pipeline_routing(
+                net, wct.source(), pp, algo);
+            NRN_ENSURES(res.completed, "WCT routing failed in E8b");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double greedy = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(wct.graph(),
+                                    radio::FaultModel::receiver(0.5),
+                                    Rng(r()));
+            core::GreedyRouterParams gp;
+            gp.k = k;
+            const auto res =
+                core::run_greedy_adaptive_routing(net, wct.source(), gp);
+            NRN_ENSURES(res.completed, "WCT greedy routing failed in E8b");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double coding = bench::median_rounds(
+          [&](Rng& r) {
+            radio::RadioNetwork net(wct.graph(),
+                                    radio::FaultModel::receiver(0.5),
+                                    Rng(r()));
+            core::WctCodedParams cp;
+            cp.k = k;
+            Rng algo(r());
+            const auto res = core::run_wct_rs_coding(net, wct, cp, algo);
+            NRN_ENSURES(res.completed, "WCT coding failed in E8b");
+            return static_cast<double>(res.rounds);
+          },
+          trials, rng);
+      const double best_routing = std::min(pipeline, greedy);
+      const double gap = best_routing / coding;
+      t.add_row({fmt(n), fmt(params.class_count), fmt(pipeline / k, 1),
+                 fmt(greedy / k, 1), fmt(coding / k, 1), fmt(gap, 2),
+                 fmt(gap / std::log2(n), 3)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// M0: wall-clock micro benchmarks of the substrates (google-benchmark).
+// These justify the engineering choices in DESIGN.md: epoch-stamped
+// collision counters, table-driven GF arithmetic, and GF(2^8) for RLNC.
+#include <benchmark/benchmark.h>
+
+#include "coding/gf256.hpp"
+#include "coding/gf65536.hpp"
+#include "coding/reed_solomon.hpp"
+#include "coding/rlnc.hpp"
+#include "common/rng.hpp"
+#include "core/decay.hpp"
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace {
+
+using namespace nrn;
+
+void BM_EngineRoundStar(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_star(n);
+  radio::RadioNetwork net(g, radio::FaultModel::receiver(0.5), Rng(1));
+  std::int64_t id = 0;
+  for (auto _ : state) {
+    net.set_broadcast(0, radio::Packet{id++});
+    benchmark::DoNotOptimize(net.run_round());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundStar)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EngineRoundManyBroadcasters(benchmark::State& state) {
+  // Half of a complete graph broadcasting: the collision-heavy worst case.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_complete(n);
+  radio::RadioNetwork net(g, radio::FaultModel::faultless(), Rng(1));
+  for (auto _ : state) {
+    for (graph::NodeId u = 0; u < n / 2; ++u)
+      net.set_broadcast(u, radio::Packet{u});
+    benchmark::DoNotOptimize(net.run_round());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2) * (n - 1));
+}
+BENCHMARK(BM_EngineRoundManyBroadcasters)->Arg(64)->Arg(256);
+
+void BM_EngineDecayPath(benchmark::State& state) {
+  // Full Decay broadcast on a path: end-to-end simulator throughput.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_path(n);
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    radio::RadioNetwork net(g, radio::FaultModel::receiver(0.3), Rng(seed));
+    Rng rng(seed ^ 0xfeed);
+    ++seed;
+    benchmark::DoNotOptimize(core::Decay().run(net, 0, rng));
+  }
+}
+BENCHMARK(BM_EngineDecayPath)->Arg(256)->Arg(1024);
+
+void BM_Gf256Mul(benchmark::State& state) {
+  const auto& f = coding::Gf256::instance();
+  Rng rng(3);
+  std::vector<std::uint8_t> xs(4096), ys(4096);
+  for (auto& x : xs) x = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& y : ys) y = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto _ : state) {
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc = f.add(acc, f.mul(xs[i], ys[i]));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Gf256Mul);
+
+void BM_Gf65536Mul(benchmark::State& state) {
+  const auto& f = coding::Gf65536::instance();
+  Rng rng(4);
+  std::vector<std::uint16_t> xs(4096), ys(4096);
+  for (auto& x : xs) x = static_cast<std::uint16_t>(rng.next_below(65536));
+  for (auto& y : ys) y = static_cast<std::uint16_t>(rng.next_below(65536));
+  for (auto _ : state) {
+    std::uint16_t acc = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc = f.add(acc, f.mul(xs[i], ys[i]));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Gf65536Mul);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::vector<coding::Gf65536::Symbol>> msgs(
+      k, std::vector<coding::Gf65536::Symbol>(8));
+  for (auto& m : msgs)
+    for (auto& s : m) s = static_cast<coding::Gf65536::Symbol>(rng.next_below(65536));
+  coding::ReedSolomon rs(k, 8);
+  std::uint32_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode_packet(msgs, idx));
+    idx = (idx + 1) % coding::ReedSolomon::max_packets();
+  }
+}
+BENCHMARK(BM_RsEncode)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RsDecode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<std::vector<coding::Gf65536::Symbol>> msgs(
+      k, std::vector<coding::Gf65536::Symbol>(4));
+  for (auto& m : msgs)
+    for (auto& s : m) s = static_cast<coding::Gf65536::Symbol>(rng.next_below(65536));
+  coding::ReedSolomon rs(k, 4);
+  const auto packets = rs.encode(msgs, static_cast<std::uint32_t>(k));
+  for (auto _ : state) benchmark::DoNotOptimize(rs.decode(packets));
+}
+BENCHMARK(BM_RsDecode)->Arg(16)->Arg(64);
+
+void BM_RlncAbsorb(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  coding::RlncState src(k, 0);
+  src.seed_source({});
+  for (auto _ : state) {
+    state.PauseTiming();
+    coding::RlncState sink(k, 0);
+    std::vector<coding::RlncPacket> packets;
+    for (std::size_t i = 0; i < k; ++i) packets.push_back(src.emit(rng));
+    state.ResumeTiming();
+    for (const auto& p : packets) sink.absorb(p);
+    benchmark::DoNotOptimize(sink.rank());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_RlncAbsorb)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_RlncEmit(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  coding::RlncState src(k, 0);
+  src.seed_source({});
+  for (auto _ : state) benchmark::DoNotOptimize(src.emit(rng));
+}
+BENCHMARK(BM_RlncEmit)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_RngBernoulliTape(benchmark::State& state) {
+  // Cost of per-delivery fault coins (the design DESIGN.md ablates
+  // against pre-sampled tapes).
+  Rng rng(9);
+  for (auto _ : state) {
+    int hits = 0;
+    for (int i = 0; i < 4096; ++i) hits += rng.bernoulli(0.5) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RngBernoulliTape);
+
+}  // namespace
+
+BENCHMARK_MAIN();

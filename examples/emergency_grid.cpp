@@ -1,0 +1,72 @@
+// Scenario: an emergency-alert system for a city-block sensor grid.
+//
+// A base station at one corner must push k alert bulletins to every sensor
+// despite lossy radios (receiver faults).  This is the paper's k-message
+// broadcast problem; the example contrasts naive repetition with the
+// RLNC-composed Decay of Lemma 12, with real payloads decoded and verified
+// at every sensor.
+#include <iostream>
+#include <string>
+
+#include "core/multi_message.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace nrn;
+
+  constexpr std::int32_t kRows = 8, kCols = 8;
+  constexpr std::size_t kBulletins = 12;
+  constexpr std::size_t kBulletinBytes = 16;
+  constexpr double kLossRate = 0.4;
+
+  const graph::Graph city = graph::make_grid(kRows, kCols);
+  std::cout << "sensor grid " << kRows << "x" << kCols << ", " << kBulletins
+            << " bulletins of " << kBulletinBytes << " bytes, loss rate "
+            << kLossRate << "\n\n";
+
+  // Compose the bulletins (payload mode: real bytes travel and decode).
+  Rng payload_rng(2024);
+  std::vector<std::vector<std::uint8_t>> bulletins(
+      kBulletins, std::vector<std::uint8_t>(kBulletinBytes));
+  for (std::size_t i = 0; i < kBulletins; ++i)
+    for (auto& b : bulletins[i])
+      b = static_cast<std::uint8_t>(payload_rng.next_below(256));
+
+  core::MultiMessageParams params;
+  params.k = kBulletins;
+  params.block_len = kBulletinBytes;
+
+  core::RlncBroadcast broadcaster(city, /*source=*/0, params);
+  radio::RadioNetwork net(city, radio::FaultModel::receiver(kLossRate),
+                          Rng(99));
+  Rng algo_rng(17);
+  const auto result = broadcaster.run_and_verify(net, algo_rng, bulletins);
+
+  std::cout << "RLNC broadcast: "
+            << (result.completed ? "all sensors decoded all bulletins"
+                                 : "FAILED")
+            << "\n";
+  std::cout << "rounds used: " << result.rounds << " ("
+            << result.rounds_per_message() << " rounds/bulletin)\n";
+
+  // Reference point: what a single bulletin costs with plain Decay-like
+  // flooding; k bulletins sent one-by-one would pay this k times without
+  // the coding pipeline.
+  core::MultiMessageParams solo;
+  solo.k = 1;
+  core::RlncBroadcast single(city, 0, solo);
+  radio::RadioNetwork net2(city, radio::FaultModel::receiver(kLossRate),
+                           Rng(100));
+  Rng algo2(18);
+  const auto one = single.run(net2, algo2);
+  std::cout << "single-bulletin flood: " << one.rounds
+            << " rounds; naive sequential estimate for " << kBulletins
+            << " bulletins: " << one.rounds * static_cast<long>(kBulletins)
+            << " rounds\n";
+  std::cout << "pipelining benefit: "
+            << static_cast<double>(one.rounds) *
+                   static_cast<double>(kBulletins) /
+                   static_cast<double>(result.rounds)
+            << "x\n";
+  return result.completed ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Scenario: choosing a broadcast protocol for a multi-hop relay chain.
+//
+// A pipeline of relay stations (a path -- the worst case for latency) with
+// configurable noise.  The demo races the paper's three single-message
+// algorithms (Decay / FASTBC / Robust FASTBC) across fault rates and
+// prints a recommendation table: exactly the engineering takeaway of the
+// paper (known topology + noise => Robust FASTBC; unknown topology =>
+// Decay; noiseless + known topology => FASTBC).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/decay.hpp"
+#include "core/fastbc.hpp"
+#include "core/robust_fastbc.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace nrn;
+
+  constexpr std::int32_t kStations = 3072;
+  const graph::Graph chain = graph::make_path(kStations);
+  std::cout << "relay chain with " << kStations
+            << " stations; one trial per cell (seeded); Robust FASTBC's "
+               "window is sized\nfor each loss rate (the paper's "
+               "'sufficiently large constant c')\n\n";
+
+  core::Fastbc fastbc(chain, 0);
+
+  TableWriter table("single-message latency in rounds",
+                    {"loss rate p", "Decay", "FASTBC", "RobustFASTBC",
+                     "winner"});
+  std::uint64_t seed = 1000;
+  for (const double p : {0.0, 0.2, 0.5, 0.7}) {
+    const auto fm = p == 0.0 ? radio::FaultModel::faultless()
+                             : radio::FaultModel::receiver(p);
+    core::RobustFastbcParams tuned;
+    tuned.block_size = 32;
+    tuned.window_multiplier =
+        core::RobustFastbc::recommended_window_multiplier(p);
+    core::RobustFastbc robust(chain, 0, tuned);
+    auto race = [&](auto&& algo) {
+      radio::RadioNetwork net(chain, fm, Rng(seed++));
+      Rng rng(seed++);
+      const auto r = algo(net, rng);
+      return r.completed ? static_cast<double>(r.rounds) : -1.0;
+    };
+    const double d = race([&](auto& net, auto& rng) {
+      return core::Decay().run(net, 0, rng);
+    });
+    const double f = race([&](auto& net, auto& rng) {
+      return fastbc.run(net, rng);
+    });
+    const double r = race([&](auto& net, auto& rng) {
+      return robust.run(net, rng);
+    });
+    std::string winner = "Decay";
+    double best = d;
+    if (f > 0 && (best < 0 || f < best)) {
+      best = f;
+      winner = "FASTBC";
+    }
+    if (r > 0 && (best < 0 || r < best)) {
+      winner = "RobustFASTBC";
+    }
+    table.add_row({fmt(p, 1), fmt(d, 0), fmt(f, 0), fmt(r, 0), winner});
+  }
+  table.print(std::cout);
+
+  std::cout << "reading: FASTBC wins when the channel is clean; as p grows "
+               "its fragile round\nsynchronization stalls (Lemma 10) and "
+               "Robust FASTBC's retry blocks take over\n(Theorem 11). "
+               "Decay needs no topology knowledge but pays a log n factor\n"
+               "per hop at every noise level (Lemma 9).\n";
+  return 0;
+}

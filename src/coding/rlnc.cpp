@@ -1,0 +1,130 @@
+#include "coding/rlnc.hpp"
+
+#include <algorithm>
+
+namespace nrn::coding {
+
+RlncState::RlncState(std::size_t k, std::size_t block_len)
+    : k_(k), block_len_(block_len), field_(Gf256::instance()) {
+  NRN_EXPECTS(k >= 1, "RLNC dimension must be positive");
+}
+
+void RlncState::seed_source(
+    const std::vector<std::vector<std::uint8_t>>& messages) {
+  NRN_EXPECTS(rank() == 0, "seed_source on a non-empty state");
+  if (block_len_ > 0) {
+    NRN_EXPECTS(messages.size() == k_, "need one payload per message");
+    for (const auto& m : messages)
+      NRN_EXPECTS(m.size() == block_len_, "payload length mismatch");
+  } else {
+    NRN_EXPECTS(messages.empty(), "payloads given in coefficient-only mode");
+  }
+  pivots_.resize(k_);
+  rows_.assign(k_, std::vector<std::uint8_t>(k_, 0));
+  payloads_.clear();
+  for (std::size_t i = 0; i < k_; ++i) {
+    pivots_[i] = i;
+    rows_[i][i] = 1;
+  }
+  if (block_len_ > 0) payloads_ = messages;
+}
+
+bool RlncState::absorb(const RlncPacket& packet) {
+  NRN_EXPECTS(packet.coeffs.size() == k_, "coefficient vector length mismatch");
+  if (block_len_ > 0)
+    NRN_EXPECTS(packet.payload.size() == block_len_, "payload length mismatch");
+
+  std::vector<std::uint8_t> c = packet.coeffs;
+  std::vector<std::uint8_t> p = packet.payload;
+
+  // Eliminate against existing pivots.
+  for (std::size_t i = 0; i < pivots_.size(); ++i) {
+    const std::uint8_t f = c[pivots_[i]];
+    if (f == 0) continue;
+    const auto& row = rows_[i];
+    for (std::size_t j = 0; j < k_; ++j)
+      c[j] = field_.sub(c[j], field_.mul(f, row[j]));
+    if (block_len_ > 0) {
+      const auto& prow = payloads_[i];
+      for (std::size_t j = 0; j < block_len_; ++j)
+        p[j] = field_.sub(p[j], field_.mul(f, prow[j]));
+    }
+  }
+
+  // Find the new pivot.
+  std::size_t pivot = k_;
+  for (std::size_t j = 0; j < k_; ++j)
+    if (c[j] != 0) {
+      pivot = j;
+      break;
+    }
+  if (pivot == k_) return false;  // dependent packet
+
+  // Normalize.
+  const std::uint8_t inv = field_.inv(c[pivot]);
+  for (std::size_t j = 0; j < k_; ++j) c[j] = field_.mul(c[j], inv);
+  if (block_len_ > 0)
+    for (std::size_t j = 0; j < block_len_; ++j) p[j] = field_.mul(p[j], inv);
+
+  // Back-eliminate existing rows to maintain reduced echelon form.
+  for (std::size_t i = 0; i < pivots_.size(); ++i) {
+    const std::uint8_t f = rows_[i][pivot];
+    if (f == 0) continue;
+    for (std::size_t j = 0; j < k_; ++j)
+      rows_[i][j] = field_.sub(rows_[i][j], field_.mul(f, c[j]));
+    if (block_len_ > 0)
+      for (std::size_t j = 0; j < block_len_; ++j)
+        payloads_[i][j] = field_.sub(payloads_[i][j], field_.mul(f, p[j]));
+  }
+
+  // Insert keeping pivot order.
+  const auto pos = static_cast<std::size_t>(
+      std::lower_bound(pivots_.begin(), pivots_.end(), pivot) -
+      pivots_.begin());
+  pivots_.insert(pivots_.begin() + static_cast<std::ptrdiff_t>(pos), pivot);
+  rows_.insert(rows_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(c));
+  if (block_len_ > 0)
+    payloads_.insert(payloads_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     std::move(p));
+  return true;
+}
+
+RlncPacket RlncState::emit(Rng& rng) const {
+  NRN_EXPECTS(rank() >= 1, "emit from an empty RLNC state");
+  RlncPacket pkt;
+  pkt.coeffs.assign(k_, 0);
+  if (block_len_ > 0) pkt.payload.assign(block_len_, 0);
+
+  // Random nonzero combination of basis rows (resample the all-zero draw).
+  std::vector<std::uint8_t> lambda(rank());
+  bool nonzero = false;
+  while (!nonzero) {
+    for (auto& l : lambda) {
+      l = static_cast<std::uint8_t>(rng.next_below(256));
+      nonzero = nonzero || (l != 0);
+    }
+  }
+  for (std::size_t i = 0; i < rank(); ++i) {
+    const std::uint8_t l = lambda[i];
+    if (l == 0) continue;
+    const auto& row = rows_[i];
+    for (std::size_t j = 0; j < k_; ++j)
+      pkt.coeffs[j] = field_.add(pkt.coeffs[j], field_.mul(l, row[j]));
+    if (block_len_ > 0) {
+      const auto& prow = payloads_[i];
+      for (std::size_t j = 0; j < block_len_; ++j)
+        pkt.payload[j] = field_.add(pkt.payload[j], field_.mul(l, prow[j]));
+    }
+  }
+  return pkt;
+}
+
+std::vector<std::vector<std::uint8_t>> RlncState::decode() const {
+  NRN_EXPECTS(block_len_ > 0, "decode requires payload mode");
+  NRN_EXPECTS(complete(), "decode requires full rank");
+  // Full-rank reduced echelon form over k columns is the identity, with
+  // pivots_ = 0..k-1, so payload rows are the messages in order.
+  return payloads_;
+}
+
+}  // namespace nrn::coding

@@ -1,0 +1,46 @@
+// Lightweight contract checking used across the library.
+//
+// NRN_EXPECTS(cond, msg)  -- precondition; throws nrn::ContractViolation.
+// NRN_ENSURES(cond, msg)  -- postcondition; throws nrn::ContractViolation.
+//
+// Contracts are always on: the simulator is a measurement instrument, and a
+// silently-violated invariant would corrupt every number downstream.  The
+// checks used on hot paths are O(1).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nrn {
+
+/// Thrown when a stated pre- or post-condition does not hold.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  throw ContractViolation(std::string(kind) + " failed: (" + cond + ") at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace nrn
+
+#define NRN_EXPECTS(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::nrn::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (false)
+
+#define NRN_ENSURES(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::nrn::detail::contract_fail("postcondition", #cond, __FILE__,        \
+                                   __LINE__, (msg));                        \
+  } while (false)

@@ -1,0 +1,21 @@
+// nrn::Rng is header-only; this translation unit exists so the common library
+// has a stable archive member for the module and to host the self-check used
+// by the build (a compile-time verification of the splitmix64 constants).
+#include "common/rng.hpp"
+
+namespace nrn {
+namespace {
+
+// Known-answer test for splitmix64: first output for seed 0 is the constant
+// below (see Steele, Lea, Flood: "Fast Splittable Pseudorandom Number
+// Generators", and the reference C implementation by Vigna).
+constexpr std::uint64_t splitmix64_first_output_for_seed_zero() {
+  std::uint64_t s = 0;
+  return splitmix64(s);
+}
+
+static_assert(splitmix64_first_output_for_seed_zero() == 0xe220a8397b1dcdafULL,
+              "splitmix64 constants corrupted");
+
+}  // namespace
+}  // namespace nrn

@@ -1,0 +1,156 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomness in the library flows through nrn::Rng, which wraps
+// xoshiro256++ seeded via splitmix64.  Every experiment records its seed, so
+// any table in the paper reproduction can be regenerated bit-for-bit.
+//
+// The interface mirrors the parts of <random> the simulator needs, but with
+// a fixed, documented algorithm: libstdc++ / libc++ distributions are not
+// reproducible across standard libraries, and reproducibility is a core
+// requirement here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace nrn {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    // xoshiro256++ requires a not-all-zero state; splitmix64 of any seed
+    // yields that with overwhelming probability, but guard regardless.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    NRN_EXPECTS(bound > 0, "next_below requires a positive bound");
+    if (bound == 1) return 0;
+    // Power-of-two mask rejection: exact and branch-cheap (expected < 2
+    // draws per call).
+    std::uint64_t mask = bound - 1;
+    mask |= mask >> 1;
+    mask |= mask >> 2;
+    mask |= mask >> 4;
+    mask |= mask >> 8;
+    mask |= mask >> 16;
+    mask |= mask >> 32;
+    while (true) {
+      const std::uint64_t x = (*this)() & mask;
+      if (x < bound) return x;
+    }
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    NRN_EXPECTS(lo <= hi, "uniform_int requires lo <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)() : next_below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    NRN_EXPECTS(lo <= hi, "uniform_real requires lo <= hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Binomial(n, p) by direct simulation for small n, normal-free inversion
+  /// elsewhere.  Intended for the moderate n used in cluster sampling.
+  std::uint64_t binomial(std::uint64_t n, double p) {
+    if (p <= 0.0 || n == 0) return 0;
+    if (p >= 1.0) return n;
+    std::uint64_t successes = 0;
+    for (std::uint64_t i = 0; i < n; ++i) successes += bernoulli(p) ? 1 : 0;
+    return successes;
+  }
+
+  /// Geometric: number of Bernoulli(p) trials up to and including the first
+  /// success (support {1, 2, ...}).
+  std::uint64_t geometric(double p) {
+    NRN_EXPECTS(p > 0.0 && p <= 1.0, "geometric requires p in (0, 1]");
+    std::uint64_t trials = 1;
+    while (!bernoulli(p)) ++trials;
+    return trials;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& values) {
+    NRN_EXPECTS(!values.empty(), "choice requires a non-empty vector");
+    return values[static_cast<std::size_t>(next_below(values.size()))];
+  }
+
+  /// Deterministically derives an independent child stream, e.g. one per
+  /// trial index, so parallel experiment legs never share a stream.
+  Rng split(std::uint64_t stream_id) {
+    std::uint64_t sm = (*this)() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace nrn

@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace nrn {
+
+namespace {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  NRN_EXPECTS(!sorted.empty(), "quantile of empty sample");
+  NRN_EXPECTS(q >= 0.0 && q <= 1.0, "quantile fraction outside [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::vector<double> values) {
+  NRN_EXPECTS(!values.empty(), "summarize requires a non-empty sample");
+  std::sort(values.begin(), values.end());
+  Summary s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.median = sorted_quantile(values, 0.5);
+  s.q25 = sorted_quantile(values, 0.25);
+  s.q75 = sorted_quantile(values, 0.75);
+  OnlineStats acc;
+  for (double v : values) acc.add(v);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return sorted_quantile(values, q);
+}
+
+double mean(const std::vector<double>& values) {
+  NRN_EXPECTS(!values.empty(), "mean of empty sample");
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+void OnlineStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  NRN_EXPECTS(x.size() == y.size(), "fit_linear: size mismatch");
+  NRN_EXPECTS(x.size() >= 2, "fit_linear: need at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  NRN_EXPECTS(denom != 0.0, "fit_linear: x values are constant");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double sst = syy - sy * sy / n;
+  if (sst <= 0.0) {
+    fit.r2 = 1.0;  // y is constant and perfectly predicted by the intercept
+  } else {
+    double ssr = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double resid = y[i] - (fit.intercept + fit.slope * x[i]);
+      ssr += resid * resid;
+    }
+    fit.r2 = 1.0 - ssr / sst;
+  }
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  NRN_EXPECTS(x.size() == y.size(), "fit_power_law: size mismatch");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    NRN_EXPECTS(x[i] > 0.0 && y[i] > 0.0, "fit_power_law: data must be positive");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+LinearFit fit_log_linear(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  NRN_EXPECTS(x.size() == y.size(), "fit_log_linear: size mismatch");
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    NRN_EXPECTS(x[i] > 0.0, "fit_log_linear: x must be positive");
+    lx[i] = std::log2(x[i]);
+  }
+  return fit_linear(lx, y);
+}
+
+double ci95_halfwidth(const Summary& s) {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+double ratio(double numerator, double denominator) {
+  NRN_EXPECTS(denominator != 0.0, "ratio: zero denominator");
+  return numerator / denominator;
+}
+
+}  // namespace nrn

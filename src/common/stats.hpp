@@ -1,0 +1,73 @@
+// Descriptive statistics and small regression helpers used by the
+// experiment harness to compare measured series against the paper's
+// asymptotic shapes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nrn {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+};
+
+/// Computes a Summary of `values`.  Throws on an empty sample.
+Summary summarize(std::vector<double> values);
+
+/// Quantile by linear interpolation on the sorted sample, q in [0, 1].
+double quantile(std::vector<double> values, double q);
+
+/// Sample mean.  Throws on an empty sample.
+double mean(const std::vector<double>& values);
+
+/// Streaming mean/variance (Welford).  Usable when a sample is too large to
+/// keep, e.g. per-round statistics of long simulations.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1).  Zero for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Least-squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Fits y ~ a + b x.  Requires at least two points and non-constant x.
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y ~ c * x^e by regressing log y on log x.  Requires positive data.
+/// Returns {slope = e, intercept = log c, r2}.
+LinearFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y ~ a + b * log2(x) (the shape of Lemma 15's rounds-per-message on
+/// the star).  Requires positive x.  Returns {slope = b, intercept = a, r2}.
+LinearFit fit_log_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Normal-approximation half-width of a 95% confidence interval on the mean.
+double ci95_halfwidth(const Summary& s);
+
+/// Ratio of two positive means; convenience for gap tables.
+double ratio(double numerator, double denominator);
+
+}  // namespace nrn

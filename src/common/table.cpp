@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace nrn {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  NRN_EXPECTS(!columns_.empty(), "a table needs at least one column");
+}
+
+void TableWriter::add_note(const std::string& note) { notes_.push_back(note); }
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  NRN_EXPECTS(cells.size() == columns_.size(),
+              "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  os << "== " << title_ << " ==\n";
+  for (const auto& note : notes_) os << "   " << note << "\n";
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size())
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+
+  print_row(columns_);
+  std::size_t total = 2;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + 2;
+  os << "  " << std::string(total - 4, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+void TableWriter::print_csv(std::ostream& os) const {
+  for (const auto& note : notes_) os << "# " << note << "\n";
+  auto csv_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << ",";
+    }
+    os << "\n";
+  };
+  csv_row(columns_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+std::string fmt(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt(std::int64_t value) { return std::to_string(value); }
+std::string fmt(std::uint64_t value) { return std::to_string(value); }
+std::string fmt(int value) { return std::to_string(value); }
+
+std::string verdict(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace nrn

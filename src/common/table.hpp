@@ -1,0 +1,54 @@
+// Plain-text table rendering for the experiment harness.
+//
+// Every bench binary prints its results through TableWriter so all
+// reproduction tables share one format: a titled header naming the
+// experiment, the seed, and the parameters, followed by aligned columns.
+// Tables can also be exported as CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nrn {
+
+/// Column-aligned text table with a title block.
+class TableWriter {
+ public:
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Adds a free-form "key: value" line printed above the column header
+  /// (used for seed, fault model, topology parameters).
+  void add_note(const std::string& note);
+
+  /// Appends a row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no title block; a comment line per note).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> notes_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+std::string fmt(double value, int digits = 3);
+
+/// Formats an integer count.
+std::string fmt(std::int64_t value);
+std::string fmt(std::uint64_t value);
+std::string fmt(int value);
+
+/// "yes"/"no" verdict helper for shape-check columns.
+std::string verdict(bool ok);
+
+}  // namespace nrn

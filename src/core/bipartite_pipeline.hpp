@@ -1,0 +1,40 @@
+// Layered adaptive-routing pipeline (paper Lemmas 20 and 21).
+//
+// Any broadcast instance decomposes into bipartite hops between consecutive
+// BFS layers.  The schedule splits the k messages into batches, and in
+// meta-round m the boundary between layers i and i+1 works on batch
+// j = (m - i) / 3 (when integral): boundary i pushes its current batch
+// message with Decay steps over the layer-i nodes that hold it, repeating
+// adaptively until every layer-(i+1) node has it.  Working boundaries sit
+// 3 layers apart, so their transmissions cannot interfere (receivers of
+// boundary i are >= 2 hops from the broadcasters of boundary i+3).
+//
+// With receiver faults, each boundary costs O(log^2 n) rounds per message
+// (Decay with a 1/(1-p) stretch), which is the paper's
+// Theta(1/log^2 n) worst-case adaptive-routing throughput -- measured on
+// WCT by bench_e8.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+
+namespace nrn::core {
+
+struct PipelineParams {
+  std::int64_t k = 1;          ///< messages to broadcast
+  std::int64_t batch = 0;      ///< k' per batch; 0 => ceil(k / max(D,1))
+  std::int32_t decay_phase = 0;    ///< 0 => ceil(log2 n) + 1
+  std::int64_t meta_round_cap = 0; ///< rounds a meta-round may take; 0 => auto
+};
+
+/// Runs the pipelined schedule from `source`; completed = every node holds
+/// every message and no meta-round hit its cap.
+MultiRunResult run_layered_pipeline_routing(radio::RadioNetwork& net,
+                                            radio::NodeId source,
+                                            const PipelineParams& params,
+                                            Rng& rng);
+
+}  // namespace nrn::core

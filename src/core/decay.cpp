@@ -1,0 +1,78 @@
+#include "core/decay.hpp"
+
+#include <cmath>
+
+namespace nrn::core {
+
+std::int32_t Decay::default_phase_length(std::int32_t node_count) {
+  NRN_EXPECTS(node_count >= 1, "empty network");
+  std::int32_t bits = 1;
+  while ((std::int64_t{1} << bits) < node_count) ++bits;
+  return bits + 1;
+}
+
+std::int64_t Decay::default_budget(std::int32_t node_count,
+                                   std::int32_t diameter_hint, double p) {
+  const auto phase = static_cast<std::int64_t>(default_phase_length(node_count));
+  const auto log_n = static_cast<std::int64_t>(
+      std::ceil(std::log2(std::max(2, node_count))));
+  const double stretch = 1.0 / (1.0 - p);
+  const auto base = static_cast<std::int64_t>(diameter_hint) + 4 * log_n + 32;
+  return static_cast<std::int64_t>(16.0 * stretch *
+                                   static_cast<double>(phase * base));
+}
+
+BroadcastRunResult Decay::run(radio::RadioNetwork& net, radio::NodeId source,
+                              Rng& rng, radio::TraceRecorder* trace) const {
+  const auto& g = net.graph();
+  const std::int32_t n = g.node_count();
+  NRN_EXPECTS(source >= 0 && source < n, "source out of range");
+
+  const std::int32_t phase = params_.phase_length > 0
+                                 ? params_.phase_length
+                                 : default_phase_length(n);
+  const std::int64_t budget =
+      params_.max_rounds > 0
+          ? params_.max_rounds
+          : default_budget(n, n, net.fault_model().effective_loss());
+
+  std::vector<char> informed(static_cast<std::size_t>(n), 0);
+  std::vector<radio::NodeId> informed_list{source};
+  informed[static_cast<std::size_t>(source)] = 1;
+
+  BroadcastRunResult result;
+  result.informed = 1;
+  if (n == 1) {
+    result.completed = true;
+    return result;
+  }
+  const radio::Packet message{0};
+
+  for (std::int64_t round = 0; round < budget; ++round) {
+    const std::int32_t sub_round = static_cast<std::int32_t>(round % phase);
+    const double tx_prob = std::ldexp(1.0, -sub_round);  // 2^-i
+    for (const radio::NodeId u : informed_list) {
+      if (rng.bernoulli(tx_prob)) net.set_broadcast(u, message);
+    }
+    const auto& deliveries = net.run_round();
+    for (const auto& d : deliveries) {
+      auto& flag = informed[static_cast<std::size_t>(d.receiver)];
+      if (!flag) {
+        flag = 1;
+        informed_list.push_back(d.receiver);
+      }
+    }
+    if (trace != nullptr)
+      trace->record(net.last_round(),
+                    static_cast<double>(informed_list.size()));
+    result.rounds = round + 1;
+    if (static_cast<std::int32_t>(informed_list.size()) == n) {
+      result.completed = true;
+      break;
+    }
+  }
+  result.informed = static_cast<std::int64_t>(informed_list.size());
+  return result;
+}
+
+}  // namespace nrn::core

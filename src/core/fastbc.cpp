@@ -1,0 +1,100 @@
+#include "core/fastbc.hpp"
+
+#include <cmath>
+
+#include "core/decay.hpp"
+
+namespace nrn::core {
+
+namespace {
+
+std::int32_t ceil_log2(std::int32_t n) {
+  std::int32_t bits = 0;
+  while ((std::int64_t{1} << bits) < n) ++bits;
+  return std::max(bits, 1);
+}
+
+}  // namespace
+
+Fastbc::Fastbc(const graph::Graph& g, radio::NodeId source, FastbcParams params)
+    : graph_(&g), source_(source), params_(params) {
+  tree_ = trees::build_gbst(g, source, &tree_stats_);
+  rank_modulus_ = params.rank_modulus > 0 ? params.rank_modulus
+                                          : ceil_log2(g.node_count());
+  NRN_EXPECTS(tree_.max_rank <= rank_modulus_,
+              "rank modulus below the realized max rank");
+  decay_phase_ = params.decay_phase > 0
+                     ? params.decay_phase
+                     : Decay::default_phase_length(g.node_count());
+}
+
+BroadcastRunResult Fastbc::run(radio::RadioNetwork& net, Rng& rng,
+                               radio::TraceRecorder* trace) const {
+  NRN_EXPECTS(&net.graph() == graph_, "network built on a different graph");
+  const std::int32_t n = graph_->node_count();
+  const double p = net.fault_model().effective_loss();
+  const std::int64_t budget =
+      params_.max_rounds > 0
+          ? params_.max_rounds
+          : static_cast<std::int64_t>(
+                32.0 / (1.0 - p) *
+                static_cast<double>((tree_.depth + 4 * decay_phase_ + 32)) *
+                static_cast<double>(decay_phase_));
+
+  std::vector<char> informed(static_cast<std::size_t>(n), 0);
+  std::vector<radio::NodeId> informed_list{source_};
+  informed[static_cast<std::size_t>(source_)] = 1;
+
+  const std::int32_t period = 6 * rank_modulus_;
+  const radio::Packet message{0};
+  BroadcastRunResult result;
+  if (n == 1) {
+    result.completed = true;
+    result.informed = 1;
+    return result;
+  }
+
+  for (std::int64_t round = 0; round < budget; ++round) {
+    if (round % 2 == 1) {
+      // Slow transmission round 2t+1: Decay step over informed nodes.
+      const auto t = (round - 1) / 2;
+      const auto sub = static_cast<std::int32_t>(t % decay_phase_);
+      const double tx_prob = std::ldexp(1.0, -sub);
+      for (const radio::NodeId u : informed_list)
+        if (rng.bernoulli(tx_prob)) net.set_broadcast(u, message);
+    } else {
+      // Fast transmission round 2t: scheduled wave step.
+      const auto t = round / 2;
+      for (const radio::NodeId u : informed_list) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (!tree_.is_fast(u)) continue;
+        const std::int64_t target =
+            static_cast<std::int64_t>(tree_.level[ui]) -
+            6LL * tree_.rank[ui];
+        // t = l - 6r (mod period), with a positive representative.
+        const std::int64_t lhs = ((t - target) % period + period) % period;
+        if (lhs == 0) net.set_broadcast(u, message);
+      }
+    }
+    const auto& deliveries = net.run_round();
+    for (const auto& d : deliveries) {
+      auto& flag = informed[static_cast<std::size_t>(d.receiver)];
+      if (!flag) {
+        flag = 1;
+        informed_list.push_back(d.receiver);
+      }
+    }
+    if (trace != nullptr)
+      trace->record(net.last_round(),
+                    static_cast<double>(informed_list.size()));
+    result.rounds = round + 1;
+    if (static_cast<std::int32_t>(informed_list.size()) == n) {
+      result.completed = true;
+      break;
+    }
+  }
+  result.informed = static_cast<std::int64_t>(informed_list.size());
+  return result;
+}
+
+}  // namespace nrn::core

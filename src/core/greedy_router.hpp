@@ -1,0 +1,39 @@
+// A strong centralized adaptive routing heuristic (paper Definition 14).
+//
+// The paper's routing lower bounds quantify over *all* adaptive routing
+// schedules: every round, a central scheduler with the full topology and
+// the complete reception history picks who broadcasts which held message.
+// A simulation cannot enumerate that class, but it can field the strongest
+// practical member: a greedy marginal-coverage scheduler.  Each round it
+// assembles the broadcast set greedily, adding the (node, message) pair
+// with the best marginal gain -- newly covered listeners (adjacent, lacking
+// the message, not yet claimed this round) minus listeners lost to fresh
+// collisions -- until no positive-gain candidate remains.
+//
+// On the star this reproduces Lemma 15's optimal behaviour (one broadcaster
+// per round, most-wanted message).  On WCT it gives an aggressive upper
+// bound for what adaptive routing achieves in practice, complementing the
+// Lemma 21 pipeline from below; both land at the Theta(1/log^2 n) scale the
+// paper proves unavoidable (Lemma 19).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+
+namespace nrn::core {
+
+struct GreedyRouterParams {
+  std::int64_t k = 1;          ///< number of messages
+  std::int64_t max_rounds = 0; ///< 0 => generous theory-shaped budget
+};
+
+/// Runs the greedy adaptive router; completed = every node holds all k
+/// messages within the budget.
+MultiRunResult run_greedy_adaptive_routing(radio::RadioNetwork& net,
+                                           radio::NodeId source,
+                                           const GreedyRouterParams& params);
+
+}  // namespace nrn::core

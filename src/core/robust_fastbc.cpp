@@ -1,0 +1,117 @@
+#include "core/robust_fastbc.hpp"
+
+#include <cmath>
+
+#include "core/decay.hpp"
+
+namespace nrn::core {
+
+namespace {
+
+std::int32_t ceil_log2(std::int32_t n) {
+  std::int32_t bits = 0;
+  while ((std::int64_t{1} << bits) < n) ++bits;
+  return std::max(bits, 1);
+}
+
+}  // namespace
+
+RobustFastbc::RobustFastbc(const graph::Graph& g, radio::NodeId source,
+                           RobustFastbcParams params)
+    : graph_(&g), source_(source), params_(params) {
+  tree_ = trees::build_gbst(g, source, &tree_stats_);
+  const std::int32_t log_n = ceil_log2(g.node_count());
+  block_size_ =
+      params.block_size > 0
+          ? params.block_size
+          : std::max<std::int32_t>(
+                2, 2 * ceil_log2(std::max<std::int32_t>(2, log_n)));
+  window_multiplier_ = params.window_multiplier > 0 ? params.window_multiplier : 8;
+  rank_modulus_ = params.rank_modulus > 0 ? params.rank_modulus : log_n;
+  NRN_EXPECTS(tree_.max_rank <= rank_modulus_,
+              "rank modulus below the realized max rank");
+  decay_phase_ = params.decay_phase > 0
+                     ? params.decay_phase
+                     : Decay::default_phase_length(g.node_count());
+}
+
+BroadcastRunResult RobustFastbc::run(radio::RadioNetwork& net, Rng& rng,
+                                     radio::TraceRecorder* trace) const {
+  NRN_EXPECTS(&net.graph() == graph_, "network built on a different graph");
+  const std::int32_t n = graph_->node_count();
+  const double p = net.fault_model().effective_loss();
+  const std::int64_t window = static_cast<std::int64_t>(window_multiplier_) *
+                              block_size_;  // even rounds per band step
+  const std::int64_t budget =
+      params_.max_rounds > 0
+          ? params_.max_rounds
+          : static_cast<std::int64_t>(
+                48.0 / (1.0 - p) *
+                (static_cast<double>(tree_.depth) +
+                 static_cast<double>(decay_phase_) *
+                     static_cast<double>(block_size_) *
+                     (4.0 * decay_phase_ + 32.0)));
+
+  std::vector<char> informed(static_cast<std::size_t>(n), 0);
+  std::vector<radio::NodeId> informed_list{source_};
+  informed[static_cast<std::size_t>(source_)] = 1;
+
+  const std::int32_t period = 6 * rank_modulus_;
+  const radio::Packet message{0};
+  BroadcastRunResult result;
+  if (n == 1) {
+    result.completed = true;
+    result.informed = 1;
+    return result;
+  }
+
+  for (std::int64_t round = 0; round < budget; ++round) {
+    if (round % 2 == 1) {
+      // Slow round: Decay step over informed nodes.
+      const auto t = (round - 1) / 2;
+      const auto sub = static_cast<std::int32_t>(t % decay_phase_);
+      const double tx_prob = std::ldexp(1.0, -sub);
+      for (const radio::NodeId u : informed_list)
+        if (rng.bernoulli(tx_prob)) net.set_broadcast(u, message);
+    } else {
+      // Fast round 2t': band schedule with mod-3 staggering.
+      const std::int64_t t_half = round / 2;
+      const std::int64_t band = t_half / window;  // superround index
+      for (const radio::NodeId u : informed_list) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (!tree_.is_fast(u)) continue;
+        const std::int32_t l = tree_.level[ui];
+        const std::int32_t r = tree_.rank[ui];
+        const std::int64_t block = l / block_size_;
+        // The +6 aligns rank-1 block-0 with band 0, so the wave starts at
+        // the source immediately instead of after a full band cycle (a
+        // constant-factor cold-start optimization; asymptotics unchanged).
+        const std::int64_t lhs =
+            ((block - 6LL * r + 6 - band) % period + period) % period;
+        if (lhs != 0) continue;
+        if ((l % 3) != (t_half % 3)) continue;
+        net.set_broadcast(u, message);
+      }
+    }
+    const auto& deliveries = net.run_round();
+    for (const auto& d : deliveries) {
+      auto& flag = informed[static_cast<std::size_t>(d.receiver)];
+      if (!flag) {
+        flag = 1;
+        informed_list.push_back(d.receiver);
+      }
+    }
+    if (trace != nullptr)
+      trace->record(net.last_round(),
+                    static_cast<double>(informed_list.size()));
+    result.rounds = round + 1;
+    if (static_cast<std::int32_t>(informed_list.size()) == n) {
+      result.completed = true;
+      break;
+    }
+  }
+  result.informed = static_cast<std::int64_t>(informed_list.size());
+  return result;
+}
+
+}  // namespace nrn::core

@@ -1,0 +1,27 @@
+// Result records shared by the broadcast algorithms.
+#pragma once
+
+#include <cstdint>
+
+namespace nrn::core {
+
+/// Outcome of a single-message broadcast run.
+struct BroadcastRunResult {
+  bool completed = false;      ///< every node informed within the budget
+  std::int64_t rounds = 0;     ///< rounds executed (to completion or budget)
+  std::int64_t informed = 0;   ///< informed nodes when the run ended
+};
+
+/// Outcome of a k-message run (routing or coding).
+struct MultiRunResult {
+  bool completed = false;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;      ///< k
+  double rounds_per_message() const {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(rounds) /
+                               static_cast<double>(messages);
+  }
+};
+
+}  // namespace nrn::core

@@ -1,0 +1,102 @@
+#include "core/single_link.hpp"
+
+#include <cmath>
+
+namespace nrn::core {
+
+namespace {
+
+constexpr radio::NodeId kSourceNode = 0;
+constexpr radio::NodeId kSinkNode = 1;
+
+void check_link(const radio::RadioNetwork& net) {
+  NRN_EXPECTS(net.graph().node_count() == 2 && net.graph().edge_count() == 1,
+              "single-link schedules require the two-node topology");
+}
+
+}  // namespace
+
+MultiRunResult run_link_nonadaptive_routing(radio::RadioNetwork& net,
+                                            std::int64_t k, std::int64_t reps) {
+  check_link(net);
+  NRN_EXPECTS(k >= 1 && reps >= 1, "bad schedule parameters");
+  MultiRunResult result;
+  result.messages = k;
+  std::int64_t distinct = 0;
+  for (std::int64_t m = 0; m < k; ++m) {
+    bool got = false;
+    for (std::int64_t r = 0; r < reps; ++r) {
+      net.set_broadcast(kSourceNode, radio::Packet{m});
+      const auto& deliveries = net.run_round();
+      ++result.rounds;
+      if (!deliveries.empty() && !got) {
+        got = true;
+        ++distinct;
+      }
+    }
+  }
+  result.completed = (distinct == k);
+  return result;
+}
+
+std::int64_t link_nonadaptive_reps(std::int64_t k, double p) {
+  NRN_EXPECTS(k >= 1, "bad k");
+  NRN_EXPECTS(p > 0.0 && p < 1.0, "repetition count needs p in (0,1)");
+  // Per-message failure p^reps; union bound over k messages wants
+  // k * p^reps <= 1/k, i.e. reps >= 2 ln k / ln(1/p).
+  const double lk = std::log(static_cast<double>(k) + 1.0);
+  return static_cast<std::int64_t>(std::ceil(2.0 * lk / -std::log(p))) + 1;
+}
+
+MultiRunResult run_link_adaptive_routing(radio::RadioNetwork& net,
+                                         std::int64_t k,
+                                         std::int64_t max_rounds) {
+  check_link(net);
+  NRN_EXPECTS(k >= 1, "bad k");
+  MultiRunResult result;
+  result.messages = k;
+  std::int64_t current = 0;
+  for (std::int64_t round = 0; round < max_rounds; ++round) {
+    net.set_broadcast(kSourceNode, radio::Packet{current});
+    const auto& deliveries = net.run_round();
+    ++result.rounds;
+    if (!deliveries.empty()) {
+      NRN_ENSURES(deliveries.front().receiver == kSinkNode,
+                  "unexpected receiver on the link");
+      ++current;
+      if (current == k) {
+        result.completed = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+MultiRunResult run_link_rs_coding(radio::RadioNetwork& net, std::int64_t k,
+                                  std::int64_t packet_count) {
+  check_link(net);
+  NRN_EXPECTS(k >= 1 && packet_count >= k, "need at least k coded packets");
+  MultiRunResult result;
+  result.messages = k;
+  std::int64_t received = 0;
+  for (std::int64_t j = 0; j < packet_count; ++j) {
+    net.set_broadcast(kSourceNode, radio::Packet{j});
+    const auto& deliveries = net.run_round();
+    ++result.rounds;
+    if (!deliveries.empty()) ++received;
+  }
+  result.completed = (received >= k);
+  return result;
+}
+
+std::int64_t link_rs_packet_count(std::int64_t k, double p) {
+  NRN_EXPECTS(k >= 1, "bad k");
+  NRN_EXPECTS(p >= 0.0 && p < 1.0, "fault probability out of range");
+  const double lk = std::log(static_cast<double>(k) + 2.0);
+  const double t = 2.0 * lk + std::sqrt(4.0 * static_cast<double>(k) * lk);
+  return static_cast<std::int64_t>(
+      std::ceil((static_cast<double>(k) + t) / (1.0 - p)));
+}
+
+}  // namespace nrn::core

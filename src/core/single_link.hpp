@@ -1,0 +1,43 @@
+// Single-link schedules (paper Appendix A).
+//
+// Two nodes, one edge.  With constant fault probability:
+//   * non-adaptive routing must repeat each message Theta(log k) times to
+//     push the failure probability below 1/k (Lemma 29): throughput
+//     Theta(1/log k);
+//   * Reed-Solomon coding streams ~k/(1-p) packets (Lemma 30): Theta(1);
+//   * adaptive routing resends each message until acknowledged (Lemma 32):
+//     Theta(1).
+// The Theta(log k) non-adaptive gap disappears under adaptivity (Lemma 33),
+// which is why the paper proves its main gaps against *adaptive* routing.
+#pragma once
+
+#include <cstdint>
+
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+
+namespace nrn::core {
+
+/// Lemma 29's achievable side: each message broadcast exactly `reps` times;
+/// completed = the receiver got all k messages.
+MultiRunResult run_link_nonadaptive_routing(radio::RadioNetwork& net,
+                                            std::int64_t k, std::int64_t reps);
+
+/// Repetition count that makes the non-adaptive schedule succeed with
+/// probability >= 1 - 1/k: ceil(2 ln k / ln(1/p)) + 1 (union bound).
+std::int64_t link_nonadaptive_reps(std::int64_t k, double p);
+
+/// Lemma 32: send each message until it is received (full feedback).
+MultiRunResult run_link_adaptive_routing(radio::RadioNetwork& net,
+                                         std::int64_t k,
+                                         std::int64_t max_rounds);
+
+/// Lemma 30: stream `packet_count` distinct coded packets; completed = the
+/// receiver got at least k distinct (the Reed-Solomon condition).
+MultiRunResult run_link_rs_coding(radio::RadioNetwork& net, std::int64_t k,
+                                  std::int64_t packet_count);
+
+/// Packet count for the coded link schedule (Chernoff slack over k/(1-p)).
+std::int64_t link_rs_packet_count(std::int64_t k, double p);
+
+}  // namespace nrn::core

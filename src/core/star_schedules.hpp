@@ -1,0 +1,50 @@
+// Star-topology schedules (paper Section 5.1.1).
+//
+// Receiver faults turn the star into the paper's cleanest coding-gap
+// witness:
+//   * adaptive routing (Lemma 15): the hub broadcasts message i until every
+//     leaf has it; the last of n leaves costs ~log_{1/p} n rounds per
+//     message, so throughput is Theta(1/log n);
+//   * Reed-Solomon coding (Lemma 16): the hub streams m coded packets such
+//     that every leaf collects >= k of them w.h.p.; m = O(k + log n), so
+//     throughput is Theta(1);
+//   * non-adaptive routing repeats each message a fixed count (used by the
+//     adaptivity ablation).
+//
+// All schedules run in counting mode (packet ids, no payloads); the RS
+// any-k-of-m property is exercised with real payloads by the coding tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+#include "topology/star.hpp"
+
+namespace nrn::core {
+
+/// Lemma 15's achievable side.  Sends messages 0..k-1 in order, each until
+/// all leaves received it (the hub adapts using full reception feedback).
+MultiRunResult run_star_adaptive_routing(radio::RadioNetwork& net,
+                                         const topology::Star& star,
+                                         std::int64_t k,
+                                         std::int64_t max_rounds);
+
+/// Non-adaptive routing: each message exactly `reps` times.
+/// completed = every leaf got every message.
+MultiRunResult run_star_nonadaptive_routing(radio::RadioNetwork& net,
+                                            const topology::Star& star,
+                                            std::int64_t k, std::int64_t reps);
+
+/// Lemma 16's coded schedule: the hub streams `packet_count` distinct coded
+/// packets; completed = every leaf received at least k distinct packets
+/// (the Reed-Solomon reconstruction condition).
+MultiRunResult run_star_rs_coding(radio::RadioNetwork& net,
+                                  const topology::Star& star, std::int64_t k,
+                                  std::int64_t packet_count);
+
+/// Packet count sufficient for the coded schedule to succeed w.h.p.:
+/// (k + Chernoff slack for failure probability ~1/(nk)) / (1 - p).
+std::int64_t rs_packet_count(std::int64_t k, std::int32_t n, double p);
+
+}  // namespace nrn::core

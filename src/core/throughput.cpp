@@ -1,0 +1,44 @@
+#include "core/throughput.hpp"
+
+#include "common/contracts.hpp"
+
+namespace nrn::core {
+
+std::vector<ThroughputPoint> sweep_throughput(
+    const ScheduleFn& schedule, const std::vector<std::int64_t>& ks,
+    int trials, Rng& rng) {
+  NRN_EXPECTS(trials >= 1, "need at least one trial");
+  std::vector<ThroughputPoint> points;
+  points.reserve(ks.size());
+  std::uint64_t stream = 0;
+  for (const std::int64_t k : ks) {
+    std::vector<double> rounds;
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      Rng trial_rng = rng.split(stream++);
+      const MultiRunResult r = schedule(k, trial_rng);
+      rounds.push_back(static_cast<double>(r.rounds));
+      if (r.completed) ++successes;
+    }
+    ThroughputPoint pt;
+    pt.k = k;
+    pt.median_rounds = quantile(rounds, 0.5);
+    pt.rounds_per_message =
+        pt.median_rounds / static_cast<double>(std::max<std::int64_t>(k, 1));
+    pt.success_rate = static_cast<double>(successes) / trials;
+    pt.throughput =
+        pt.median_rounds > 0 ? static_cast<double>(k) / pt.median_rounds : 0.0;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+double gap_at(const std::vector<ThroughputPoint>& routing,
+              const std::vector<ThroughputPoint>& coding, std::size_t index) {
+  NRN_EXPECTS(index < routing.size() && index < coding.size(),
+              "gap index out of range");
+  NRN_EXPECTS(coding[index].rounds_per_message > 0.0, "degenerate coding run");
+  return routing[index].rounds_per_message / coding[index].rounds_per_message;
+}
+
+}  // namespace nrn::core

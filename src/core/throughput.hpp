@@ -1,0 +1,43 @@
+// Throughput estimation harness (paper Definition 1).
+//
+// Topology throughput is defined as a k -> infinity limit over schedules
+// that succeed with probability >= 1 - 1/k.  Experiments approximate it by
+// sweeping k, running repeated seeded trials of a schedule, and reporting
+// the median rounds-per-message together with the success rate; the paper's
+// asymptotic claims then become checks on the fitted trend (e.g.
+// rounds/message ~ c log n on the star under adaptive routing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/run_result.hpp"
+
+namespace nrn::core {
+
+/// Schedule under measurement: runs one trial at message count k.
+using ScheduleFn = std::function<MultiRunResult(std::int64_t k, Rng& rng)>;
+
+struct ThroughputPoint {
+  std::int64_t k = 0;
+  double median_rounds = 0.0;
+  double rounds_per_message = 0.0;
+  double success_rate = 0.0;
+  double throughput = 0.0;  ///< k / median_rounds
+};
+
+/// Runs `trials` independent trials of `schedule` at each k; trial t uses
+/// the child stream rng.split(t) so points are independent but reproducible.
+std::vector<ThroughputPoint> sweep_throughput(
+    const ScheduleFn& schedule, const std::vector<std::int64_t>& ks,
+    int trials, Rng& rng);
+
+/// Convenience for gap tables: ratio of two schedules' rounds-per-message
+/// at matched k (routing over coding = the coding gap).
+double gap_at(const std::vector<ThroughputPoint>& routing,
+              const std::vector<ThroughputPoint>& coding, std::size_t index);
+
+}  // namespace nrn::core

@@ -1,0 +1,103 @@
+// Faultless-to-faulty schedule transformations (paper Section 5.2).
+//
+// Lemma 25 (routing): any faultless routing schedule becomes a sender-fault
+// robust *adaptive* routing schedule with throughput tau(1-p): each base
+// round is stretched into a meta-round of ~x/(1-p) rounds in which each
+// base broadcaster sends x sub-messages, repeating the current one until a
+// clean transmission is observed and staying silent once done.  Going
+// silent never hurts: a node with exactly one broadcasting neighbor in the
+// base round still has at most one in any sub-round.
+//
+// Lemma 26 (coding): any faultless coding schedule becomes fault-robust
+// (sender OR receiver faults) with throughput tau(1-p): the broadcaster
+// Reed-Solomon-encodes the x per-sub-instance packets it would have sent
+// into ~x/(1-p) coded packets and streams them non-adaptively; a receiver
+// reconstructs iff it catches >= x of them, which Chernoff guarantees w.h.p.
+//
+// The transforms below run in counting mode against concrete base
+// schedules (the star one-shot schedule, throughput 1, and the mod-3 path
+// pipeline, throughput 1/3) and verify end-to-end knowledge propagation,
+// so the measured throughput genuinely includes any cascade failures.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+
+namespace nrn::core {
+
+/// One base-round action: broadcaster and the base message it sends.
+using BaseAction = std::pair<radio::NodeId, std::int64_t>;
+
+/// A faultless base schedule described as data.
+class BaseSchedule {
+ public:
+  virtual ~BaseSchedule() = default;
+  /// Total base rounds.
+  virtual std::int64_t rounds() const = 0;
+  /// Number of base messages k0.
+  virtual std::int64_t base_messages() const = 0;
+  /// Broadcast actions of base round `r`.
+  virtual std::vector<BaseAction> actions(std::int64_t r) const = 0;
+  /// The schedule's faultless throughput (documentation/verification).
+  virtual double faultless_throughput() const = 0;
+};
+
+/// Star: round i, the hub broadcasts message i.  k0 rounds, throughput 1.
+class StarBaseSchedule final : public BaseSchedule {
+ public:
+  explicit StarBaseSchedule(std::int64_t k0) : k0_(k0) {}
+  std::int64_t rounds() const override { return k0_; }
+  std::int64_t base_messages() const override { return k0_; }
+  std::vector<BaseAction> actions(std::int64_t r) const override {
+    return {{0, r}};
+  }
+  double faultless_throughput() const override { return 1.0; }
+
+ private:
+  std::int64_t k0_;
+};
+
+/// Path pipeline: node j relays message m in base round 3m + j, so
+/// broadcasters in one round sit 3 apart and never collide.  Throughput
+/// 1/3 as the number of messages grows.
+class PathPipelineBaseSchedule final : public BaseSchedule {
+ public:
+  PathPipelineBaseSchedule(std::int32_t path_nodes, std::int64_t k0)
+      : n_(path_nodes), k0_(k0) {}
+  std::int64_t rounds() const override { return 3 * (k0_ - 1) + n_; }
+  std::int64_t base_messages() const override { return k0_; }
+  std::vector<BaseAction> actions(std::int64_t r) const override;
+  double faultless_throughput() const override { return 1.0 / 3.0; }
+
+ private:
+  std::int32_t n_;
+  std::int64_t k0_;
+};
+
+struct TransformParams {
+  std::int64_t x = 32;   ///< sub-messages per base message
+  double eta = 0.25;     ///< meta-round slack
+};
+
+struct TransformResult {
+  MultiRunResult run;           ///< rounds/messages in *sub-message* units
+  std::int64_t meta_length = 0; ///< rounds per meta-round
+  double measured_throughput = 0.0;  ///< sub-messages per round if completed
+};
+
+/// Lemma 25 transform.  Only meaningful under sender faults (or faultless).
+TransformResult run_routing_transform(radio::RadioNetwork& net,
+                                      const BaseSchedule& base,
+                                      const TransformParams& params, Rng& rng);
+
+/// Lemma 26 transform.  Robust to sender or receiver faults.
+TransformResult run_coding_transform(radio::RadioNetwork& net,
+                                     const BaseSchedule& base,
+                                     const TransformParams& params, Rng& rng);
+
+}  // namespace nrn::core

@@ -1,0 +1,38 @@
+// Schedules for the worst-case topology WCT (paper Section 5.1.2).
+//
+// Routing on WCT uses the generic layered pipeline (bipartite_pipeline.hpp):
+// with receiver faults each cluster behaves like a star of ~sqrt(n) nodes
+// and pays Theta(log n) unique receptions per message while only an
+// O(1/log n) fraction of clusters is uniquely served per round --
+// Theta(1/log^2 n) throughput (Lemma 19/21/22).
+//
+// The coded schedule here realizes the Theta(1/log n) coding side
+// (Lemma 23): the source streams Reed-Solomon packets to the senders (one
+// fresh packet per round, collision-free), after which the senders replay a
+// Decay pattern broadcasting globally-distinct coded packets; every unique
+// reception hands a cluster member a fresh packet, and a member is done
+// once it holds k distinct packets (the any-k-of-m property).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+#include "topology/wct.hpp"
+
+namespace nrn::core {
+
+struct WctCodedParams {
+  std::int64_t k = 1;
+  std::int32_t decay_phase = 0;  ///< 0 => ceil(log2 #senders) + 1
+  std::int64_t max_rounds = 0;   ///< 0 => theory bound with slack
+};
+
+/// Runs the coded WCT schedule; completed = every cluster member holds at
+/// least k distinct coded packets.
+MultiRunResult run_wct_rs_coding(radio::RadioNetwork& net,
+                                 const topology::WctNetwork& wct,
+                                 const WctCodedParams& params, Rng& rng);
+
+}  // namespace nrn::core

@@ -1,0 +1,74 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+
+namespace nrn::graph {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
+  NRN_EXPECTS(source >= 0 && source < g.node_count(), "source out of range");
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.node_count()),
+                                 kUnreachable);
+  std::vector<NodeId> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::int32_t level = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        auto& d = dist[static_cast<std::size_t>(v)];
+        if (d == kUnreachable) {
+          d = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<std::vector<NodeId>> bfs_layers(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::int32_t depth = 0;
+  for (auto d : dist) depth = std::max(depth, d);
+  std::vector<std::vector<NodeId>> layers(static_cast<std::size_t>(depth) + 1);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto d = dist[static_cast<std::size_t>(u)];
+    if (d != kUnreachable) layers[static_cast<std::size_t>(d)].push_back(u);
+  }
+  return layers;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int32_t d) { return d == kUnreachable; });
+}
+
+std::int32_t eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::int32_t ecc = 0;
+  for (auto d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+std::int32_t diameter_exact(const Graph& g) {
+  std::int32_t best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    best = std::max(best, eccentricity(g, u));
+  return best;
+}
+
+std::int32_t diameter_two_sweep(const Graph& g) {
+  const auto first = bfs_distances(g, 0);
+  NodeId far = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    if (first[static_cast<std::size_t>(u)] >
+        first[static_cast<std::size_t>(far)])
+      far = u;
+  return eccentricity(g, far);
+}
+
+}  // namespace nrn::graph

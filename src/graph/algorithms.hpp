@@ -1,0 +1,35 @@
+// Basic graph algorithms needed by the broadcast algorithms and by the
+// experiment harness: BFS layering (every algorithm in the paper is analyzed
+// relative to BFS levels), diameter, and connectivity.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nrn::graph {
+
+/// Marker distance for unreachable nodes.
+inline constexpr std::int32_t kUnreachable = -1;
+
+/// BFS distances from `source`; kUnreachable where disconnected.
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Nodes grouped by BFS distance from `source`.  layers[d] lists nodes at
+/// distance exactly d.  Unreachable nodes are omitted.
+std::vector<std::vector<NodeId>> bfs_layers(const Graph& g, NodeId source);
+
+/// True iff every node is reachable from node 0.
+bool is_connected(const Graph& g);
+
+/// Largest finite BFS distance from `source` (the source's eccentricity).
+std::int32_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via BFS from every node; O(n * m).  Fine for the sizes
+/// used in tests; experiments mostly know their diameters by construction.
+std::int32_t diameter_exact(const Graph& g);
+
+/// Lower bound on the diameter by a double BFS sweep; O(m).
+std::int32_t diameter_two_sweep(const Graph& g);
+
+}  // namespace nrn::graph

@@ -1,0 +1,72 @@
+// Undirected graph in compressed-sparse-row form.
+//
+// Nodes are dense integer ids [0, n).  The radio simulator iterates
+// neighborhoods of broadcasting nodes every round, so adjacency is stored as
+// a flat CSR array for cache locality.  Graphs are immutable after
+// construction; use GraphBuilder to assemble edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace nrn::graph {
+
+using NodeId = std::int32_t;
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list.  Duplicate edges and self-loops are rejected.
+  Graph(NodeId node_count, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  NodeId node_count() const { return node_count_; }
+  std::int64_t edge_count() const {
+    return static_cast<std::int64_t>(targets_.size()) / 2;
+  }
+
+  /// Neighbors of `u` as a contiguous, sorted span.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    NRN_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
+    return {targets_.data() + offsets_[static_cast<std::size_t>(u)],
+            targets_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  std::int32_t degree(NodeId u) const {
+    return static_cast<std::int32_t>(neighbors(u).size());
+  }
+
+  std::int32_t max_degree() const;
+
+  /// True iff {u, v} is an edge (binary search over the sorted row).
+  bool has_edge(NodeId u, NodeId v) const;
+
+ private:
+  NodeId node_count_ = 0;
+  std::vector<std::int64_t> offsets_;  // size node_count_+1
+  std::vector<NodeId> targets_;        // size 2*edge_count
+};
+
+/// Incremental edge-list assembly with de-duplication at build().
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId node_count) : node_count_(node_count) {
+    NRN_EXPECTS(node_count >= 1, "graph needs at least one node");
+  }
+
+  /// Adds the undirected edge {u, v}; duplicates are tolerated and merged.
+  void add_edge(NodeId u, NodeId v);
+
+  NodeId node_count() const { return node_count_; }
+  Graph build() const;
+
+ private:
+  NodeId node_count_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace nrn::graph

@@ -1,0 +1,103 @@
+// Fault models of the noisy radio network (paper Section 3.1).
+//
+// Exactly one of three regimes applies to a simulation:
+//   * Faultless  -- the classic Chlamtac-Kutten model.
+//   * Sender     -- each broadcasting node transmits noise with probability
+//                   p each round, independently across senders and rounds.
+//                   A noisy transmission still occupies the channel (it
+//                   collides like any other broadcast) but delivers noise to
+//                   every would-be receiver of that sender.
+//   * Receiver   -- each listening node with exactly one broadcasting
+//                   neighbor receives noise with probability p,
+//                   independently across receivers and rounds.
+//
+// In all regimes noise is indistinguishable from silence or collision at
+// the receiving node: the simulator reports only successful packet
+// deliveries, never noise-as-packet.
+#pragma once
+
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace nrn::radio {
+
+enum class FaultKind {
+  kFaultless,
+  kSender,
+  kReceiver,
+  /// Both fault types at once -- the setting of the paper's open problem
+  /// (Section 4.2: an algorithm "robust to sender AND receiver faults"
+  /// broadcasting k messages in O(D + k log n + polylog)).  Not part of
+  /// the paper's model definitions; provided as an extension.
+  kCombined,
+};
+
+struct FaultModel {
+  FaultKind kind = FaultKind::kFaultless;
+  double p = 0.0;         ///< sender-side probability (kSender/kCombined)
+  double p_receiver = 0.0;  ///< receiver-side probability (kCombined only)
+
+  static FaultModel faultless() { return {FaultKind::kFaultless, 0.0, 0.0}; }
+
+  static FaultModel sender(double p) {
+    NRN_EXPECTS(p >= 0.0 && p < 1.0, "fault probability must be in [0,1)");
+    return {FaultKind::kSender, p, 0.0};
+  }
+
+  static FaultModel receiver(double p) {
+    NRN_EXPECTS(p >= 0.0 && p < 1.0, "fault probability must be in [0,1)");
+    // Stored in `p`; the engine branches on `kind`.
+    return {FaultKind::kReceiver, p, 0.0};
+  }
+
+  /// Independent sender coin (probability ps, shared by all receivers of a
+  /// sender) plus an independent receiver coin (probability pr).
+  static FaultModel combined(double ps, double pr) {
+    NRN_EXPECTS(ps >= 0.0 && ps < 1.0, "sender probability must be in [0,1)");
+    NRN_EXPECTS(pr >= 0.0 && pr < 1.0,
+                "receiver probability must be in [0,1)");
+    return {FaultKind::kCombined, ps, pr};
+  }
+
+  bool is_faultless() const {
+    switch (kind) {
+      case FaultKind::kFaultless:
+        return true;
+      case FaultKind::kCombined:
+        return p == 0.0 && p_receiver == 0.0;
+      default:
+        return p == 0.0;
+    }
+  }
+
+  /// Probability that a single uncontested transmission is lost end to
+  /// end; the budget formulas of the algorithms use this.
+  double effective_loss() const {
+    switch (kind) {
+      case FaultKind::kFaultless:
+        return 0.0;
+      case FaultKind::kCombined:
+        return 1.0 - (1.0 - p) * (1.0 - p_receiver);
+      default:
+        return p;
+    }
+  }
+};
+
+inline std::string to_string(const FaultModel& fm) {
+  switch (fm.kind) {
+    case FaultKind::kFaultless:
+      return "faultless";
+    case FaultKind::kSender:
+      return "sender-faults(p=" + std::to_string(fm.p) + ")";
+    case FaultKind::kReceiver:
+      return "receiver-faults(p=" + std::to_string(fm.p) + ")";
+    case FaultKind::kCombined:
+      return "combined-faults(ps=" + std::to_string(fm.p) +
+             ", pr=" + std::to_string(fm.p_receiver) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace nrn::radio

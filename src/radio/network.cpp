@@ -1,0 +1,98 @@
+#include "radio/network.hpp"
+
+namespace nrn::radio {
+
+RadioNetwork::RadioNetwork(const graph::Graph& g, FaultModel fault_model,
+                           Rng rng)
+    : graph_(&g), fault_model_(fault_model), rng_(rng) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  touch_epoch_.assign(n, 0);
+  tx_neighbor_count_.assign(n, 0);
+  first_sender_index_.assign(n, -1);
+  broadcasting_epoch_.assign(n, 0);
+}
+
+void RadioNetwork::set_broadcast(NodeId u, Packet packet) {
+  NRN_EXPECTS(u >= 0 && u < graph_->node_count(), "broadcaster out of range");
+  NRN_EXPECTS(broadcasting_epoch_[static_cast<std::size_t>(u)] != epoch_ + 1,
+              "node staged to broadcast twice in one round");
+  broadcasting_epoch_[static_cast<std::size_t>(u)] = epoch_ + 1;
+  plan_.push_back(Staged{u, std::move(packet), false});
+}
+
+const std::vector<Delivery>& RadioNetwork::run_round() {
+  ++epoch_;
+  deliveries_.clear();
+  touched_.clear();
+  last_round_ = RoundStats{};
+  last_round_.broadcasters = static_cast<std::int64_t>(plan_.size());
+
+  // Sender-fault coins: one per broadcaster per round, in staging order.
+  const bool sender_coins = (fault_model_.kind == FaultKind::kSender ||
+                             fault_model_.kind == FaultKind::kCombined) &&
+                            fault_model_.p > 0.0;
+  if (sender_coins) {
+    for (auto& staged : plan_) staged.noisy = rng_.bernoulli(fault_model_.p);
+  }
+
+  // Count broadcasting neighbors of every node adjacent to a broadcaster.
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const NodeId b = plan_[i].sender;
+    for (const NodeId v : graph_->neighbors(b)) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (touch_epoch_[vi] != epoch_) {
+        touch_epoch_[vi] = epoch_;
+        tx_neighbor_count_[vi] = 1;
+        first_sender_index_[vi] = static_cast<std::int32_t>(i);
+        touched_.push_back(v);
+      } else {
+        ++tx_neighbor_count_[vi];
+      }
+    }
+  }
+
+  // Resolve receptions.  Receiver-fault coins are drawn in the order nodes
+  // were first touched, which is deterministic given the staging order.
+  for (const NodeId v : touched_) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (broadcasting_epoch_[vi] == epoch_) continue;  // not listening
+    if (tx_neighbor_count_[vi] >= 2) {
+      ++last_round_.collision_losses;
+      continue;
+    }
+    const Staged& staged =
+        plan_[static_cast<std::size_t>(first_sender_index_[vi])];
+    if (staged.noisy) {
+      ++last_round_.sender_fault_losses;
+      continue;
+    }
+    const double pr = fault_model_.kind == FaultKind::kReceiver
+                          ? fault_model_.p
+                          : fault_model_.kind == FaultKind::kCombined
+                                ? fault_model_.p_receiver
+                                : 0.0;
+    if (pr > 0.0 && rng_.bernoulli(pr)) {
+      ++last_round_.receiver_fault_losses;
+      continue;
+    }
+    deliveries_.push_back(Delivery{v, staged.sender, staged.packet});
+  }
+  last_round_.deliveries = static_cast<std::int64_t>(deliveries_.size());
+
+  totals_.rounds += 1;
+  totals_.broadcasts += last_round_.broadcasters;
+  totals_.deliveries += last_round_.deliveries;
+  totals_.collision_losses += last_round_.collision_losses;
+  totals_.sender_fault_losses += last_round_.sender_fault_losses;
+  totals_.receiver_fault_losses += last_round_.receiver_fault_losses;
+
+  plan_.clear();
+  return deliveries_;
+}
+
+void RadioNetwork::run_silent_round() {
+  NRN_EXPECTS(plan_.empty(), "run_silent_round with staged broadcasters");
+  run_round();
+}
+
+}  // namespace nrn::radio

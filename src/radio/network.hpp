@@ -1,0 +1,113 @@
+// The round-based noisy radio network engine.
+//
+// Usage per round:
+//   net.set_broadcast(u, Packet{...});   // stage any number of broadcasters
+//   const auto& deliveries = net.run_round();
+//
+// run_round applies the model's reception rule exactly:
+//   a listening node receives the packet iff exactly one of its neighbors
+//   broadcast this round, and neither a sender fault (one coin per
+//   broadcaster per round, shared by all its receivers) nor a receiver
+//   fault (one coin per receiver) struck.
+//
+// The engine is deterministic given its seed: fault coins are drawn from
+// the engine's own Rng in a fixed order (senders in staging order, then
+// touched receivers in node-id order), independent of any algorithm
+// randomness, so an algorithm change never perturbs the fault tape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "radio/fault_model.hpp"
+#include "radio/packet.hpp"
+
+namespace nrn::radio {
+
+using graph::NodeId;
+
+/// One successful packet reception.
+struct Delivery {
+  NodeId receiver = -1;
+  NodeId sender = -1;
+  Packet packet;
+};
+
+/// Per-round aggregate counters (diagnostics and Lemma 18-style stats).
+struct RoundStats {
+  std::int64_t broadcasters = 0;     ///< nodes that transmitted
+  std::int64_t deliveries = 0;       ///< successful receptions
+  std::int64_t collision_losses = 0; ///< listeners with >= 2 tx neighbors
+  std::int64_t sender_fault_losses = 0;
+  std::int64_t receiver_fault_losses = 0;
+};
+
+/// Cumulative counters over the life of the network.
+struct NetworkTotals {
+  std::int64_t rounds = 0;
+  std::int64_t broadcasts = 0;
+  std::int64_t deliveries = 0;
+  std::int64_t collision_losses = 0;
+  std::int64_t sender_fault_losses = 0;
+  std::int64_t receiver_fault_losses = 0;
+};
+
+class RadioNetwork {
+ public:
+  /// The graph must outlive the network.
+  RadioNetwork(const graph::Graph& g, FaultModel fault_model, Rng rng);
+
+  /// Binding a temporary graph would dangle; force callers to keep the
+  /// topology alive.
+  RadioNetwork(graph::Graph&&, FaultModel, Rng) = delete;
+
+  const graph::Graph& graph() const { return *graph_; }
+  const FaultModel& fault_model() const { return fault_model_; }
+
+  /// Stages node `u` to broadcast `packet` this round.  A node may be
+  /// staged at most once per round.
+  void set_broadcast(NodeId u, Packet packet);
+
+  /// Number of broadcasters staged for the current round so far.
+  std::size_t staged_count() const { return plan_.size(); }
+
+  /// Executes one synchronized round with the staged broadcasters, clears
+  /// the plan, and returns the deliveries (buffer reused across rounds).
+  const std::vector<Delivery>& run_round();
+
+  /// Runs a round where nobody broadcasts (time passes, nothing happens).
+  void run_silent_round();
+
+  const RoundStats& last_round() const { return last_round_; }
+  const NetworkTotals& totals() const { return totals_; }
+  std::int64_t round_number() const { return totals_.rounds; }
+
+ private:
+  struct Staged {
+    NodeId sender;
+    Packet packet;
+    bool noisy = false;  // sender-fault coin outcome, drawn in run_round
+  };
+
+  const graph::Graph* graph_;
+  FaultModel fault_model_;
+  Rng rng_;
+
+  std::vector<Staged> plan_;
+  std::vector<Delivery> deliveries_;
+
+  // Epoch-stamped per-node scratch; avoids O(n) clearing each round.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> touch_epoch_;
+  std::vector<std::int32_t> tx_neighbor_count_;
+  std::vector<std::int32_t> first_sender_index_;  // index into plan_
+  std::vector<std::uint64_t> broadcasting_epoch_;
+  std::vector<NodeId> touched_;
+
+  RoundStats last_round_;
+  NetworkTotals totals_;
+};
+
+}  // namespace nrn::radio

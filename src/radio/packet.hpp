@@ -1,0 +1,41 @@
+// Packets exchanged in the simulated radio network.
+//
+// The model (paper Section 3.1) only constrains packet *size*; the simulator
+// separates identity from payload so that:
+//   * routing schedules tag packets with a message index (payload-free,
+//     "counting mode": fast enough for throughput sweeps at large n, k);
+//   * coding schedules attach real coded payloads (Reed-Solomon or RLNC
+//     symbol vectors) so tests can verify end-to-end decodability rather
+//     than assume it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nrn::radio {
+
+/// Identifier carried by every packet.  For routing schedules this is the
+/// message index; coding schedules use it as a coded-packet sequence number.
+using PacketId = std::int64_t;
+
+/// Immutable payload blob shared between all deliveries of one broadcast.
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// A radio packet: identity plus optional payload.
+struct Packet {
+  PacketId id = 0;
+  Payload payload;  ///< null in counting mode
+
+  Packet() = default;
+  explicit Packet(PacketId packet_id) : id(packet_id) {}
+  Packet(PacketId packet_id, Payload data)
+      : id(packet_id), payload(std::move(data)) {}
+};
+
+/// Convenience: wraps bytes into a shared payload.
+inline Payload make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+}  // namespace nrn::radio

@@ -1,0 +1,36 @@
+#include "radio/trace.hpp"
+
+namespace nrn::radio {
+
+void TraceRecorder::record(const RoundStats& stats, double progress_metric) {
+  stats_.push_back(stats);
+  progress_.push_back(progress_metric);
+}
+
+RoundStats TraceRecorder::accumulate() const {
+  RoundStats total;
+  for (const auto& s : stats_) {
+    total.broadcasters += s.broadcasters;
+    total.deliveries += s.deliveries;
+    total.collision_losses += s.collision_losses;
+    total.sender_fault_losses += s.sender_fault_losses;
+    total.receiver_fault_losses += s.receiver_fault_losses;
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::productive_rounds() const {
+  std::size_t count = 0;
+  for (const auto& s : stats_)
+    if (s.deliveries > 0) ++count;
+  return count;
+}
+
+std::int64_t TraceRecorder::rounds_until_progress_at_least(
+    double target) const {
+  for (std::size_t i = 0; i < progress_.size(); ++i)
+    if (progress_[i] >= target) return static_cast<std::int64_t>(i);
+  return -1;
+}
+
+}  // namespace nrn::radio

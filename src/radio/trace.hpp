@@ -1,0 +1,40 @@
+// Round-by-round trace recording.
+//
+// Tests and examples attach a TraceRecorder to observe how a broadcast
+// unfolds: informed-node counts over time, collision/fault loss series, and
+// the per-round unique-reception fraction used by the Lemma 18 experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/network.hpp"
+
+namespace nrn::radio {
+
+/// Accumulates RoundStats snapshots plus an optional scalar progress metric
+/// (e.g. number of informed nodes) per round.
+class TraceRecorder {
+ public:
+  void record(const RoundStats& stats, double progress_metric = 0.0);
+
+  std::size_t round_count() const { return stats_.size(); }
+  const std::vector<RoundStats>& rounds() const { return stats_; }
+  const std::vector<double>& progress() const { return progress_; }
+
+  /// Totals across the recorded window.
+  RoundStats accumulate() const;
+
+  /// Rounds in which at least one delivery happened.
+  std::size_t productive_rounds() const;
+
+  /// First recorded round index at which progress reached `target`,
+  /// or -1 if never.
+  std::int64_t rounds_until_progress_at_least(double target) const;
+
+ private:
+  std::vector<RoundStats> stats_;
+  std::vector<double> progress_;
+};
+
+}  // namespace nrn::radio

@@ -1,0 +1,14 @@
+#include "topology/star.hpp"
+
+namespace nrn::topology {
+
+Star make_star(NodeId leaf_count) {
+  Star star;
+  star.graph = graph::make_star(leaf_count);
+  star.hub = 0;
+  star.leaves.reserve(static_cast<std::size_t>(leaf_count));
+  for (NodeId i = 1; i <= leaf_count; ++i) star.leaves.push_back(i);
+  return star;
+}
+
+}  // namespace nrn::topology

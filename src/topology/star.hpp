@@ -1,0 +1,27 @@
+// Star topology helpers (paper Section 5.1.1).
+//
+// The star consists of a hub (the source s) and n adjacent leaves.  It is
+// the paper's canonical receiver-fault separator: adaptive routing pays
+// Theta(log n) rounds per message (the last-of-n-coupons effect, Lemma 15)
+// while Reed-Solomon coding streams packets at Theta(1) (Lemma 16).
+#pragma once
+
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace nrn::topology {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct Star {
+  Graph graph;
+  NodeId hub = 0;
+  std::vector<NodeId> leaves;
+};
+
+/// Builds the star with `leaf_count` leaves; hub is node 0.
+Star make_star(NodeId leaf_count);
+
+}  // namespace nrn::topology

@@ -1,0 +1,86 @@
+#include "topology/wct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nrn::topology {
+
+WctParams WctParams::from_node_budget(std::int32_t n) {
+  NRN_EXPECTS(n >= 64, "WCT needs a reasonable node budget");
+  WctParams p;
+  const auto root = static_cast<std::int32_t>(std::ceil(std::sqrt(n)));
+  p.sender_count = root;
+  p.class_count =
+      std::max<std::int32_t>(2, static_cast<std::int32_t>(std::log2(root)));
+  p.clusters_per_class =
+      std::max<std::int32_t>(1, root / (2 * p.class_count));
+  p.cluster_size = root;
+  return p;
+}
+
+WctNetwork::WctNetwork(const WctParams& params, Rng& rng) : params_(params) {
+  NRN_EXPECTS(params.sender_count >= 2, "need at least two senders");
+  NRN_EXPECTS(params.class_count >= 1, "need at least one class");
+  NRN_EXPECTS(params.clusters_per_class >= 1, "need at least one cluster");
+  NRN_EXPECTS(params.cluster_size >= 1, "clusters must be non-empty");
+
+  const std::int32_t cluster_total =
+      params.class_count * params.clusters_per_class;
+  const NodeId n = 1 + params.sender_count +
+                   cluster_total * params.cluster_size;
+  graph::GraphBuilder builder(n);
+
+  senders_.reserve(static_cast<std::size_t>(params.sender_count));
+  for (NodeId i = 1; i <= params.sender_count; ++i) {
+    builder.add_edge(0, i);
+    senders_.push_back(i);
+  }
+
+  NodeId next = 1 + params.sender_count;
+  for (std::int32_t cls = 1; cls <= params.class_count; ++cls) {
+    const double include_prob = std::pow(2.0, -cls);
+    for (std::int32_t rep = 0; rep < params.clusters_per_class; ++rep) {
+      // Draw the shared neighborhood; redraw empty neighborhoods so every
+      // cluster is connected (the construction in [19] conditions on
+      // non-isolation the same way).
+      std::vector<NodeId> nbrs;
+      while (nbrs.empty()) {
+        for (const NodeId s : senders_)
+          if (rng.bernoulli(include_prob)) nbrs.push_back(s);
+      }
+      std::vector<NodeId> members;
+      members.reserve(static_cast<std::size_t>(params.cluster_size));
+      for (std::int32_t m = 0; m < params.cluster_size; ++m) {
+        const NodeId member = next++;
+        members.push_back(member);
+        for (const NodeId s : nbrs) builder.add_edge(member, s);
+      }
+      clusters_.push_back(std::move(members));
+      cluster_class_.push_back(cls);
+      cluster_senders_.push_back(std::move(nbrs));
+    }
+  }
+  NRN_ENSURES(next == n, "node budget accounting error");
+  graph_ = builder.build();
+}
+
+double WctNetwork::unique_reception_fraction(
+    const std::vector<bool>& broadcasting) const {
+  NRN_EXPECTS(broadcasting.size() == senders_.size(),
+              "mask must cover all senders");
+  std::int32_t unique = 0;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    std::int32_t hits = 0;
+    for (const NodeId s : cluster_senders_[c]) {
+      // Sender ids start at 1; position = id - 1.
+      if (broadcasting[static_cast<std::size_t>(s - 1)]) {
+        if (++hits > 1) break;
+      }
+    }
+    if (hits == 1) ++unique;
+  }
+  return static_cast<double>(unique) /
+         static_cast<double>(clusters_.size());
+}
+
+}  // namespace nrn::topology

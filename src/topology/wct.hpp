@@ -1,0 +1,81 @@
+// The worst-case topology WCT (paper Section 5.1.2, Figure 2).
+//
+// Construction, following Ghaffari-Haeupler-Khabbazian [19] plus the
+// paper's cluster duplication:
+//
+//   * one source node s;
+//   * M sender nodes, each adjacent to s;
+//   * C receiver *clusters* partitioned into L classes; a cluster of class
+//     j (1 <= j <= L) draws its sender neighborhood by including each
+//     sender independently with probability 2^-j (re-drawn if empty);
+//   * every cluster holds `cluster_size` member nodes that all share the
+//     cluster's exact sender neighborhood (the paper's duplication of each
+//     receiver into a star-like cluster).
+//
+// The only property the lower bounds rely on (Lemma 18): for any set S of
+// broadcasting senders, the expected fraction of clusters with exactly one
+// neighbor in S is O(1/L): a class-j cluster sees a unique broadcaster with
+// probability |S| * 2^-j * (1 - 2^-j)^(|S|-1), which is Theta(1) only for
+// the O(1) classes with 2^-j near 1/|S| and geometrically small elsewhere.
+// unique_reception_fraction() lets experiments verify this directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace nrn::topology {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct WctParams {
+  std::int32_t sender_count = 0;        ///< M
+  std::int32_t class_count = 0;         ///< L
+  std::int32_t clusters_per_class = 0;  ///< C / L
+  std::int32_t cluster_size = 0;        ///< members per cluster
+
+  /// Scales all dimensions from a target node count: M ~ sqrt(n) senders,
+  /// L ~ (log2 M) classes, ~M/L clusters per class, sqrt(n)-sized clusters.
+  static WctParams from_node_budget(std::int32_t n);
+};
+
+class WctNetwork {
+ public:
+  WctNetwork(const WctParams& params, Rng& rng);
+
+  const Graph& graph() const { return graph_; }
+  const WctParams& params() const { return params_; }
+
+  NodeId source() const { return 0; }
+  const std::vector<NodeId>& senders() const { return senders_; }
+
+  std::int32_t cluster_count() const {
+    return static_cast<std::int32_t>(clusters_.size());
+  }
+  const std::vector<std::vector<NodeId>>& clusters() const { return clusters_; }
+  /// 1-based class index of a cluster.
+  std::int32_t cluster_class(std::int32_t c) const {
+    return cluster_class_[static_cast<std::size_t>(c)];
+  }
+  /// Senders adjacent to every member of cluster c.
+  const std::vector<NodeId>& cluster_senders(std::int32_t c) const {
+    return cluster_senders_[static_cast<std::size_t>(c)];
+  }
+
+  /// Fraction of clusters with exactly one broadcasting neighbor, for a
+  /// sender subset given as a mask over sender positions (Lemma 18 probe).
+  double unique_reception_fraction(const std::vector<bool>& broadcasting) const;
+
+ private:
+  WctParams params_;
+  Graph graph_;
+  std::vector<NodeId> senders_;
+  std::vector<std::vector<NodeId>> clusters_;
+  std::vector<std::int32_t> cluster_class_;
+  std::vector<std::vector<NodeId>> cluster_senders_;
+};
+
+}  // namespace nrn::topology

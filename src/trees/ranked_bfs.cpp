@@ -1,0 +1,164 @@
+#include "trees/ranked_bfs.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace nrn::trees {
+
+namespace {
+
+/// Nodes ordered by decreasing level (children before parents).
+std::vector<NodeId> bottom_up_order(const RankedBfsTree& tree) {
+  std::vector<NodeId> order(static_cast<std::size_t>(tree.node_count()));
+  for (NodeId u = 0; u < tree.node_count(); ++u)
+    order[static_cast<std::size_t>(u)] = u;
+  std::sort(order.begin(), order.end(), [&tree](NodeId a, NodeId b) {
+    return tree.level[static_cast<std::size_t>(a)] >
+           tree.level[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+RankedBfsTree build_ranked_bfs(const Graph& g, NodeId source) {
+  NRN_EXPECTS(source >= 0 && source < g.node_count(), "source out of range");
+  RankedBfsTree tree;
+  tree.source = source;
+  tree.level = graph::bfs_distances(g, source);
+  NRN_EXPECTS(std::none_of(tree.level.begin(), tree.level.end(),
+                           [](std::int32_t d) { return d == graph::kUnreachable; }),
+              "ranked BFS tree requires a connected graph");
+  const auto n = static_cast<std::size_t>(g.node_count());
+  tree.parent.assign(n, -1);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (u == source) continue;
+    const std::int32_t lu = tree.level[static_cast<std::size_t>(u)];
+    // Min-id neighbor one level up; deterministic default parent choice.
+    for (NodeId v : g.neighbors(u)) {
+      if (tree.level[static_cast<std::size_t>(v)] == lu - 1) {
+        tree.parent[static_cast<std::size_t>(u)] = v;
+        break;
+      }
+    }
+    NRN_ENSURES(tree.parent[static_cast<std::size_t>(u)] >= 0,
+                "BFS node without a parent candidate");
+  }
+  recompute_ranks(g, tree);
+  return tree;
+}
+
+void recompute_ranks(const Graph& g, RankedBfsTree& tree) {
+  const auto n = static_cast<std::size_t>(tree.node_count());
+  NRN_EXPECTS(n == static_cast<std::size_t>(g.node_count()),
+              "tree/graph size mismatch");
+  tree.rank.assign(n, 0);
+  tree.fast_child.assign(n, -1);
+  tree.depth = 0;
+  tree.max_rank = 0;
+  for (auto lvl : tree.level) tree.depth = std::max(tree.depth, lvl);
+
+  // max child rank and its multiplicity, accumulated child-to-parent.
+  std::vector<std::int32_t> best(n, 0), best_count(n, 0);
+  std::vector<NodeId> best_child(n, -1);
+  for (NodeId u : bottom_up_order(tree)) {
+    const auto ui = static_cast<std::size_t>(u);
+    std::int32_t r;
+    if (best_count[ui] == 0) {
+      r = 1;  // leaf
+    } else if (best_count[ui] == 1) {
+      r = best[ui];
+      tree.fast_child[ui] = best_child[ui];
+    } else {
+      r = best[ui] + 1;
+    }
+    tree.rank[ui] = r;
+    tree.max_rank = std::max(tree.max_rank, r);
+    const NodeId p = tree.parent[ui];
+    if (p >= 0) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (r > best[pi]) {
+        best[pi] = r;
+        best_count[pi] = 1;
+        best_child[pi] = u;
+      } else if (r == best[pi]) {
+        ++best_count[pi];
+      }
+    }
+  }
+}
+
+void validate_ranked_bfs(const Graph& g, const RankedBfsTree& tree) {
+  const NodeId n = tree.node_count();
+  NRN_EXPECTS(n == g.node_count(), "tree/graph size mismatch");
+  const auto dist = graph::bfs_distances(g, tree.source);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto ui = static_cast<std::size_t>(u);
+    NRN_EXPECTS(tree.level[ui] == dist[ui], "levels must be BFS distances");
+    if (u == tree.source) {
+      NRN_EXPECTS(tree.parent[ui] == -1, "source must have no parent");
+      continue;
+    }
+    const NodeId p = tree.parent[ui];
+    NRN_EXPECTS(p >= 0 && p < n, "missing parent");
+    NRN_EXPECTS(g.has_edge(u, p), "tree edge absent from graph");
+    NRN_EXPECTS(tree.level[static_cast<std::size_t>(p)] == tree.level[ui] - 1,
+                "parent must be exactly one level up");
+  }
+  // Re-derive ranks and compare.
+  RankedBfsTree copy = tree;
+  recompute_ranks(g, copy);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto ui = static_cast<std::size_t>(u);
+    NRN_EXPECTS(tree.rank[ui] == copy.rank[ui], "stored rank incorrect");
+  }
+}
+
+std::vector<std::vector<NodeId>> fast_stretches(const RankedBfsTree& tree) {
+  std::vector<std::vector<NodeId>> stretches;
+  const NodeId n = tree.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    if (!tree.is_fast(u)) continue;
+    // u heads a stretch iff its parent does not continue a fast chain into u.
+    const NodeId p = tree.parent[static_cast<std::size_t>(u)];
+    const bool continued =
+        p >= 0 && tree.fast_child[static_cast<std::size_t>(p)] == u &&
+        tree.rank[static_cast<std::size_t>(p)] ==
+            tree.rank[static_cast<std::size_t>(u)];
+    if (continued) continue;
+    std::vector<NodeId> chain{u};
+    NodeId cur = u;
+    while (tree.is_fast(cur)) {
+      const NodeId next = tree.fast_child[static_cast<std::size_t>(cur)];
+      chain.push_back(next);
+      cur = next;
+    }
+    stretches.push_back(std::move(chain));
+  }
+  return stretches;
+}
+
+std::int32_t stretches_on_path(const RankedBfsTree& tree, NodeId u) {
+  // Walk up to the root counting maximal runs of fast edges.
+  std::int32_t count = 0;
+  bool in_run = false;
+  NodeId cur = u;
+  while (true) {
+    const NodeId p = tree.parent[static_cast<std::size_t>(cur)];
+    if (p < 0) break;
+    const bool fast_edge = tree.fast_child[static_cast<std::size_t>(p)] == cur &&
+                           tree.rank[static_cast<std::size_t>(p)] ==
+                               tree.rank[static_cast<std::size_t>(cur)];
+    if (fast_edge && !in_run) {
+      ++count;
+      in_run = true;
+    } else if (!fast_edge) {
+      in_run = false;
+    }
+    cur = p;
+  }
+  return count;
+}
+
+}  // namespace nrn::trees

@@ -1,0 +1,64 @@
+// Ranked BFS trees (paper Section 3.4.2).
+//
+// A ranked BFS tree is a BFS tree rooted at the source where every node
+// carries an integral rank computed bottom-up:
+//   * every leaf has rank 1;
+//   * an internal node whose maximum child rank is r has rank r if exactly
+//     one child attains r, and rank r+1 otherwise.
+//
+// Lemma 7 (Gaber-Mansour): the largest rank is at most ceil(log2 n).
+//
+// The tree also exposes the "fast" structure FASTBC runs on: node u is
+// *fast* when one of its children has the same rank as u ("fast edge");
+// maximal chains of fast edges of equal rank are *fast stretches*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nrn::trees {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// A BFS spanning tree with Gaber-Mansour ranks and fast-edge structure.
+struct RankedBfsTree {
+  NodeId source = 0;
+  std::vector<NodeId> parent;        ///< -1 at the source
+  std::vector<std::int32_t> level;   ///< BFS distance from the source
+  std::vector<std::int32_t> rank;    ///< Gaber-Mansour rank
+  std::vector<NodeId> fast_child;    ///< same-rank child, or -1
+  std::int32_t depth = 0;            ///< max level
+  std::int32_t max_rank = 0;
+
+  NodeId node_count() const { return static_cast<NodeId>(parent.size()); }
+  bool is_fast(NodeId u) const {
+    return fast_child[static_cast<std::size_t>(u)] >= 0;
+  }
+};
+
+/// Builds a ranked BFS tree with an arbitrary (min-id) parent choice.
+/// The graph must be connected.
+RankedBfsTree build_ranked_bfs(const Graph& g, NodeId source);
+
+/// Recomputes level-consistency, ranks and fast children for an existing
+/// parent assignment (used after GBST repair rewires parents).  The parent
+/// array must describe a BFS tree of g rooted at tree.source.
+void recompute_ranks(const Graph& g, RankedBfsTree& tree);
+
+/// Checks the defining properties: parent edges exist in g, levels are BFS
+/// distances, ranks follow the leaf/internal rules.  Throws on violation.
+void validate_ranked_bfs(const Graph& g, const RankedBfsTree& tree);
+
+/// Decomposes the tree into maximal fast stretches; returns, for each
+/// stretch, the node sequence from its head (closest to the source) to its
+/// tail.  Every fast edge belongs to exactly one stretch.
+std::vector<std::vector<NodeId>> fast_stretches(const RankedBfsTree& tree);
+
+/// Number of fast stretches intersected by the root-to-u tree path; the
+/// FASTBC analysis bounds this by O(log n) (ranks are non-increasing).
+std::int32_t stretches_on_path(const RankedBfsTree& tree, NodeId u);
+
+}  // namespace nrn::trees

@@ -1,0 +1,82 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace nrn::graph {
+namespace {
+
+TEST(Graph, EmptyEdgeList) {
+  Graph g(3, {});
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+}
+
+TEST(Graph, TriangleAdjacency) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.edge_count(), 3);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g(5, {{4, 0}, {2, 0}, {0, 1}, {0, 3}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(2, {{1, 1}}), ContractViolation);
+}
+
+TEST(Graph, RejectsParallelEdges) {
+  EXPECT_THROW(Graph(2, {{0, 1}, {1, 0}}), ContractViolation);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), ContractViolation);
+  EXPECT_THROW(Graph(2, {{-1, 0}}), ContractViolation);
+}
+
+TEST(Graph, HasEdgeNegativeCases) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(GraphBuilder, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate in the other orientation
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 0), ContractViolation);
+}
+
+TEST(GraphBuilder, RejectsBadNodeCount) {
+  EXPECT_THROW(GraphBuilder(0), ContractViolation);
+}
+
+TEST(Graph, NeighborsOutOfRangeThrows) {
+  Graph g(2, {{0, 1}});
+  EXPECT_THROW(g.neighbors(2), ContractViolation);
+  EXPECT_THROW(g.neighbors(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace nrn::graph

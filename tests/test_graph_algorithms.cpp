@@ -1,0 +1,75 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace nrn::graph {
+namespace {
+
+TEST(GraphAlgorithms, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(d[static_cast<size_t>(u)], u);
+}
+
+TEST(GraphAlgorithms, BfsDistancesFromMiddle) {
+  const Graph g = make_path(5);
+  const auto d = bfs_distances(g, 2);
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 0);
+  EXPECT_EQ(d[4], 2);
+}
+
+TEST(GraphAlgorithms, UnreachableMarked) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(GraphAlgorithms, LayersPartitionNodes) {
+  Rng rng(3);
+  const Graph g = make_connected_gnp(40, 0.1, rng);
+  const auto layers = bfs_layers(g, 0);
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.size();
+  EXPECT_EQ(total, 40u);
+  const auto d = bfs_distances(g, 0);
+  for (std::size_t lvl = 0; lvl < layers.size(); ++lvl)
+    for (const NodeId u : layers[lvl])
+      EXPECT_EQ(d[static_cast<size_t>(u)], static_cast<std::int32_t>(lvl));
+}
+
+TEST(GraphAlgorithms, Connectivity) {
+  EXPECT_TRUE(is_connected(make_path(10)));
+  EXPECT_FALSE(is_connected(Graph(3, {{0, 1}})));
+}
+
+TEST(GraphAlgorithms, EccentricityOnStar) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(eccentricity(g, 0), 1);
+  EXPECT_EQ(eccentricity(g, 1), 2);
+}
+
+TEST(GraphAlgorithms, DiameterMatchesKnownValues) {
+  EXPECT_EQ(diameter_exact(make_path(9)), 8);
+  EXPECT_EQ(diameter_exact(make_cycle(8)), 4);
+  EXPECT_EQ(diameter_exact(make_complete(6)), 1);
+  EXPECT_EQ(diameter_exact(make_grid(4, 7)), 9);
+}
+
+TEST(GraphAlgorithms, TwoSweepIsLowerBoundAndExactOnTrees) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph t = make_random_tree(60, rng);
+    EXPECT_EQ(diameter_two_sweep(t), diameter_exact(t));
+    const Graph g = make_connected_gnp(60, 0.08, rng);
+    EXPECT_LE(diameter_two_sweep(g), diameter_exact(g));
+  }
+}
+
+}  // namespace
+}  // namespace nrn::graph

@@ -1,0 +1,90 @@
+// Generators added beyond the paper's families: hypercube, ring of
+// cliques, random regular.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace nrn::graph {
+namespace {
+
+TEST(Hypercube, StructureAndDiameter) {
+  for (const std::int32_t d : {1, 2, 3, 5, 8}) {
+    const Graph g = make_hypercube(d);
+    EXPECT_EQ(g.node_count(), NodeId{1} << d);
+    for (NodeId u = 0; u < g.node_count(); ++u) EXPECT_EQ(g.degree(u), d);
+    EXPECT_EQ(g.edge_count(),
+              (static_cast<std::int64_t>(1) << d) * d / 2);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(diameter_exact(g), d);
+  }
+}
+
+TEST(Hypercube, EdgesFlipExactlyOneBit) {
+  const Graph g = make_hypercube(6);
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (const NodeId v : g.neighbors(u)) {
+      const auto x = static_cast<std::uint32_t>(u ^ v);
+      EXPECT_EQ(x & (x - 1), 0u);  // power of two
+      EXPECT_NE(x, 0u);
+    }
+}
+
+TEST(Hypercube, RejectsBadDimensions) {
+  EXPECT_THROW(make_hypercube(0), ContractViolation);
+  EXPECT_THROW(make_hypercube(21), ContractViolation);
+}
+
+TEST(RingOfCliques, Structure) {
+  const Graph g = make_ring_of_cliques(6, 5);
+  EXPECT_EQ(g.node_count(), 30);
+  EXPECT_TRUE(is_connected(g));
+  // Each clique contributes C(5,2)=10 internal edges plus one bridge.
+  EXPECT_EQ(g.edge_count(), 6 * 10 + 6);
+  // Bridge endpoints have one extra neighbor: member 0 bridges out to the
+  // next clique's member 1; member 1 receives the previous clique's bridge.
+  EXPECT_EQ(g.degree(0), 4 + 1);
+  EXPECT_EQ(g.degree(1), 4 + 1);
+  EXPECT_EQ(g.degree(2), 4);
+}
+
+TEST(RingOfCliques, DiameterGrowsWithRing) {
+  const auto d_small = diameter_exact(make_ring_of_cliques(4, 4));
+  const auto d_large = diameter_exact(make_ring_of_cliques(12, 4));
+  EXPECT_GT(d_large, d_small);
+}
+
+TEST(RingOfCliques, RejectsBadParameters) {
+  EXPECT_THROW(make_ring_of_cliques(2, 4), ContractViolation);
+  EXPECT_THROW(make_ring_of_cliques(4, 1), ContractViolation);
+}
+
+TEST(RandomRegular, DegreesNearTarget) {
+  Rng rng(31);
+  const Graph g = make_random_regular(100, 4, rng);
+  EXPECT_EQ(g.node_count(), 100);
+  std::int64_t total_degree = 0;
+  for (NodeId u = 0; u < 100; ++u) {
+    EXPECT_LE(g.degree(u), 4);
+    total_degree += g.degree(u);
+  }
+  // Pairing with retries loses only a few stubs.
+  EXPECT_GE(total_degree, 100 * 4 - 12);
+}
+
+TEST(RandomRegular, UsuallyConnectedForDegreeThreePlus) {
+  Rng rng(33);
+  int connected = 0;
+  for (int t = 0; t < 10; ++t)
+    if (is_connected(make_random_regular(60, 3, rng))) ++connected;
+  EXPECT_GE(connected, 8);
+}
+
+TEST(RandomRegular, RejectsOddStubTotal) {
+  Rng rng(35);
+  EXPECT_THROW(make_random_regular(5, 3, rng), ContractViolation);
+  EXPECT_THROW(make_random_regular(4, 5, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace nrn::graph

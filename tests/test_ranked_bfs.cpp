@@ -1,0 +1,184 @@
+// Ranked BFS trees: the ranking rules of Section 3.4.2 and the Lemma 7
+// bound rmax <= ceil(log2 n).
+#include "trees/ranked_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace nrn::trees {
+namespace {
+
+using graph::make_binary_tree;
+using graph::make_caterpillar;
+using graph::make_complete;
+using graph::make_connected_gnp;
+using graph::make_cycle;
+using graph::make_grid;
+using graph::make_path;
+using graph::make_random_tree;
+using graph::make_star;
+
+std::int32_t ceil_log2(std::int32_t n) {
+  std::int32_t bits = 0;
+  while ((std::int64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+TEST(RankedBfs, PathIsOneLongFastStretch) {
+  const auto g = make_path(10);
+  const auto t = build_ranked_bfs(g, 0);
+  validate_ranked_bfs(g, t);
+  EXPECT_EQ(t.max_rank, 1);
+  EXPECT_EQ(t.depth, 9);
+  for (graph::NodeId u = 0; u < 9; ++u) EXPECT_TRUE(t.is_fast(u));
+  EXPECT_FALSE(t.is_fast(9));
+  const auto stretches = fast_stretches(t);
+  ASSERT_EQ(stretches.size(), 1u);
+  EXPECT_EQ(stretches[0].size(), 10u);
+}
+
+TEST(RankedBfs, StarRanks) {
+  const auto g = make_star(6);
+  const auto t = build_ranked_bfs(g, 0);
+  validate_ranked_bfs(g, t);
+  // Six rank-1 leaves promote the hub to rank 2; the hub is not fast.
+  EXPECT_EQ(t.rank[0], 2);
+  EXPECT_FALSE(t.is_fast(0));
+  EXPECT_EQ(t.max_rank, 2);
+}
+
+TEST(RankedBfs, StarWithOneLeafIsFast) {
+  const auto g = make_star(1);
+  const auto t = build_ranked_bfs(g, 0);
+  EXPECT_EQ(t.rank[0], 1);
+  EXPECT_TRUE(t.is_fast(0));
+}
+
+TEST(RankedBfs, PerfectBinaryTreeRanksGrowPerLevel) {
+  // A perfect binary tree of depth d rooted at the source has root rank
+  // d+1: every internal node has two children of equal rank.
+  const auto g = make_binary_tree(31);  // depth 4
+  const auto t = build_ranked_bfs(g, 0);
+  validate_ranked_bfs(g, t);
+  EXPECT_EQ(t.rank[0], 5);
+  EXPECT_EQ(t.max_rank, 5);
+  // No node is fast: every internal node has a rank tie among children.
+  for (graph::NodeId u = 0; u < 31; ++u) EXPECT_FALSE(t.is_fast(u));
+}
+
+TEST(RankedBfs, SourceChoiceChangesLevels) {
+  const auto g = make_path(7);
+  const auto t = build_ranked_bfs(g, 3);
+  EXPECT_EQ(t.depth, 3);
+  EXPECT_EQ(t.level[0], 3);
+  EXPECT_EQ(t.level[6], 3);
+}
+
+TEST(RankedBfs, DisconnectedGraphRejected) {
+  const graph::Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(build_ranked_bfs(g, 0), ContractViolation);
+}
+
+TEST(RankedBfs, Lemma7BoundOnManyTopologies) {
+  Rng rng(71);
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(make_path(64));
+  graphs.push_back(make_cycle(65));
+  graphs.push_back(make_star(63));
+  graphs.push_back(make_grid(8, 8));
+  graphs.push_back(make_binary_tree(127));
+  graphs.push_back(make_caterpillar(16, 3));
+  graphs.push_back(make_complete(32));
+  for (int i = 0; i < 8; ++i)
+    graphs.push_back(make_random_tree(200, rng));
+  for (int i = 0; i < 8; ++i)
+    graphs.push_back(make_connected_gnp(120, 0.05, rng));
+
+  for (const auto& g : graphs) {
+    const auto t = build_ranked_bfs(g, 0);
+    validate_ranked_bfs(g, t);
+    // Lemma 7: rank r implies a subtree of size >= 2^(r-1), so
+    // rmax <= ceil(log2 n) + 1; the paper states ceil(log2 n) which holds
+    // for n >= 2 except the trivial single-node tree.
+    EXPECT_LE(t.max_rank, ceil_log2(g.node_count()) + 1)
+        << "n=" << g.node_count();
+  }
+}
+
+TEST(RankedBfs, RankSubtreeSizeInvariant) {
+  // Property: a node of rank r roots a subtree with at least 2^(r-1) nodes.
+  Rng rng(73);
+  const auto g = make_connected_gnp(150, 0.04, rng);
+  const auto t = build_ranked_bfs(g, 0);
+  std::vector<std::int64_t> subtree(150, 1);
+  // Accumulate bottom-up by level order.
+  std::vector<graph::NodeId> order(150);
+  for (graph::NodeId u = 0; u < 150; ++u) order[static_cast<size_t>(u)] = u;
+  std::sort(order.begin(), order.end(), [&t](auto a, auto b) {
+    return t.level[static_cast<size_t>(a)] > t.level[static_cast<size_t>(b)];
+  });
+  for (const auto u : order) {
+    const auto p = t.parent[static_cast<size_t>(u)];
+    if (p >= 0) subtree[static_cast<size_t>(p)] += subtree[static_cast<size_t>(u)];
+  }
+  for (graph::NodeId u = 0; u < 150; ++u) {
+    const auto r = t.rank[static_cast<size_t>(u)];
+    EXPECT_GE(subtree[static_cast<size_t>(u)], std::int64_t{1} << (r - 1));
+  }
+}
+
+TEST(RankedBfs, StretchesOnPathBoundedByLogN) {
+  // Ranks along a root-to-node path are non-increasing, so at most
+  // rmax = O(log n) maximal fast stretches appear on it.
+  Rng rng(79);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = make_connected_gnp(128, 0.06, rng);
+    const auto t = build_ranked_bfs(g, 0);
+    for (graph::NodeId u = 0; u < g.node_count(); ++u)
+      EXPECT_LE(stretches_on_path(t, u), t.max_rank);
+  }
+}
+
+TEST(RankedBfs, FastStretchesPartitionFastEdges) {
+  Rng rng(83);
+  const auto g = make_connected_gnp(100, 0.07, rng);
+  const auto t = build_ranked_bfs(g, 0);
+  std::int64_t fast_edges = 0;
+  for (graph::NodeId u = 0; u < g.node_count(); ++u)
+    if (t.is_fast(u)) ++fast_edges;
+  std::int64_t covered = 0;
+  for (const auto& s : fast_stretches(t)) {
+    EXPECT_GE(s.size(), 2u);
+    covered += static_cast<std::int64_t>(s.size()) - 1;
+    // All nodes in a stretch share one rank and consecutive levels.
+    const auto r = t.rank[static_cast<size_t>(s.front())];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(t.rank[static_cast<size_t>(s[i])], r);
+      if (i > 0) {
+        EXPECT_EQ(t.level[static_cast<size_t>(s[i])],
+                  t.level[static_cast<size_t>(s[i - 1])] + 1);
+        EXPECT_EQ(t.parent[static_cast<size_t>(s[i])], s[i - 1]);
+      }
+    }
+  }
+  EXPECT_EQ(covered, fast_edges);
+}
+
+TEST(RankedBfs, RecomputeAfterRewireIsConsistent) {
+  const auto g = make_cycle(8);
+  auto t = build_ranked_bfs(g, 0);
+  // Both neighbors of the antipodal node are valid parents; rewire to the
+  // other one and recompute.
+  const graph::NodeId far = 4;
+  const auto old_parent = t.parent[far];
+  const graph::NodeId other = old_parent == 3 ? 5 : 3;
+  t.parent[far] = other;
+  recompute_ranks(g, t);
+  validate_ranked_bfs(g, t);
+}
+
+}  // namespace
+}  // namespace nrn::trees

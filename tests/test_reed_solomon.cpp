@@ -1,0 +1,135 @@
+// Reed-Solomon: the any-k-of-m reconstruction contract the paper's coding
+// schedules rely on (Section 5, footnote 1).
+#include "coding/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nrn::coding {
+namespace {
+
+std::vector<std::vector<Gf65536::Symbol>> random_messages(std::size_t k,
+                                                          std::size_t len,
+                                                          Rng& rng) {
+  std::vector<std::vector<Gf65536::Symbol>> msgs(
+      k, std::vector<Gf65536::Symbol>(len));
+  for (auto& m : msgs)
+    for (auto& s : m) s = static_cast<Gf65536::Symbol>(rng.next_below(65536));
+  return msgs;
+}
+
+TEST(ReedSolomon, RoundTripFirstK) {
+  Rng rng(1);
+  ReedSolomon rs(8, 4);
+  const auto msgs = random_messages(8, 4, rng);
+  const auto packets = rs.encode(msgs, 8);
+  EXPECT_EQ(rs.decode(packets), msgs);
+}
+
+TEST(ReedSolomon, AnyKOfM) {
+  Rng rng(2);
+  ReedSolomon rs(6, 3);
+  const auto msgs = random_messages(6, 3, rng);
+  auto packets = rs.encode(msgs, 24);
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.shuffle(packets);
+    std::vector<RsPacket> subset(packets.begin(), packets.begin() + 6);
+    EXPECT_EQ(rs.decode(subset), msgs);
+  }
+}
+
+TEST(ReedSolomon, ExtraPacketsAreIgnored) {
+  Rng rng(3);
+  ReedSolomon rs(4, 2);
+  const auto msgs = random_messages(4, 2, rng);
+  const auto packets = rs.encode(msgs, 10);
+  EXPECT_EQ(rs.decode(packets), msgs);  // 10 > k packets supplied
+}
+
+TEST(ReedSolomon, DuplicateIndicesDoNotCount) {
+  Rng rng(4);
+  ReedSolomon rs(3, 2);
+  const auto msgs = random_messages(3, 2, rng);
+  const auto packets = rs.encode(msgs, 3);
+  std::vector<RsPacket> dup{packets[0], packets[0], packets[1]};
+  EXPECT_THROW(rs.decode(dup), ContractViolation);
+}
+
+TEST(ReedSolomon, TooFewPacketsThrow) {
+  Rng rng(5);
+  ReedSolomon rs(5, 2);
+  const auto msgs = random_messages(5, 2, rng);
+  const auto packets = rs.encode(msgs, 4);
+  EXPECT_THROW(rs.decode(packets), ContractViolation);
+}
+
+TEST(ReedSolomon, SystematicLikeConsistency) {
+  // Packet 0 evaluates at alpha^0 = 1: it equals the XOR-free polynomial
+  // evaluation sum_i m_i -- check against a direct computation.
+  Rng rng(6);
+  ReedSolomon rs(4, 3);
+  const auto msgs = random_messages(4, 3, rng);
+  const auto pkt = rs.encode_packet(msgs, 0);
+  const auto& f = Gf65536::instance();
+  for (std::size_t s = 0; s < 3; ++s) {
+    Gf65536::Symbol expect = 0;
+    for (std::size_t i = 0; i < 4; ++i) expect = f.add(expect, msgs[i][s]);
+    EXPECT_EQ(pkt.symbols[s], expect);
+  }
+}
+
+TEST(ReedSolomon, SingleMessageDegenerateCase) {
+  Rng rng(7);
+  ReedSolomon rs(1, 5);
+  const auto msgs = random_messages(1, 5, rng);
+  const auto packets = rs.encode(msgs, 7);
+  // Every packet of a k=1 code is the message itself.
+  for (const auto& p : packets) EXPECT_EQ(p.symbols, msgs[0]);
+  EXPECT_EQ(rs.decode({packets[5]}), msgs);
+}
+
+class RsParamSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RsParamSweep, DecodeFromRandomSubsets) {
+  const auto [k, overhead] = GetParam();
+  Rng rng(100 + k * 7 + overhead);
+  ReedSolomon rs(k, 2);
+  const auto msgs = random_messages(k, 2, rng);
+  auto packets = rs.encode(msgs, static_cast<std::uint32_t>(k + overhead));
+  rng.shuffle(packets);
+  std::vector<RsPacket> subset(packets.begin(),
+                               packets.begin() + static_cast<long>(k));
+  EXPECT_EQ(rs.decode(subset), msgs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RsParamSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 16, 32, 64),
+                       ::testing::Values<std::size_t>(1, 8, 64)));
+
+TEST(ReedSolomon, LargePacketIndices) {
+  Rng rng(8);
+  ReedSolomon rs(4, 2);
+  const auto msgs = random_messages(4, 2, rng);
+  std::vector<RsPacket> packets;
+  for (std::uint32_t idx : {60000u, 60001u, 65000u, 65534u})
+    packets.push_back(rs.encode_packet(msgs, idx));
+  EXPECT_EQ(rs.decode(packets), msgs);
+}
+
+TEST(ReedSolomon, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 1), ContractViolation);
+  EXPECT_THROW(ReedSolomon(1, 0), ContractViolation);
+  Rng rng(9);
+  ReedSolomon rs(2, 1);
+  const auto msgs = random_messages(2, 1, rng);
+  EXPECT_THROW(rs.encode_packet(msgs, ReedSolomon::max_packets()),
+               ContractViolation);
+  EXPECT_THROW(rs.encode_packet(random_messages(3, 1, rng), 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace nrn::coding

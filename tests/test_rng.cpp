@@ -1,0 +1,178 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace nrn {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(5);
+  double total = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform01();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(13);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(17);
+  const int n = 50000;
+  double total = 0;
+  for (int i = 0; i < n; ++i)
+    total += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(total / n, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricSupportStartsAtOne) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.geometric(0.9), 1u);
+}
+
+TEST(Rng, BinomialBounds) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.binomial(10, 0.5);
+    EXPECT_LE(v, 10u);
+  }
+  EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+}
+
+TEST(Rng, BinomialMean) {
+  Rng rng(23);
+  const int n = 20000;
+  double total = 0;
+  for (int i = 0; i < n; ++i)
+    total += static_cast<double>(rng.binomial(40, 0.25));
+  EXPECT_NEAR(total / n, 10.0, 0.2);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleIsNotIdentityUsually) {
+  Rng rng(31);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[static_cast<size_t>(i)] = i;
+  auto before = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, before);
+}
+
+TEST(Rng, ChoiceUniformish) {
+  Rng rng(37);
+  std::vector<int> v{0, 1, 2, 3};
+  std::map<int, int> counts;
+  for (int i = 0; i < 40000; ++i) ++counts[rng.choice(v)];
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    EXPECT_NEAR(static_cast<double>(count) / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(99), b(99);
+  Rng a0 = a.split(0);
+  Rng b0 = b.split(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a0(), b0());
+
+  Rng c(99);
+  Rng c1 = c.split(1);
+  Rng c2 = c.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1() == c2()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitMix64KnownAnswer) {
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace nrn

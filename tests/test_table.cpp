@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace nrn {
+namespace {
+
+TEST(Table, PrintsTitleNotesAndRows) {
+  TableWriter t("demo table", {"a", "bb", "ccc"});
+  t.add_note("seed: 42");
+  t.add_row({"1", "2", "3"});
+  t.add_row({"10", "20", "30"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("demo table"), std::string::npos);
+  EXPECT_NE(text.find("seed: 42"), std::string::npos);
+  EXPECT_NE(text.find("ccc"), std::string::npos);
+  EXPECT_NE(text.find("30"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesNothingButIsWellFormed) {
+  TableWriter t("x", {"k", "v"});
+  t.add_note("note");
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "# note\nk,v\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TableWriter t("x", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(Table, EmptyColumnsThrow) {
+  EXPECT_THROW(TableWriter("x", {}), ContractViolation);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(std::nan(""), 3), "nan");
+}
+
+TEST(Table, FmtIntegers) {
+  EXPECT_EQ(fmt(static_cast<std::int64_t>(-7)), "-7");
+  EXPECT_EQ(fmt(static_cast<std::uint64_t>(7)), "7");
+  EXPECT_EQ(fmt(42), "42");
+  EXPECT_EQ(fmt(static_cast<std::size_t>(9)), "9");
+}
+
+TEST(Table, Verdict) {
+  EXPECT_EQ(verdict(true), "yes");
+  EXPECT_EQ(verdict(false), "NO");
+}
+
+}  // namespace
+}  // namespace nrn

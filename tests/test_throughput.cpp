@@ -1,0 +1,72 @@
+// Throughput sweep harness.
+#include "core/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nrn::core {
+namespace {
+
+TEST(Throughput, SweepComputesMedianAndRates) {
+  // Deterministic fake schedule: rounds = 10k, fails when k > 16.
+  const ScheduleFn fake = [](std::int64_t k, Rng&) {
+    MultiRunResult r;
+    r.messages = k;
+    r.rounds = 10 * k;
+    r.completed = k <= 16;
+    return r;
+  };
+  Rng rng(1);
+  const auto pts = sweep_throughput(fake, {4, 16, 32}, 5, rng);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].k, 4);
+  EXPECT_DOUBLE_EQ(pts[0].median_rounds, 40.0);
+  EXPECT_DOUBLE_EQ(pts[0].rounds_per_message, 10.0);
+  EXPECT_DOUBLE_EQ(pts[0].success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(pts[2].success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].throughput, 0.1);
+}
+
+TEST(Throughput, TrialsUseIndependentStreams) {
+  // A schedule whose rounds depend on the RNG; across trials the median
+  // should be stable but individual draws differ.
+  const ScheduleFn random_schedule = [](std::int64_t k, Rng& rng) {
+    MultiRunResult r;
+    r.messages = k;
+    r.rounds = static_cast<std::int64_t>(k) *
+               static_cast<std::int64_t>(5 + rng.next_below(10));
+    r.completed = true;
+    return r;
+  };
+  Rng rng(2);
+  const auto pts = sweep_throughput(random_schedule, {8}, 21, rng);
+  EXPECT_GE(pts[0].rounds_per_message, 5.0);
+  EXPECT_LE(pts[0].rounds_per_message, 15.0);
+}
+
+TEST(Throughput, GapAtComputesRatio) {
+  std::vector<ThroughputPoint> routing(2), coding(2);
+  routing[1].rounds_per_message = 30.0;
+  coding[1].rounds_per_message = 3.0;
+  EXPECT_DOUBLE_EQ(gap_at(routing, coding, 1), 10.0);
+}
+
+TEST(Throughput, GapAtValidatesInputs) {
+  std::vector<ThroughputPoint> a(1), b(1);
+  EXPECT_THROW(gap_at(a, b, 5), ContractViolation);
+  EXPECT_THROW(gap_at(a, b, 0), ContractViolation);  // zero denominator
+}
+
+TEST(Throughput, RequiresTrials) {
+  const ScheduleFn fake = [](std::int64_t k, Rng&) {
+    MultiRunResult r;
+    r.messages = k;
+    r.rounds = k;
+    r.completed = true;
+    return r;
+  };
+  Rng rng(3);
+  EXPECT_THROW(sweep_throughput(fake, {1}, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace nrn::core
