@@ -6,6 +6,11 @@
 // google-benchmark) because they measure *round complexity* of randomized
 // schedules, not wall-clock time; the micro benches in bench_micro_engine
 // cover wall-clock performance.
+//
+// Experiment cells run through the library's Scenario / ProtocolRegistry /
+// Driver API: a cell is "median rounds of protocol P on scenario S over T
+// trials", with the scenario seed drawn from the bench's master Rng so the
+// whole table reproduces from one command-line seed.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/sim.hpp"
 
 namespace nrn::bench {
 
@@ -24,11 +30,17 @@ namespace nrn::bench {
 inline constexpr std::uint64_t kDefaultSeed = 20170721;  // PODC'17 week
 
 inline std::uint64_t seed_from_args(int argc, char** argv) {
-  if (argc >= 2) return std::strtoull(argv[1], nullptr, 10);
-  return kDefaultSeed;
+  if (argc < 2) return kDefaultSeed;
+  try {
+    return sim::parse_spec_uint(argv[1], "bench seed");
+  } catch (const sim::SpecError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
 }
 
-/// Median of `trials` runs of a rounds-valued experiment.
+/// Median of `trials` runs of a rounds-valued experiment (for benches whose
+/// schedules are not registry protocols, e.g. the star/WCT schedule gaps).
 template <typename Fn>
 double median_rounds(Fn&& run_once, int trials, Rng& rng) {
   std::vector<double> rounds;
@@ -38,6 +50,34 @@ double median_rounds(Fn&& run_once, int trials, Rng& rng) {
     rounds.push_back(run_once(trial_rng));
   }
   return quantile(rounds, 0.5);
+}
+
+/// One experiment cell through the Driver: median rounds of `protocol` on
+/// (topology, fault) over `trials` trials.  The scenario seed is drawn from
+/// `rng`, so consecutive cells get independent but reproducible streams.
+/// Fails loudly (contract violation) if any trial misses its round budget.
+inline double driver_median_rounds(const std::string& topology,
+                                   const std::string& fault,
+                                   const std::string& protocol, int trials,
+                                   Rng& rng,
+                                   const sim::DriverOptions& options = {},
+                                   std::int64_t k = 1) {
+  const auto scenario =
+      sim::Scenario::parse(topology, fault, /*source=*/0, k, rng());
+  const auto report = sim::Driver().run(scenario, protocol, trials, options);
+  NRN_ENSURES(report.all_completed(),
+              protocol + " exceeded its budget on " + topology);
+  return report.median_rounds();
+}
+
+/// Spec string for a receiver-fault model, "none" when p == 0.
+inline std::string receiver_fault(double p) {
+  return p == 0.0 ? "none" : "receiver:" + std::to_string(p);
+}
+
+/// Spec string for a sender-fault model, "none" when p == 0.
+inline std::string sender_fault(double p) {
+  return p == 0.0 ? "none" : "sender:" + std::to_string(p);
 }
 
 }  // namespace nrn::bench

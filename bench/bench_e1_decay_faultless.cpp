@@ -10,25 +10,9 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/decay.hpp"
-#include "graph/generators.hpp"
-
-namespace {
-
-using namespace nrn;
-
-double run_decay(const graph::Graph& g, radio::FaultModel fm, Rng& rng,
-                 core::DecayParams params = {}) {
-  radio::RadioNetwork net(g, fm, Rng(rng()));
-  Rng algo_rng(rng());
-  const auto r = core::Decay(params).run(net, 0, algo_rng);
-  NRN_ENSURES(r.completed, "Decay exceeded its budget in E1");
-  return static_cast<double>(r.rounds);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace nrn;
   const auto seed = bench::seed_from_args(argc, argv);
   Rng rng(seed);
   const int trials = 9;
@@ -41,10 +25,8 @@ int main(int argc, char** argv) {
     t.add_note("theory: rounds = O(D log n + log^2 n)");
     std::vector<double> xs, ys;
     for (const std::int32_t n : {64, 128, 256, 512, 1024, 2048}) {
-      const auto g = graph::make_path(n);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) { return run_decay(g, radio::FaultModel::faultless(), r); },
-          trials, rng);
+      const double rounds = bench::driver_median_rounds(
+          "path:" + std::to_string(n), "none", "decay", trials, rng);
       const double logn = std::log2(n);
       xs.push_back(n);
       ys.push_back(rounds);
@@ -62,10 +44,8 @@ int main(int argc, char** argv) {
                   {"leaves", "median rounds", "rounds/log2(n)^2"});
     t.add_note("theory: rounds = O(log^2 n) when D = O(1)");
     for (const std::int32_t n : {64, 256, 1024, 4096, 16384}) {
-      const auto g = graph::make_star(n);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) { return run_decay(g, radio::FaultModel::faultless(), r); },
-          trials, rng);
+      const double rounds = bench::driver_median_rounds(
+          "star:" + std::to_string(n), "none", "decay", trials, rng);
       const double l = std::log2(n);
       t.add_row({fmt(n), fmt(rounds, 0), fmt(rounds / (l * l), 3)});
     }
@@ -77,16 +57,12 @@ int main(int argc, char** argv) {
                   {"phase length", "median rounds", "vs default"});
     t.add_note("default phase = ceil(log2 n) + 1 = 10; too-short phases "
                "can stall dense frontiers, too-long ones waste sub-rounds");
-    const auto g = graph::make_path(512);
     double base = 0.0;
     for (const std::int32_t phase : {10, 3, 6, 14, 20}) {
-      core::DecayParams params;
-      params.phase_length = phase;
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            return run_decay(g, radio::FaultModel::faultless(), r, params);
-          },
-          trials, rng);
+      sim::DriverOptions options;
+      options.tuning.decay_phase = phase;
+      const double rounds = bench::driver_median_rounds(
+          "path:512", "none", "decay", trials, rng, options);
       if (base == 0.0) base = rounds;
       t.add_row({fmt(phase), fmt(rounds, 0), fmt(rounds / base, 2) + "x"});
     }

@@ -4,18 +4,10 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/decay.hpp"
-#include "core/fastbc.hpp"
-#include "graph/generators.hpp"
 #include "trees/gbst.hpp"
 
-namespace {
-
-using namespace nrn;
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace nrn;
   const auto seed = bench::seed_from_args(argc, argv);
   Rng rng(seed);
   const int trials = 7;
@@ -29,28 +21,11 @@ int main(int argc, char** argv) {
     t.add_note("theory: FASTBC = D + O(log^2 n) (2D here: fast rounds are "
                "even rounds only); Decay = Theta(D log n)");
     for (const std::int32_t n : {128, 256, 512, 1024, 2048}) {
-      const auto g = graph::make_path(n);
-      core::Fastbc fastbc(g, 0);
-      const double fr = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, radio::FaultModel::faultless(),
-                                    Rng(r()));
-            Rng algo(r());
-            const auto res = fastbc.run(net, algo);
-            NRN_ENSURES(res.completed, "FASTBC failed in E2");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double dr = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, radio::FaultModel::faultless(),
-                                    Rng(r()));
-            Rng algo(r());
-            const auto res = core::Decay().run(net, 0, algo);
-            NRN_ENSURES(res.completed, "Decay failed in E2");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
+      const std::string topo = "path:" + std::to_string(n);
+      const double fr =
+          bench::driver_median_rounds(topo, "none", "fastbc", trials, rng);
+      const double dr =
+          bench::driver_median_rounds(topo, "none", "decay", trials, rng);
       t.add_row({fmt(n), fmt(fr, 0), fmt(dr, 0),
                  fmt(fr / (2.0 * (n - 1)), 2),
                  fmt(dr / ((n - 1) * std::log2(n)), 2)});
@@ -62,25 +37,18 @@ int main(int argc, char** argv) {
     TableWriter t("E2b  Lemma 7: realized max rank vs ceil(log2 n)",
                   {"topology", "n", "max rank", "ceil(log2 n)", "within bound"});
     Rng grng(seed ^ 0x777);
-    struct Case {
-      std::string name;
-      graph::Graph g;
-    };
-    std::vector<Case> cases;
-    cases.push_back({"path-1024", graph::make_path(1024)});
-    cases.push_back({"star-1023", graph::make_star(1023)});
-    cases.push_back({"grid-32x32", graph::make_grid(32, 32)});
-    cases.push_back({"binary-tree-1023", graph::make_binary_tree(1023)});
-    cases.push_back({"caterpillar-128x3", graph::make_caterpillar(128, 3)});
-    cases.push_back({"gnp-1024-0.01", graph::make_connected_gnp(1024, 0.01, grng)});
-    cases.push_back({"random-tree-1024", graph::make_random_tree(1024, grng)});
-    for (const auto& c : cases) {
+    // GBST build stats are tree machinery, not a protocol run; the graphs
+    // still come from the scenario grammar.
+    for (const std::string spec :
+         {"path:1024", "star:1023", "grid:32x32", "binary-tree:1023",
+          "caterpillar:128:3", "gnp:1024:0.01", "tree:1024"}) {
+      const auto g = sim::TopologySpec::parse(spec).build(grng);
       trees::GbstBuildStats stats;
-      const auto tree = trees::build_gbst(c.g, 0, &stats);
+      const auto tree = trees::build_gbst(g, 0, &stats);
       NRN_ENSURES(stats.violations_remaining == 0, "GBST failed in E2b");
       const auto bound = static_cast<std::int32_t>(
-          std::ceil(std::log2(c.g.node_count())));
-      t.add_row({c.name, fmt(c.g.node_count()), fmt(tree.max_rank),
+          std::ceil(std::log2(g.node_count())));
+      t.add_row({spec, fmt(g.node_count()), fmt(tree.max_rank),
                  fmt(bound), verdict(tree.max_rank <= bound)});
     }
     t.print(std::cout);
@@ -91,30 +59,18 @@ int main(int argc, char** argv) {
                   {"topology", "n", "D", "rounds", "rounds - 2D"});
     t.add_note("additive overhead (rounds - 2D) should be polylog, not "
                "linear in n");
-    Rng grng(seed ^ 0x888);
     struct Case {
-      std::string name;
-      graph::Graph g;
+      std::string spec;
+      std::int32_t n;
       std::int32_t diameter;
     };
-    std::vector<Case> cases;
-    cases.push_back({"grid-24x24", graph::make_grid(24, 24), 46});
-    cases.push_back({"caterpillar-200x2", graph::make_caterpillar(200, 2), 201});
-    cases.push_back({"lollipop-32+256", graph::make_lollipop(32, 256), 257});
-    for (const auto& c : cases) {
-      core::Fastbc fastbc(c.g, 0);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(c.g, radio::FaultModel::faultless(),
-                                    Rng(r()));
-            Rng algo(r());
-            const auto res = fastbc.run(net, algo);
-            NRN_ENSURES(res.completed, "FASTBC failed in E2c");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      t.add_row({c.name, fmt(c.g.node_count()), fmt(c.diameter),
-                 fmt(rounds, 0), fmt(rounds - 2.0 * c.diameter, 0)});
+    for (const Case& c : {Case{"grid:24x24", 576, 46},
+                          Case{"caterpillar:200:2", 600, 201},
+                          Case{"lollipop:32:256", 288, 257}}) {
+      const double rounds =
+          bench::driver_median_rounds(c.spec, "none", "fastbc", trials, rng);
+      t.add_row({c.spec, fmt(c.n), fmt(c.diameter), fmt(rounds, 0),
+                 fmt(rounds - 2.0 * c.diameter, 0)});
     }
     t.print(std::cout);
   }

@@ -3,28 +3,12 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/decay.hpp"
-#include "graph/generators.hpp"
-
-namespace {
-
-using namespace nrn;
-
-double run_decay(const graph::Graph& g, radio::FaultModel fm, Rng& rng) {
-  radio::RadioNetwork net(g, fm, Rng(rng()));
-  Rng algo(rng());
-  const auto r = core::Decay().run(net, 0, algo);
-  NRN_ENSURES(r.completed, "Decay exceeded its budget in E3");
-  return static_cast<double>(r.rounds);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace nrn;
   const auto seed = bench::seed_from_args(argc, argv);
   Rng rng(seed);
   const int trials = 9;
-  const auto g = graph::make_path(512);
 
   {
     TableWriter t(
@@ -36,14 +20,10 @@ int main(int argc, char** argv) {
     t.add_note("theory: rounds ~ C / (1-p); the normalized columns should "
                "be roughly flat");
     for (const double p : {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9}) {
-      const auto rm = p == 0.0 ? radio::FaultModel::faultless()
-                               : radio::FaultModel::receiver(p);
-      const auto sm = p == 0.0 ? radio::FaultModel::faultless()
-                               : radio::FaultModel::sender(p);
-      const double rr = bench::median_rounds(
-          [&](Rng& r) { return run_decay(g, rm, r); }, trials, rng);
-      const double sr = bench::median_rounds(
-          [&](Rng& r) { return run_decay(g, sm, r); }, trials, rng);
+      const double rr = bench::driver_median_rounds(
+          "path:512", bench::receiver_fault(p), "decay", trials, rng);
+      const double sr = bench::driver_median_rounds(
+          "path:512", bench::sender_fault(p), "decay", trials, rng);
       t.add_row({fmt(p, 1), fmt(rr, 0), fmt(sr, 0), fmt(rr * (1 - p), 0),
                  fmt(sr * (1 - p), 0)});
     }
@@ -56,12 +36,8 @@ int main(int argc, char** argv) {
     t.add_note("theory: linear in D with a log n * 1/(1-p) slope");
     std::vector<double> xs, ys;
     for (const std::int32_t n : {64, 128, 256, 512, 1024}) {
-      const auto gp = graph::make_path(n);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            return run_decay(gp, radio::FaultModel::receiver(0.5), r);
-          },
-          trials, rng);
+      const double rounds = bench::driver_median_rounds(
+          "path:" + std::to_string(n), "receiver:0.5", "decay", trials, rng);
       xs.push_back(n);
       ys.push_back(rounds);
       t.add_row({fmt(n), fmt(rounds, 0),

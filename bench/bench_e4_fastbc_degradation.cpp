@@ -10,42 +10,22 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/fastbc.hpp"
-#include "graph/generators.hpp"
-
-namespace {
-
-using namespace nrn;
-
-double run_fastbc(const graph::Graph& g, const core::Fastbc& algo,
-                  radio::FaultModel fm, Rng& rng) {
-  radio::RadioNetwork net(g, fm, Rng(rng()));
-  Rng algo_rng(rng());
-  const auto r = algo.run(net, algo_rng);
-  NRN_ENSURES(r.completed, "FASTBC exceeded its budget in E4");
-  return static_cast<double>(r.rounds);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace nrn;
   const auto seed = bench::seed_from_args(argc, argv);
   Rng rng(seed);
   const int trials = 7;
 
   {
-    const auto g = graph::make_path(512);
-    core::Fastbc fastbc(g, 0);
     TableWriter t("E4a  FASTBC on a 512-path: rounds vs p (Lemma 10)",
                   {"p", "median rounds", "rounds/D", "slowdown vs p=0"});
     t.add_note("seed: " + std::to_string(seed));
     t.add_note("theory: rounds/D ~ 2 + (p/(1-p)) * Theta(log n)");
     double base = 0.0;
     for (const double p : {0.0, 0.1, 0.3, 0.5, 0.7, 0.8}) {
-      const auto fm = p == 0.0 ? radio::FaultModel::faultless()
-                               : radio::FaultModel::receiver(p);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) { return run_fastbc(g, fastbc, fm, r); }, trials, rng);
+      const double rounds = bench::driver_median_rounds(
+          "path:512", bench::receiver_fault(p), "fastbc", trials, rng);
       if (base == 0.0) base = rounds;
       t.add_row({fmt(p, 1), fmt(rounds, 0), fmt(rounds / 511.0, 1),
                  fmt(rounds / base, 2) + "x"});
@@ -60,16 +40,11 @@ int main(int argc, char** argv) {
          "rounds/D"});
     t.add_note("per-failure wait ~ period until the Decay slow rounds "
                "(Theta(log n)) rescue stalled messages");
-    const auto g = graph::make_path(256);
     for (const std::int32_t mod : {1, 2, 4, 8, 16, 32}) {
-      core::FastbcParams params;
-      params.rank_modulus = mod;
-      core::Fastbc fastbc(g, 0, params);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            return run_fastbc(g, fastbc, radio::FaultModel::receiver(0.5), r);
-          },
-          trials, rng);
+      sim::DriverOptions options;
+      options.tuning.rank_modulus = mod;
+      const double rounds = bench::driver_median_rounds(
+          "path:256", "receiver:0.5", "fastbc", trials, rng, options);
       t.add_row({fmt(mod), fmt(6 * mod), fmt(rounds, 0),
                  fmt(rounds / 255.0, 1)});
     }
@@ -83,13 +58,8 @@ int main(int argc, char** argv) {
                "rounds/(D log n) should be roughly flat");
     std::vector<double> xs, ys;
     for (const std::int32_t n : {64, 128, 256, 512, 1024}) {
-      const auto g = graph::make_path(n);
-      core::Fastbc fastbc(g, 0);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            return run_fastbc(g, fastbc, radio::FaultModel::receiver(0.5), r);
-          },
-          trials, rng);
+      const double rounds = bench::driver_median_rounds(
+          "path:" + std::to_string(n), "receiver:0.5", "fastbc", trials, rng);
       xs.push_back(n);
       ys.push_back(rounds);
       t.add_row({fmt(n), fmt(rounds, 0),

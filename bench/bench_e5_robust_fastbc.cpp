@@ -4,32 +4,26 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/decay.hpp"
-#include "core/fastbc.hpp"
-#include "core/robust_fastbc.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
-using namespace nrn;
-
-core::RobustFastbcParams tuned_robust_params() {
+nrn::sim::DriverOptions tuned_robust_options() {
   // Large blocks amortize the per-block Chernoff slack; c near its mean
   // 1 + 3p/(1-p) for p = 0.7 keeps the steady cost at ~2c rounds/level.
-  core::RobustFastbcParams params;
-  params.block_size = 32;
-  params.window_multiplier = 10;
-  return params;
+  nrn::sim::DriverOptions options;
+  options.tuning.block_size = 32;
+  options.tuning.window_multiplier = 10;
+  return options;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace nrn;
   const auto seed = bench::seed_from_args(argc, argv);
   Rng rng(seed);
   const int trials = 5;
-  const double p = 0.7;
-  const auto fm = radio::FaultModel::receiver(p);
+  const std::string fm = "receiver:0.7";
 
   {
     TableWriter t(
@@ -41,36 +35,13 @@ int main(int argc, char** argv) {
     t.add_note("theory: Decay = Theta(D log n / (1-p)); FASTBC = "
                "Theta(p/(1-p) D log n); RobustFASTBC = O(D) + polylog");
     for (const std::int32_t n : {128, 256, 512, 1024, 2048}) {
-      const auto g = graph::make_path(n);
-      core::Fastbc fastbc(g, 0);
-      core::RobustFastbc robust(g, 0, tuned_robust_params());
-      const double dr = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, fm, Rng(r()));
-            Rng algo(r());
-            const auto res = core::Decay().run(net, 0, algo);
-            NRN_ENSURES(res.completed, "Decay failed in E5");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double fr = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, fm, Rng(r()));
-            Rng algo(r());
-            const auto res = fastbc.run(net, algo);
-            NRN_ENSURES(res.completed, "FASTBC failed in E5");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double rr = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, fm, Rng(r()));
-            Rng algo(r());
-            const auto res = robust.run(net, algo);
-            NRN_ENSURES(res.completed, "RobustFASTBC failed in E5");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
+      const std::string topo = "path:" + std::to_string(n);
+      const double dr =
+          bench::driver_median_rounds(topo, fm, "decay", trials, rng);
+      const double fr =
+          bench::driver_median_rounds(topo, fm, "fastbc", trials, rng);
+      const double rr = bench::driver_median_rounds(
+          topo, fm, "robust", trials, rng, tuned_robust_options());
       t.add_row({fmt(n), fmt(dr, 0), fmt(fr, 0), fmt(rr, 0),
                  fmt(fr / rr, 2) + "x"});
     }
@@ -80,28 +51,17 @@ int main(int argc, char** argv) {
   {
     TableWriter t("E5b  Robust FASTBC across topologies, p = 0.5",
                   {"topology", "n", "rounds", "rounds/D"});
-    const auto fm05 = radio::FaultModel::receiver(0.5);
     struct Case {
-      std::string name;
-      graph::Graph g;
+      std::string spec;
+      std::int32_t n;
       double diameter;
     };
-    std::vector<Case> cases;
-    cases.push_back({"path-512", graph::make_path(512), 511});
-    cases.push_back({"grid-20x20", graph::make_grid(20, 20), 38});
-    cases.push_back({"caterpillar-150x2", graph::make_caterpillar(150, 2), 151});
-    for (const auto& c : cases) {
-      core::RobustFastbc robust(c.g, 0);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(c.g, fm05, Rng(r()));
-            Rng algo(r());
-            const auto res = robust.run(net, algo);
-            NRN_ENSURES(res.completed, "RobustFASTBC failed in E5b");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      t.add_row({c.name, fmt(c.g.node_count()), fmt(rounds, 0),
+    for (const Case& c : {Case{"path:512", 512, 511},
+                          Case{"grid:20x20", 400, 38},
+                          Case{"caterpillar:150:2", 450, 151}}) {
+      const double rounds = bench::driver_median_rounds(
+          c.spec, "receiver:0.5", "robust", trials, rng);
+      t.add_row({c.spec, fmt(c.n), fmt(rounds, 0),
                  fmt(rounds / c.diameter, 1)});
     }
     t.print(std::cout);
@@ -114,22 +74,12 @@ int main(int argc, char** argv) {
         {"S", "window mult c", "median rounds", "rounds/D"});
     t.add_note("small S: tight barriers need large c slack; large S: "
                "rarely-failing blocks but a bigger additive alignment cost");
-    const auto g = graph::make_path(1024);
-    const auto fm05 = radio::FaultModel::receiver(0.5);
     for (const std::int32_t S : {2, 4, 8, 16, 32, 64}) {
-      core::RobustFastbcParams params;
-      params.block_size = S;
-      params.window_multiplier = 8;
-      core::RobustFastbc robust(g, 0, params);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, fm05, Rng(r()));
-            Rng algo(r());
-            const auto res = robust.run(net, algo);
-            NRN_ENSURES(res.completed, "RobustFASTBC failed in E5c");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
+      sim::DriverOptions options;
+      options.tuning.block_size = S;
+      options.tuning.window_multiplier = 8;
+      const double rounds = bench::driver_median_rounds(
+          "path:1024", "receiver:0.5", "robust", trials, rng, options);
       t.add_row({fmt(S), fmt(8), fmt(rounds, 0), fmt(rounds / 1023.0, 1)});
     }
     t.print(std::cout);

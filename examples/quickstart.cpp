@@ -1,40 +1,54 @@
-// Quickstart: build a noisy radio network, broadcast one message with
-// Decay, and inspect what happened.
+// Quickstart: run a broadcast protocol on a noisy radio scenario.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the three core objects of the library:
-//   graph::Graph       -- the topology,
-//   radio::RadioNetwork -- the round engine with a fault model,
-//   core::Decay        -- a broadcast algorithm driving the engine.
+// Walks through the two layers of the library:
+//   1. the one-call experiment API -- Scenario + ProtocolRegistry + Driver,
+//      which is all most callers need;
+//   2. the underlying objects (graph::Graph, radio::RadioNetwork, a
+//      BroadcastProtocol) for callers that want a round-level trace.
 #include <iostream>
 
-#include "core/decay.hpp"
 #include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
+#include "sim/sim.hpp"
 
 int main() {
   using namespace nrn;
 
-  // 1. A topology: 12x12 grid, source at the corner (node 0).
-  const graph::Graph grid = graph::make_grid(12, 12);
-  std::cout << "topology: 12x12 grid, n = " << grid.node_count()
+  // 1. Declare the experiment: a 12x12 grid where every reception
+  //    independently turns to noise with probability 0.3 (the paper's
+  //    receiver-fault model), source at the corner, seed 42.
+  const auto scenario = sim::Scenario::parse("grid:12x12", "receiver:0.3",
+                                             /*source=*/0, /*k=*/1,
+                                             /*seed=*/42);
+  std::cout << "scenario: " << scenario.describe() << "\n";
+
+  // 2. Run five trials of Decay through the Driver.  Protocol selection is
+  //    by name: any protocol in the registry works here.
+  const auto report = sim::Driver().run(scenario, "decay", /*trials=*/5);
+  std::cout << "decay completed all trials: "
+            << (report.all_completed() ? "yes" : "no") << ", median "
+            << report.median_rounds() << " rounds over "
+            << report.trials.size() << " trials\n\n";
+  sim::write_table(std::cout, report);
+
+  // 3. Drop one layer for a round-by-round view: build the graph and the
+  //    protocol explicitly and attach a trace recorder.
+  const graph::Graph grid = scenario.build_graph();
+  std::cout << "\ntopology: n = " << grid.node_count()
             << ", diameter = " << graph::diameter_exact(grid) << "\n";
 
-  // 2. A noisy radio network: every reception independently turns to noise
-  //    with probability 0.3 (the paper's receiver-fault model).
-  radio::RadioNetwork net(grid, radio::FaultModel::receiver(0.3), Rng(42));
+  const sim::ProtocolContext ctx{grid, scenario, sim::Tuning{}};
+  const auto decay = sim::ProtocolRegistry::global().create("decay", ctx);
 
-  // 3. Run Decay from the corner and trace the informed frontier.
+  radio::RadioNetwork net(grid, scenario.fault, Rng(99));
   Rng algorithm_rng(7);
   radio::TraceRecorder trace;
-  const core::BroadcastRunResult result =
-      core::Decay().run(net, /*source=*/0, algorithm_rng, &trace);
+  const sim::RunReport result = decay->run(net, algorithm_rng, &trace);
 
-  std::cout << "broadcast " << (result.completed ? "completed" : "FAILED")
-            << " in " << result.rounds << " rounds\n";
-  std::cout << "informed nodes: " << result.informed << "/"
-            << grid.node_count() << "\n";
+  std::cout << "traced run " << (result.completed ? "completed" : "FAILED")
+            << " in " << result.rounds << " rounds; informed "
+            << result.informed << "/" << grid.node_count() << "\n";
 
   const auto totals = net.totals();
   std::cout << "engine totals: " << totals.broadcasts << " broadcasts, "
@@ -47,5 +61,5 @@ int main() {
   for (std::size_t i = 0; i < trace.progress().size(); i += 20)
     std::cout << static_cast<int>(trace.progress()[i]) << " ";
   std::cout << "\n";
-  return result.completed ? 0 : 1;
+  return report.all_completed() && result.completed ? 0 : 1;
 }

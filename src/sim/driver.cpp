@@ -1,0 +1,99 @@
+#include "sim/driver.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/stats.hpp"
+
+namespace nrn::sim {
+
+bool ExperimentReport::all_completed() const {
+  for (const auto& trial : trials)
+    if (!trial.run.completed) return false;
+  return true;
+}
+
+std::vector<double> ExperimentReport::rounds() const {
+  std::vector<double> out;
+  out.reserve(trials.size());
+  for (const auto& trial : trials)
+    out.push_back(static_cast<double>(trial.run.rounds));
+  return out;
+}
+
+double ExperimentReport::median_rounds() const {
+  return trials.empty() ? 0.0 : quantile(rounds(), 0.5);
+}
+
+double ExperimentReport::mean_rounds() const {
+  return trials.empty() ? 0.0 : mean(rounds());
+}
+
+ExperimentReport Driver::run(const Scenario& scenario,
+                             const std::string& protocol_name, int trials,
+                             const DriverOptions& options) const {
+  NRN_EXPECTS(trials >= 1, "driver needs at least one trial");
+
+  ExperimentReport report;
+  report.protocol = protocol_name;
+  report.scenario = scenario;
+
+  const graph::Graph graph = scenario.build_graph();
+  report.node_count = graph.node_count();
+  report.edge_count = graph.edge_count();
+
+  const ProtocolContext ctx{graph, scenario, options.tuning};
+  const auto protocol = registry_->create(protocol_name, ctx);
+
+  // Derive every trial's seeds up front, in trial order, from one master
+  // stream: trial t's coins are independent of the thread that runs it.
+  report.trials.resize(static_cast<std::size_t>(trials));
+  Rng master(scenario.seed);
+  for (int t = 0; t < trials; ++t) {
+    Rng stream = master.split(static_cast<std::uint64_t>(t));
+    auto& trial = report.trials[static_cast<std::size_t>(t)];
+    trial.index = t;
+    trial.net_seed = stream();
+    trial.algo_seed = stream();
+  }
+
+  auto run_trial = [&](TrialReport& trial) {
+    radio::RadioNetwork net(graph, scenario.fault, Rng(trial.net_seed));
+    Rng algo_rng(trial.algo_seed);
+    trial.run = protocol->run(net, algo_rng);
+  };
+
+  const int workers = std::min(options.threads, trials);
+  if (workers <= 1) {
+    for (auto& trial : report.trials) run_trial(trial);
+  } else {
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const int t = next.fetch_add(1);
+          if (t >= trials) break;
+          try {
+            run_trial(report.trials[static_cast<std::size_t>(t)]);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    if (error) std::rethrow_exception(error);
+  }
+  return report;
+}
+
+}  // namespace nrn::sim

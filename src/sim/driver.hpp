@@ -1,0 +1,68 @@
+// Multi-trial experiment execution.
+//
+// The Driver is the one trial loop in the library: it materializes a
+// Scenario's graph, builds the protocol once through the registry (so
+// known-topology precomputation like the GBST is shared across trials),
+// derives one independent Rng stream per trial with Rng::split, and runs
+// the trials -- serially or batched across threads.  Per-trial seeds are
+// derived up front in trial order, so an ExperimentReport is bit-identical
+// for a given scenario regardless of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/registry.hpp"
+
+namespace nrn::sim {
+
+/// One trial's outcome plus the seeds that reproduce it.
+struct TrialReport {
+  int index = 0;
+  std::uint64_t net_seed = 0;   ///< seeds the fault-coin stream
+  std::uint64_t algo_seed = 0;  ///< seeds the protocol's own coins
+  RunReport run;
+
+  friend bool operator==(const TrialReport&, const TrialReport&) = default;
+};
+
+/// A full experiment: one protocol, one scenario, T trials.
+struct ExperimentReport {
+  std::string protocol;
+  Scenario scenario;
+  std::int64_t node_count = 0;
+  std::int64_t edge_count = 0;
+  std::vector<TrialReport> trials;
+
+  bool all_completed() const;
+  std::vector<double> rounds() const;   ///< per-trial round counts, in order
+  double median_rounds() const;
+  double mean_rounds() const;
+};
+
+struct DriverOptions {
+  /// Worker threads for trial batching; <= 1 runs trials inline.  Results
+  /// are identical either way.
+  int threads = 1;
+  /// Protocol knobs forwarded to the factory.
+  Tuning tuning;
+};
+
+class Driver {
+ public:
+  explicit Driver(const ProtocolRegistry& registry = ProtocolRegistry::global())
+      : registry_(&registry) {}
+
+  /// Runs `trials` trials of `protocol_name` on `scenario`.  Throws
+  /// SpecError for an unknown protocol and propagates protocol/contract
+  /// errors from the trials themselves.
+  ExperimentReport run(const Scenario& scenario,
+                       const std::string& protocol_name, int trials,
+                       const DriverOptions& options = {}) const;
+
+ private:
+  const ProtocolRegistry* registry_;
+};
+
+}  // namespace nrn::sim

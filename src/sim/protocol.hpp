@@ -1,0 +1,74 @@
+// The uniform broadcast-protocol interface.
+//
+// Every algorithm in the library -- Decay, FASTBC, Robust FASTBC, the RLNC
+// compositions, the layered pipeline, and the greedy adaptive router -- is
+// wrapped behind one polymorphic run() signature so drivers, benches, and
+// tools never dispatch on protocol names themselves.  Protocols are built
+// from a (graph, scenario) context by the ProtocolRegistry; construction
+// performs any known-topology precomputation (e.g. the GBST), and run()
+// executes one trial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/run_result.hpp"
+#include "radio/network.hpp"
+#include "radio/trace.hpp"
+
+namespace nrn::sim {
+
+/// Uniform outcome of one protocol trial; unifies the core library's
+/// BroadcastRunResult (single message) and MultiRunResult (k messages).
+struct RunReport {
+  bool completed = false;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 1;    ///< k for multi-message protocols
+  std::int64_t informed = -1;   ///< informed nodes at the end; -1 = untracked
+
+  double rounds_per_message() const {
+    return messages <= 0 ? 0.0
+                         : static_cast<double>(rounds) /
+                               static_cast<double>(messages);
+  }
+
+  static RunReport from(const core::BroadcastRunResult& r) {
+    return {r.completed, r.rounds, 1, r.informed};
+  }
+  static RunReport from(const core::MultiRunResult& r) {
+    return {r.completed, r.rounds, r.messages, -1};
+  }
+
+  friend bool operator==(const RunReport&, const RunReport&) = default;
+};
+
+/// Optional protocol knobs for ablations; 0 keeps each protocol's own
+/// default.  Protocols read only the fields they understand.
+struct Tuning {
+  std::int32_t decay_phase = 0;        ///< Decay phase length
+  std::int32_t rank_modulus = 0;       ///< FASTBC-family schedule modulus
+  std::int32_t block_size = 0;         ///< Robust FASTBC block size S
+  std::int32_t window_multiplier = 0;  ///< Robust FASTBC window constant c
+  std::int64_t batch = 0;              ///< pipeline batch size k'
+  std::int64_t max_rounds = 0;         ///< round budget override
+};
+
+/// A broadcast protocol bound to a concrete (graph, scenario).
+///
+/// run() must be safe to call concurrently from multiple threads on the
+/// same instance (the Driver batches trials across threads): all per-trial
+/// state lives in the RadioNetwork and Rng arguments, never in the protocol
+/// object.  Protocols that support tracing record per-round progress into
+/// `trace` when it is non-null; others ignore it.
+class BroadcastProtocol {
+ public:
+  virtual ~BroadcastProtocol() = default;
+
+  virtual const std::string& name() const = 0;
+
+  virtual RunReport run(radio::RadioNetwork& net, Rng& rng,
+                        radio::TraceRecorder* trace = nullptr) const = 0;
+};
+
+}  // namespace nrn::sim

@@ -1,0 +1,218 @@
+// Built-in protocol adapters: the library's broadcast algorithms wrapped
+// behind the uniform BroadcastProtocol interface and registered by name.
+// This file is the single place where protocol names meet concrete types.
+#include "core/bipartite_pipeline.hpp"
+#include "core/decay.hpp"
+#include "core/fastbc.hpp"
+#include "core/greedy_router.hpp"
+#include "core/multi_message.hpp"
+#include "core/robust_fastbc.hpp"
+#include "sim/registry.hpp"
+
+namespace nrn::sim {
+
+namespace {
+
+class DecayProtocol final : public BroadcastProtocol {
+ public:
+  explicit DecayProtocol(const ProtocolContext& ctx)
+      : source_(ctx.scenario.source),
+        algo_(core::DecayParams{ctx.tuning.decay_phase,
+                                ctx.tuning.max_rounds}) {}
+
+  const std::string& name() const override {
+    static const std::string n = "decay";
+    return n;
+  }
+
+  RunReport run(radio::RadioNetwork& net, Rng& rng,
+                radio::TraceRecorder* trace) const override {
+    return RunReport::from(algo_.run(net, source_, rng, trace));
+  }
+
+ private:
+  graph::NodeId source_;
+  core::Decay algo_;
+};
+
+class FastbcProtocol final : public BroadcastProtocol {
+ public:
+  explicit FastbcProtocol(const ProtocolContext& ctx)
+      : algo_(ctx.graph, ctx.scenario.source,
+              core::FastbcParams{ctx.tuning.rank_modulus,
+                                 ctx.tuning.decay_phase,
+                                 ctx.tuning.max_rounds}) {}
+
+  const std::string& name() const override {
+    static const std::string n = "fastbc";
+    return n;
+  }
+
+  RunReport run(radio::RadioNetwork& net, Rng& rng,
+                radio::TraceRecorder* trace) const override {
+    return RunReport::from(algo_.run(net, rng, trace));
+  }
+
+ private:
+  core::Fastbc algo_;
+};
+
+core::RobustFastbcParams robust_params(const ProtocolContext& ctx) {
+  core::RobustFastbcParams params;
+  params.block_size = ctx.tuning.block_size;
+  params.rank_modulus = ctx.tuning.rank_modulus;
+  params.decay_phase = ctx.tuning.decay_phase;
+  params.max_rounds = ctx.tuning.max_rounds;
+  // The paper's "sufficiently large constant c" depends on the loss rate;
+  // size the window for the scenario's fault model unless overridden.
+  params.window_multiplier =
+      ctx.tuning.window_multiplier != 0
+          ? ctx.tuning.window_multiplier
+          : core::RobustFastbc::recommended_window_multiplier(
+                ctx.scenario.fault.effective_loss());
+  return params;
+}
+
+class RobustFastbcProtocol final : public BroadcastProtocol {
+ public:
+  explicit RobustFastbcProtocol(const ProtocolContext& ctx)
+      : algo_(ctx.graph, ctx.scenario.source, robust_params(ctx)) {}
+
+  const std::string& name() const override {
+    static const std::string n = "robust";
+    return n;
+  }
+
+  RunReport run(radio::RadioNetwork& net, Rng& rng,
+                radio::TraceRecorder* trace) const override {
+    return RunReport::from(algo_.run(net, rng, trace));
+  }
+
+ private:
+  core::RobustFastbc algo_;
+};
+
+class RlncProtocol final : public BroadcastProtocol {
+ public:
+  RlncProtocol(const ProtocolContext& ctx, core::MultiPattern pattern,
+               std::string name)
+      : name_(std::move(name)),
+        algo_(ctx.graph, ctx.scenario.source, rlnc_params(ctx, pattern)) {}
+
+  const std::string& name() const override { return name_; }
+
+  RunReport run(radio::RadioNetwork& net, Rng& rng,
+                radio::TraceRecorder* /*trace*/) const override {
+    return RunReport::from(algo_.run(net, rng));
+  }
+
+ private:
+  static core::MultiMessageParams rlnc_params(const ProtocolContext& ctx,
+                                              core::MultiPattern pattern) {
+    core::MultiMessageParams params;
+    params.k = static_cast<std::size_t>(ctx.scenario.k);
+    params.pattern = pattern;
+    params.decay_phase = ctx.tuning.decay_phase;
+    params.block_size = ctx.tuning.block_size;
+    params.window_multiplier = ctx.tuning.window_multiplier;
+    params.max_rounds = ctx.tuning.max_rounds;
+    return params;
+  }
+
+  std::string name_;
+  core::RlncBroadcast algo_;
+};
+
+class PipelineProtocol final : public BroadcastProtocol {
+ public:
+  explicit PipelineProtocol(const ProtocolContext& ctx)
+      : source_(ctx.scenario.source) {
+    params_.k = ctx.scenario.k;
+    params_.batch = ctx.tuning.batch;
+    params_.decay_phase = ctx.tuning.decay_phase;
+  }
+
+  const std::string& name() const override {
+    static const std::string n = "pipeline";
+    return n;
+  }
+
+  RunReport run(radio::RadioNetwork& net, Rng& rng,
+                radio::TraceRecorder* /*trace*/) const override {
+    return RunReport::from(
+        core::run_layered_pipeline_routing(net, source_, params_, rng));
+  }
+
+ private:
+  graph::NodeId source_;
+  core::PipelineParams params_;
+};
+
+class GreedyRouterProtocol final : public BroadcastProtocol {
+ public:
+  explicit GreedyRouterProtocol(const ProtocolContext& ctx)
+      : source_(ctx.scenario.source) {
+    params_.k = ctx.scenario.k;
+    params_.max_rounds = ctx.tuning.max_rounds;
+  }
+
+  const std::string& name() const override {
+    static const std::string n = "greedy";
+    return n;
+  }
+
+  RunReport run(radio::RadioNetwork& net, Rng& /*rng*/,
+                radio::TraceRecorder* /*trace*/) const override {
+    // The greedy router is deterministic given the network's fault tape.
+    return RunReport::from(
+        core::run_greedy_adaptive_routing(net, source_, params_));
+  }
+
+ private:
+  graph::NodeId source_;
+  core::GreedyRouterParams params_;
+};
+
+}  // namespace
+
+void register_builtin_protocols(ProtocolRegistry& registry) {
+  registry.add("decay", "Decay (Lemma 9): topology-oblivious, noise-robust",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<DecayProtocol>(ctx);
+               });
+  registry.add("fastbc",
+               "FASTBC (Lemma 8): known-topology, D + O(log^2 n), fragile "
+               "under noise",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<FastbcProtocol>(ctx);
+               });
+  registry.add("robust",
+               "Robust FASTBC (Theorem 11): noise-robust diameter-linear",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<RobustFastbcProtocol>(ctx);
+               });
+  registry.add("rlnc-decay",
+               "RLNC over the Decay pattern (Lemma 12): k-message coding",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<RlncProtocol>(
+                     ctx, core::MultiPattern::kDecay, "rlnc-decay");
+               });
+  registry.add("rlnc-robust",
+               "RLNC over the Robust FASTBC pattern (Lemma 13)",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<RlncProtocol>(
+                     ctx, core::MultiPattern::kRobustFastbc, "rlnc-robust");
+               });
+  registry.add("pipeline",
+               "Layered adaptive-routing pipeline (Lemmas 20-21)",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<PipelineProtocol>(ctx);
+               });
+  registry.add("greedy",
+               "Greedy centralized adaptive router (Definition 14)",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<GreedyRouterProtocol>(ctx);
+               });
+}
+
+}  // namespace nrn::sim

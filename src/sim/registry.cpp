@@ -1,0 +1,51 @@
+#include "sim/registry.hpp"
+
+namespace nrn::sim {
+
+void ProtocolRegistry::add(const std::string& name,
+                           const std::string& description, Factory factory) {
+  entries_[name] = Entry{description, std::move(factory)};
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::unique_ptr<BroadcastProtocol> ProtocolRegistry::create(
+    const std::string& name, const ProtocolContext& ctx) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += " ";
+      known += key;
+    }
+    throw SpecError("unknown protocol '" + name + "' (registered: " + known +
+                    ")");
+  }
+  return it->second.factory(ctx);
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+const std::string& ProtocolRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) throw SpecError("unknown protocol '" + name + "'");
+  return it->second.description;
+}
+
+ProtocolRegistry& ProtocolRegistry::global() {
+  static ProtocolRegistry registry = [] {
+    ProtocolRegistry r;
+    register_builtin_protocols(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace nrn::sim

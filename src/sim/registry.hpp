@@ -1,0 +1,68 @@
+// Name -> factory registry of broadcast protocols.
+//
+// The registry is how every caller -- nrn_sim, the benches, the examples,
+// the tests -- selects a protocol at runtime: no per-algorithm dispatch
+// switches exist outside this file's implementation.  The global() instance
+// comes pre-loaded with the library's built-in protocols; custom protocols
+// (experiments, ablation variants) can be added to any instance.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "sim/scenario.hpp"
+
+namespace nrn::sim {
+
+/// Everything a protocol factory may consult.  The graph reference must
+/// outlive the constructed protocol (the Driver owns it for the duration
+/// of an experiment).
+struct ProtocolContext {
+  const graph::Graph& graph;
+  const Scenario& scenario;
+  Tuning tuning;
+};
+
+class ProtocolRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<BroadcastProtocol>(const ProtocolContext&)>;
+
+  /// Registers (or replaces) a protocol under `name`.
+  void add(const std::string& name, const std::string& description,
+           Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Builds the named protocol for the given context; throws SpecError on
+  /// an unknown name (listing the registered ones).
+  std::unique_ptr<BroadcastProtocol> create(const std::string& name,
+                                            const ProtocolContext& ctx) const;
+
+  /// Registered protocol names, sorted.
+  std::vector<std::string> names() const;
+
+  /// One-line description of a registered protocol.
+  const std::string& description(const std::string& name) const;
+
+  /// The process-wide registry, pre-loaded with the built-in protocols:
+  /// decay, fastbc, robust, rlnc-decay, rlnc-robust, pipeline, greedy.
+  static ProtocolRegistry& global();
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Registers the built-in protocols into `registry` (used by global();
+/// exposed so tests can build isolated registries).
+void register_builtin_protocols(ProtocolRegistry& registry);
+
+}  // namespace nrn::sim

@@ -1,0 +1,90 @@
+#include "sim/report.hpp"
+
+#include <ostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace nrn::sim {
+
+namespace {
+
+std::string informed_cell(const RunReport& run) {
+  return run.informed < 0 ? "-" : fmt(run.informed);
+}
+
+TableWriter build_table(const ExperimentReport& report) {
+  TableWriter table(report.protocol + " on " + report.scenario.topology.text +
+                        " under " + to_string(report.scenario.fault),
+                    {"trial", "rounds", "completed", "rounds/message",
+                     "informed"});
+  table.add_note("n = " + std::to_string(report.node_count) +
+                 ", edges = " + std::to_string(report.edge_count) +
+                 ", k = " + std::to_string(report.scenario.k) +
+                 ", source = " + std::to_string(report.scenario.source) +
+                 ", seed = " + std::to_string(report.scenario.seed));
+  for (const auto& trial : report.trials)
+    table.add_row({fmt(trial.index), fmt(trial.run.rounds),
+                   verdict(trial.run.completed),
+                   fmt(trial.run.rounds_per_message(), 2),
+                   informed_cell(trial.run)});
+  if (!report.trials.empty()) {
+    const auto s = summarize(report.rounds());
+    table.add_note("median rounds: " + fmt(s.median, 0) + ", mean " +
+                   fmt(s.mean, 1) + " +/- " + fmt(ci95_halfwidth(s), 1));
+  }
+  return table;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_table(std::ostream& os, const ExperimentReport& report) {
+  build_table(report).print(os);
+}
+
+void write_csv(std::ostream& os, const ExperimentReport& report) {
+  build_table(report).print_csv(os);
+}
+
+void write_json(std::ostream& os, const ExperimentReport& report) {
+  os << "{\n"
+     << "  \"protocol\": \"" << json_escape(report.protocol) << "\",\n"
+     << "  \"topology\": \"" << json_escape(report.scenario.topology.text)
+     << "\",\n"
+     << "  \"fault\": \"" << json_escape(report.scenario.fault_text) << "\",\n"
+     << "  \"source\": " << report.scenario.source << ",\n"
+     << "  \"k\": " << report.scenario.k << ",\n"
+     // Seeds are full-range uint64; emit as strings so double-backed JSON
+     // parsers cannot round them (they must reproduce trials exactly).
+     << "  \"seed\": \"" << report.scenario.seed << "\",\n"
+     << "  \"nodes\": " << report.node_count << ",\n"
+     << "  \"edges\": " << report.edge_count << ",\n"
+     << "  \"trials\": [\n";
+  for (std::size_t i = 0; i < report.trials.size(); ++i) {
+    const auto& trial = report.trials[i];
+    os << "    {\"trial\": " << trial.index
+       << ", \"rounds\": " << trial.run.rounds << ", \"completed\": "
+       << (trial.run.completed ? "true" : "false")
+       << ", \"messages\": " << trial.run.messages
+       << ", \"informed\": " << trial.run.informed
+       << ", \"net_seed\": \"" << trial.net_seed
+       << "\", \"algo_seed\": \"" << trial.algo_seed << "\"}"
+       << (i + 1 < report.trials.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"median_rounds\": " << report.median_rounds() << ",\n"
+     << "  \"all_completed\": " << (report.all_completed() ? "true" : "false")
+     << "\n}\n";
+}
+
+}  // namespace nrn::sim

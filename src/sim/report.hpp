@@ -1,0 +1,23 @@
+// Report emitters: one ExperimentReport, three renderings.
+//
+// The text table matches the library's TableWriter house style; CSV and
+// JSON carry the same per-trial rows plus the scenario header, so external
+// plotting and the CI smoke checks share one source of truth.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/driver.hpp"
+
+namespace nrn::sim {
+
+/// Aligned text table with scenario notes and a summary line.
+void write_table(std::ostream& os, const ExperimentReport& report);
+
+/// CSV: comment lines for the scenario, then one row per trial.
+void write_csv(std::ostream& os, const ExperimentReport& report);
+
+/// A single JSON object with scenario metadata and a "trials" array.
+void write_json(std::ostream& os, const ExperimentReport& report);
+
+}  // namespace nrn::sim

@@ -1,0 +1,288 @@
+#include "sim/scenario.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "topology/wct.hpp"
+
+namespace nrn::sim {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) parts.push_back(item);
+  if (!s.empty() && s.back() == sep) parts.emplace_back();
+  return parts;
+}
+
+[[noreturn]] void bad_spec(const std::string& what) { throw SpecError(what); }
+
+}  // namespace
+
+std::int64_t parse_spec_int(const std::string& text, const std::string& what) {
+  if (text.empty()) bad_spec(what + ": empty number");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size())
+    bad_spec(what + ": '" + text + "' is not an integer");
+  if (errno == ERANGE) bad_spec(what + ": '" + text + "' is out of range");
+  return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t parse_spec_uint(const std::string& text,
+                              const std::string& what) {
+  if (text.empty()) bad_spec(what + ": empty number");
+  if (text[0] == '-')
+    bad_spec(what + ": '" + text + "' must be non-negative");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size())
+    bad_spec(what + ": '" + text + "' is not an integer");
+  if (errno == ERANGE) bad_spec(what + ": '" + text + "' is out of range");
+  return static_cast<std::uint64_t>(value);
+}
+
+double parse_spec_real(const std::string& text, const std::string& what) {
+  if (text.empty()) bad_spec(what + ": empty number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size())
+    bad_spec(what + ": '" + text + "' is not a number");
+  if (errno == ERANGE) bad_spec(what + ": '" + text + "' is out of range");
+  if (!std::isfinite(value))
+    bad_spec(what + ": '" + text + "' is not a finite number");
+  return value;
+}
+
+namespace {
+
+/// Arity and range rules per topology family.
+struct KindRule {
+  const char* kind;
+  int int_args;      ///< colon-separated integer arguments after the kind
+  bool has_real;     ///< one trailing real argument (gnp's p)
+  bool randomized;
+};
+
+constexpr KindRule kKindRules[] = {
+    {"barbell", 2, false, false},     {"binary-tree", 1, false, false},
+    {"caterpillar", 2, false, false}, {"complete", 1, false, false},
+    {"cycle", 1, false, false},       {"gnp", 1, true, true},
+    {"grid", 0, false, false},  // special RxC argument
+    {"hypercube", 1, false, false},   {"link", 0, false, false},
+    {"lollipop", 2, false, false},    {"path", 1, false, false},
+    {"regular", 2, false, true},      {"ring", 2, false, false},
+    {"star", 1, false, false},        {"tree", 1, false, true},
+    {"wct", 1, false, true},
+};
+
+const KindRule* find_rule(const std::string& kind) {
+  for (const auto& rule : kKindRules)
+    if (kind == rule.kind) return &rule;
+  return nullptr;
+}
+
+std::int64_t positive_arg(const TopologySpec& spec, std::size_t i,
+                          const char* name) {
+  const std::int64_t v = spec.ints.at(i);
+  if (v < 1)
+    bad_spec("topology '" + spec.text + "': " + name + " must be positive");
+  return v;
+}
+
+}  // namespace
+
+TopologySpec TopologySpec::parse(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.empty() || parts[0].empty()) bad_spec("empty topology spec");
+  TopologySpec out;
+  out.text = spec;
+  out.kind = parts[0];
+  const KindRule* rule = find_rule(out.kind);
+  if (rule == nullptr) bad_spec("unknown topology '" + out.kind + "'");
+
+  if (out.kind == "grid") {
+    if (parts.size() != 2) bad_spec("grid wants grid:RxC");
+    const auto dims = split(parts[1], 'x');
+    if (dims.size() != 2) bad_spec("grid wants grid:RxC");
+    out.ints.push_back(parse_spec_int(dims[0], "grid rows"));
+    out.ints.push_back(parse_spec_int(dims[1], "grid cols"));
+  } else {
+    const std::size_t expected =
+        1 + static_cast<std::size_t>(rule->int_args) + (rule->has_real ? 1 : 0);
+    if (parts.size() != expected)
+      bad_spec("topology '" + spec + "': wrong number of arguments for '" +
+               out.kind + "'");
+    for (int i = 0; i < rule->int_args; ++i)
+      out.ints.push_back(parse_spec_int(
+          parts[static_cast<std::size_t>(i) + 1], out.kind + " argument"));
+    if (rule->has_real)
+      out.reals.push_back(parse_spec_real(parts.back(), out.kind + " probability"));
+  }
+
+  // Range checks beyond "is a number": fail at parse time, not deep inside
+  // a generator precondition.  Node counts are int32 NodeIds; reject
+  // anything that would truncate or overflow instead of wrapping.
+  constexpr std::int64_t kMaxNodes = 0x7fffffff;
+  for (const std::int64_t v : out.ints)
+    if (v > kMaxNodes)
+      bad_spec("topology '" + spec + "': argument " + std::to_string(v) +
+               " exceeds the supported node range");
+  auto check_product = [&](std::int64_t a, std::int64_t b) {
+    if (a > 0 && b > 0 && a > kMaxNodes / b)
+      bad_spec("topology '" + spec + "': total node count overflows");
+  };
+  if (out.kind == "grid") check_product(out.ints[0], out.ints[1]);
+  if (out.kind == "caterpillar") check_product(out.ints[0], out.ints[1] + 1);
+  if (out.kind == "ring") check_product(out.ints[0], out.ints[1]);
+  if (out.kind == "barbell" || out.kind == "lollipop")
+    check_product(2, out.ints[0] + out.ints[1]);
+
+  if (out.kind == "grid") {
+    positive_arg(out, 0, "rows");
+    positive_arg(out, 1, "cols");
+  } else if (out.kind == "gnp") {
+    positive_arg(out, 0, "n");
+    if (out.reals[0] < 0.0 || out.reals[0] > 1.0)
+      bad_spec("gnp probability must be in [0, 1]");
+  } else if (out.kind == "hypercube") {
+    if (out.ints[0] < 1 || out.ints[0] > 20)
+      bad_spec("hypercube dimension must be in [1, 20]");
+  } else if (out.kind == "cycle") {
+    if (out.ints[0] < 3) bad_spec("cycle needs at least three nodes");
+  } else if (out.kind == "complete") {
+    if (out.ints[0] < 2) bad_spec("complete graph needs at least two nodes");
+  } else if (out.kind == "ring") {
+    if (out.ints[0] < 3) bad_spec("ring needs at least three cliques");
+    if (out.ints[1] < 2) bad_spec("ring cliques need at least two members");
+  } else if (out.kind == "barbell" || out.kind == "lollipop") {
+    if (out.ints[0] < 2) bad_spec(out.kind + " clique needs at least two nodes");
+    positive_arg(out, 1, out.kind == "barbell" ? "bridge" : "tail");
+  } else if (out.kind == "caterpillar") {
+    positive_arg(out, 0, "spine");
+    if (out.ints[1] < 0) bad_spec("caterpillar legs must be non-negative");
+  } else if (out.kind == "regular") {
+    positive_arg(out, 0, "n");
+    positive_arg(out, 1, "degree");
+    if (out.ints[0] < out.ints[1] + 1) bad_spec("regular degree too large for n");
+    if ((out.ints[0] * out.ints[1]) % 2 != 0)
+      bad_spec("regular requires n * degree to be even");
+  } else if (out.kind == "wct") {
+    if (out.ints[0] < 16) bad_spec("wct node budget must be at least 16");
+  } else if (!out.ints.empty()) {
+    positive_arg(out, 0, "size");
+  }
+  return out;
+}
+
+bool TopologySpec::randomized() const {
+  const KindRule* rule = find_rule(kind);
+  return rule != nullptr && rule->randomized;
+}
+
+graph::Graph TopologySpec::build(Rng& rng) const {
+  using graph::NodeId;
+  auto n = [&](std::size_t i) { return static_cast<NodeId>(ints.at(i)); };
+  if (kind == "path") return graph::make_path(n(0));
+  if (kind == "cycle") return graph::make_cycle(n(0));
+  if (kind == "star") return graph::make_star(n(0));
+  if (kind == "complete") return graph::make_complete(n(0));
+  if (kind == "grid") return graph::make_grid(n(0), n(1));
+  if (kind == "gnp") return graph::make_connected_gnp(n(0), reals.at(0), rng);
+  if (kind == "tree") return graph::make_random_tree(n(0), rng);
+  if (kind == "binary-tree") return graph::make_binary_tree(n(0));
+  if (kind == "hypercube")
+    return graph::make_hypercube(static_cast<std::int32_t>(ints.at(0)));
+  if (kind == "caterpillar") return graph::make_caterpillar(n(0), n(1));
+  if (kind == "ring") return graph::make_ring_of_cliques(n(0), n(1));
+  if (kind == "barbell") return graph::make_barbell(n(0), n(1));
+  if (kind == "lollipop") return graph::make_lollipop(n(0), n(1));
+  if (kind == "regular")
+    return graph::make_random_regular(n(0), static_cast<std::int32_t>(ints.at(1)),
+                                      rng);
+  if (kind == "link") return graph::make_single_link();
+  if (kind == "wct") {
+    const auto params = topology::WctParams::from_node_budget(
+        static_cast<std::int32_t>(ints.at(0)));
+    return topology::WctNetwork(params, rng).graph();
+  }
+  bad_spec("unknown topology '" + kind + "'");
+}
+
+radio::FaultModel parse_fault_spec(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.empty() || parts[0].empty()) bad_spec("empty fault spec");
+  const std::string& kind = parts[0];
+  auto prob_at = [&](std::size_t i) {
+    const double p = parse_spec_real(parts.at(i), kind + " probability");
+    if (p < 0.0 || p >= 1.0)
+      bad_spec("fault '" + spec + "': probability must be in [0, 1)");
+    return p;
+  };
+  if (kind == "none") {
+    if (parts.size() != 1) bad_spec("fault 'none' takes no arguments");
+    return radio::FaultModel::faultless();
+  }
+  if (kind == "sender") {
+    if (parts.size() != 2) bad_spec("fault 'sender' wants sender:p");
+    return radio::FaultModel::sender(prob_at(1));
+  }
+  if (kind == "receiver") {
+    if (parts.size() != 2) bad_spec("fault 'receiver' wants receiver:p");
+    return radio::FaultModel::receiver(prob_at(1));
+  }
+  if (kind == "combined") {
+    if (parts.size() != 3) bad_spec("fault 'combined' wants combined:ps:pr");
+    return radio::FaultModel::combined(prob_at(1), prob_at(2));
+  }
+  bad_spec("unknown fault model '" + kind + "'");
+}
+
+const std::vector<std::string>& topology_kinds() {
+  static const std::vector<std::string> kinds = [] {
+    std::vector<std::string> out;
+    for (const auto& rule : kKindRules) out.emplace_back(rule.kind);
+    return out;
+  }();
+  return kinds;
+}
+
+Scenario Scenario::parse(const std::string& topology_spec,
+                         const std::string& fault_spec, graph::NodeId source,
+                         std::int64_t k, std::uint64_t seed) {
+  if (source < 0) bad_spec("source must be non-negative");
+  if (k < 1) bad_spec("k must be positive");
+  Scenario sc;
+  sc.topology = TopologySpec::parse(topology_spec);
+  sc.fault_text = fault_spec;
+  sc.fault = parse_fault_spec(fault_spec);
+  sc.source = source;
+  sc.k = k;
+  sc.seed = seed;
+  return sc;
+}
+
+graph::Graph Scenario::build_graph() const {
+  // Randomized topologies draw from a stream derived only from the master
+  // seed, so trial streams never perturb the graph (and vice versa).
+  Rng topo_rng(seed ^ 0xfeedULL);
+  return topology.build(topo_rng);
+}
+
+std::string Scenario::describe() const {
+  std::string out = topology.text + " under " + to_string(fault);
+  if (k > 1) out += ", k=" + std::to_string(k);
+  out += ", seed=" + std::to_string(seed);
+  return out;
+}
+
+}  // namespace nrn::sim

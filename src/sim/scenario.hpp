@@ -1,0 +1,92 @@
+// Declarative experiment scenarios and the string-spec grammar.
+//
+// A Scenario pins down everything an experiment needs besides the protocol:
+// the topology, the fault model, the broadcast source, the message count k,
+// and the master seed.  Scenarios are plain values: two equal scenarios
+// reproduce bit-identical experiments through the Driver.
+//
+// Spec grammar (colon-separated, all numbers strictly validated):
+//   topologies: path:n  cycle:n  star:leaves  complete:n  grid:RxC
+//               gnp:n:p  tree:n  binary-tree:n  hypercube:d
+//               caterpillar:spine:legs  ring:cliques:size
+//               barbell:clique:bridge  lollipop:clique:tail
+//               regular:n:d  link  wct:budget
+//   faults:     none  sender:p  receiver:p  combined:ps:pr
+//
+// Malformed specs (wrong arity, non-numeric or out-of-range values, unknown
+// kinds) raise SpecError -- never a silently-zero strtoll parse.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "radio/fault_model.hpp"
+
+namespace nrn::sim {
+
+/// Raised for any malformed scenario/protocol spec string.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict integer parse of the full string; throws SpecError on empty
+/// input, trailing junk, or overflow.  `what` names the field in errors.
+std::int64_t parse_spec_int(const std::string& text, const std::string& what);
+
+/// Strict unsigned parse (full uint64 range) with the same rules.
+std::uint64_t parse_spec_uint(const std::string& text, const std::string& what);
+
+/// Strict floating-point parse with the same rules as parse_spec_int;
+/// additionally rejects non-finite values (nan, inf).
+double parse_spec_real(const std::string& text, const std::string& what);
+
+/// A parsed, validated topology spec.  Parsing checks kind, arity, and
+/// value ranges up front; build() constructs the graph (randomized families
+/// draw from the supplied rng).
+struct TopologySpec {
+  std::string text;                 ///< original spec string
+  std::string kind;                 ///< family name, e.g. "grid"
+  std::vector<std::int64_t> ints;   ///< validated integer arguments
+  std::vector<double> reals;        ///< validated real arguments (gnp's p)
+
+  static TopologySpec parse(const std::string& spec);
+  graph::Graph build(Rng& rng) const;
+
+  /// True iff build() consumes randomness (gnp, tree, regular, wct).
+  bool randomized() const;
+};
+
+/// Parses a fault spec ("none", "sender:p", "receiver:p", "combined:ps:pr").
+radio::FaultModel parse_fault_spec(const std::string& spec);
+
+/// Every topology family name the grammar accepts, sorted.
+const std::vector<std::string>& topology_kinds();
+
+/// A complete experiment scenario.
+struct Scenario {
+  TopologySpec topology;
+  std::string fault_text = "none";
+  radio::FaultModel fault = radio::FaultModel::faultless();
+  graph::NodeId source = 0;
+  std::int64_t k = 1;            ///< messages for multi-message protocols
+  std::uint64_t seed = 1;        ///< master seed for graph + trials
+
+  /// Parses and validates both specs; throws SpecError on any problem.
+  static Scenario parse(const std::string& topology_spec,
+                        const std::string& fault_spec, graph::NodeId source = 0,
+                        std::int64_t k = 1, std::uint64_t seed = 1);
+
+  /// Materializes the topology deterministically from `seed` (randomized
+  /// families use a stream derived from the seed, independent of trials).
+  graph::Graph build_graph() const;
+
+  /// "grid:16x16 under receiver-faults(p=0.3), k=4, seed=7"
+  std::string describe() const;
+};
+
+}  // namespace nrn::sim

@@ -1,0 +1,120 @@
+// Driver: deterministic multi-trial experiments.  The same scenario must
+// produce bit-identical ExperimentReports run-to-run and regardless of the
+// thread count, and every registered protocol must run end to end through
+// the Driver on at least one scenario.
+#include "sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace nrn::sim {
+namespace {
+
+std::string csv_of(const ExperimentReport& report) {
+  std::ostringstream out;
+  write_csv(out, report);
+  return out.str();
+}
+
+TEST(Driver, ReportsAreBitIdenticalForTheSameSeed) {
+  const auto scenario = Scenario::parse("grid:8x8", "receiver:0.3", 0, 1, 42);
+  const auto a = Driver().run(scenario, "decay", 6);
+  const auto b = Driver().run(scenario, "decay", 6);
+  ASSERT_EQ(a.trials.size(), 6u);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(csv_of(a), csv_of(b));
+
+  // A different seed must change at least the derived trial seeds.
+  auto shifted = scenario;
+  shifted.seed = 43;
+  const auto c = Driver().run(shifted, "decay", 6);
+  EXPECT_NE(a.trials.front().net_seed, c.trials.front().net_seed);
+}
+
+TEST(Driver, ThreadedTrialsMatchSerialBitForBit) {
+  const auto scenario =
+      Scenario::parse("grid:10x10", "combined:0.2:0.2", 0, 1, 7);
+  const auto serial = Driver().run(scenario, "decay", 8);
+  for (const int threads : {2, 4, 8}) {
+    DriverOptions options;
+    options.threads = threads;
+    const auto threaded = Driver().run(scenario, "decay", 8, options);
+    EXPECT_EQ(serial.trials, threaded.trials) << threads << " threads";
+    EXPECT_EQ(csv_of(serial), csv_of(threaded)) << threads << " threads";
+  }
+}
+
+TEST(Driver, EveryRegisteredProtocolRunsOnAScenario) {
+  // k > 1 exercises the multi-message protocols; the single-message ones
+  // broadcast their one message regardless.
+  const auto scenario = Scenario::parse("path:24", "receiver:0.2", 0, 3, 11);
+  for (const auto& name : ProtocolRegistry::global().names()) {
+    SCOPED_TRACE(name);
+    const auto report = Driver().run(scenario, name, 2);
+    EXPECT_EQ(report.protocol, name);
+    EXPECT_EQ(report.node_count, 24);
+    ASSERT_EQ(report.trials.size(), 2u);
+    EXPECT_TRUE(report.all_completed());
+    for (const auto& trial : report.trials) EXPECT_GT(trial.run.rounds, 0);
+    // Reproducibility holds for every protocol, not just decay.
+    const auto again = Driver().run(scenario, name, 2);
+    EXPECT_EQ(report.trials, again.trials);
+  }
+}
+
+TEST(Driver, SummaryHelpersMatchTrials) {
+  const auto scenario = Scenario::parse("path:16", "none", 0, 1, 2);
+  const auto report = Driver().run(scenario, "decay", 5);
+  const auto rounds = report.rounds();
+  ASSERT_EQ(rounds.size(), 5u);
+  for (std::size_t i = 0; i < rounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(rounds[i],
+                     static_cast<double>(report.trials[i].run.rounds));
+  EXPECT_GT(report.median_rounds(), 0.0);
+  EXPECT_GT(report.mean_rounds(), 0.0);
+}
+
+TEST(Driver, UnknownProtocolThrows) {
+  const auto scenario = Scenario::parse("path:8", "none");
+  EXPECT_THROW(Driver().run(scenario, "nope", 1), SpecError);
+}
+
+TEST(Driver, EmittersCarryTheTrials) {
+  const auto scenario = Scenario::parse("star:32", "receiver:0.4", 0, 1, 13);
+  const auto report = Driver().run(scenario, "decay", 3);
+
+  const auto csv = csv_of(report);
+  EXPECT_NE(csv.find("trial,rounds,completed"), std::string::npos);
+  // 2 comment notes + 1 header + 3 trial rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+
+  std::ostringstream json;
+  write_json(json, report);
+  const auto text = json.str();
+  EXPECT_NE(text.find("\"protocol\": \"decay\""), std::string::npos);
+  EXPECT_NE(text.find("\"topology\": \"star:32\""), std::string::npos);
+  EXPECT_NE(text.find("\"trials\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"all_completed\": true"), std::string::npos);
+
+  std::ostringstream table;
+  write_table(table, report);
+  EXPECT_NE(table.str().find("decay on star:32"), std::string::npos);
+}
+
+TEST(Driver, BudgetExhaustionIsReportedNotThrown) {
+  const auto scenario = Scenario::parse("path:256", "none", 0, 1, 3);
+  DriverOptions options;
+  options.tuning.max_rounds = 4;
+  const auto report = Driver().run(scenario, "decay", 2, options);
+  EXPECT_FALSE(report.all_completed());
+  for (const auto& trial : report.trials) {
+    EXPECT_FALSE(trial.run.completed);
+    EXPECT_EQ(trial.run.rounds, 4);
+  }
+}
+
+}  // namespace
+}  // namespace nrn::sim

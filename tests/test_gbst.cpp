@@ -116,7 +116,7 @@ TEST(Gbst, FindInterferenceReportsNaiveViolations) {
 }
 
 TEST(Gbst, GridsOfVariousShapes) {
-  for (const auto [rows, cols] :
+  for (const auto& [rows, cols] :
        {std::pair{2, 32}, std::pair{4, 16}, std::pair{16, 4}}) {
     const auto g = make_grid(rows, cols);
     GbstBuildStats stats;

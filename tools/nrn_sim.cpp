@@ -1,76 +1,68 @@
 // nrn_sim -- command-line driver for the noisy radio network simulator.
 //
-// Runs any broadcast algorithm in the library on any built-in topology
-// under any fault model, with seeded trials and optional per-round traces.
+// A thin shell over the library's Scenario / ProtocolRegistry / Driver API:
+// all spec parsing, protocol selection, and the trial loop live in src/sim.
 //
 //   nrn_sim --topology=path:512 --algorithm=decay --fault=receiver:0.3
 //   nrn_sim --topology=grid:16x16 --algorithm=rlnc-decay --k=32 --trials=5
-//   nrn_sim --topology=star:1024 --algorithm=greedy --k=64 \
-//           --fault=combined:0.2:0.2 --seed=7 --csv
+//   nrn_sim --topology=star:1024 --algorithm=greedy --k=64 --fault=combined:0.2:0.2 --csv
+//   nrn_sim --list
 //
-// Exit status: 0 if every trial completed, 1 otherwise, 2 on usage errors.
+// Exit status: 0 if every trial completed, 1 otherwise, 2 on usage errors
+// (unknown flags, malformed specs, non-numeric values).
 #include <cstdint>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "core/decay.hpp"
-#include "core/fastbc.hpp"
-#include "core/greedy_router.hpp"
-#include "core/bipartite_pipeline.hpp"
-#include "core/multi_message.hpp"
-#include "core/robust_fastbc.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
-#include "radio/network.hpp"
-#include "topology/wct.hpp"
+#include "sim/sim.hpp"
 
 namespace {
 
 using namespace nrn;
 
+enum class Format { kTable, kCsv, kJson };
+
 struct Options {
   std::string topology = "path:64";
   std::string algorithm = "decay";
   std::string fault = "none";
+  std::int64_t source = 0;
   std::int64_t k = 1;
   std::uint64_t seed = 1;
-  int trials = 1;
-  bool csv = false;
-  bool trace = false;
+  std::int64_t trials = 1;
+  std::int64_t threads = 1;
+  Format format = Format::kTable;
+  bool list = false;
 };
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
             << "usage: nrn_sim [--topology=SPEC] [--algorithm=NAME] "
                "[--fault=SPEC]\n"
-            << "               [--k=N] [--seed=N] [--trials=N] [--csv] "
-               "[--trace]\n\n"
-            << "topologies: path:n  star:leaves  grid:RxC  gnp:n:p  tree:n\n"
-            << "            hypercube:d  caterpillar:spine:legs  "
-               "ring:cliques:size\n"
-            << "            complete:n  link  wct:budget\n"
-            << "algorithms: decay fastbc robust rlnc-decay rlnc-robust\n"
-            << "            pipeline greedy\n"
-            << "faults:     none  sender:p  receiver:p  combined:ps:pr\n";
+            << "               [--source=N] [--k=N] [--seed=N] [--trials=N]\n"
+            << "               [--threads=N] [--csv] [--json] [--list]\n\n"
+            << "topologies: path:n  cycle:n  star:leaves  complete:n  "
+               "grid:RxC\n"
+            << "            gnp:n:p  tree:n  binary-tree:n  hypercube:d\n"
+            << "            caterpillar:spine:legs  ring:cliques:size\n"
+            << "            barbell:clique:bridge  lollipop:clique:tail\n"
+            << "            regular:n:d  link  wct:budget\n"
+            << "algorithms:";
+  for (const auto& name : sim::ProtocolRegistry::global().names())
+    std::cerr << " " << name;
+  std::cerr << "\nfaults:     none  sender:p  receiver:p  combined:ps:pr\n";
   std::exit(2);
-}
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, sep)) parts.push_back(item);
-  return parts;
 }
 
 Options parse_args(int argc, char** argv) {
   Options opt;
+  auto int_value = [](const std::string& key, const std::string& value) {
+    try {
+      return sim::parse_spec_int(value, key);
+    } catch (const sim::SpecError& e) {
+      usage(e.what());
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto eq = arg.find('=');
@@ -83,16 +75,26 @@ Options parse_args(int argc, char** argv) {
       opt.algorithm = value;
     } else if (key == "--fault") {
       opt.fault = value;
+    } else if (key == "--source") {
+      opt.source = int_value(key, value);
     } else if (key == "--k") {
-      opt.k = std::strtoll(value.c_str(), nullptr, 10);
+      opt.k = int_value(key, value);
     } else if (key == "--seed") {
-      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+      try {
+        opt.seed = sim::parse_spec_uint(value, key);
+      } catch (const sim::SpecError& e) {
+        usage(e.what());
+      }
     } else if (key == "--trials") {
-      opt.trials = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      opt.trials = int_value(key, value);
+    } else if (key == "--threads") {
+      opt.threads = int_value(key, value);
     } else if (key == "--csv") {
-      opt.csv = true;
-    } else if (key == "--trace") {
-      opt.trace = true;
+      opt.format = Format::kCsv;
+    } else if (key == "--json") {
+      opt.format = Format::kJson;
+    } else if (key == "--list") {
+      opt.list = true;
     } else if (key == "--help" || key == "-h") {
       usage("help requested");
     } else {
@@ -101,150 +103,46 @@ Options parse_args(int argc, char** argv) {
   }
   if (opt.k < 1) usage("--k must be positive");
   if (opt.trials < 1) usage("--trials must be positive");
+  if (opt.threads < 1) usage("--threads must be positive");
+  if (opt.source < 0) usage("--source must be non-negative");
   return opt;
-}
-
-graph::Graph build_topology(const std::string& spec, Rng& rng) {
-  const auto parts = split(spec, ':');
-  const std::string& kind = parts[0];
-  auto arg_at = [&](std::size_t i) -> std::int64_t {
-    if (i >= parts.size()) usage("topology '" + spec + "' missing argument");
-    return std::strtoll(parts[i].c_str(), nullptr, 10);
-  };
-  if (kind == "path") return graph::make_path(static_cast<graph::NodeId>(arg_at(1)));
-  if (kind == "star") return graph::make_star(static_cast<graph::NodeId>(arg_at(1)));
-  if (kind == "complete")
-    return graph::make_complete(static_cast<graph::NodeId>(arg_at(1)));
-  if (kind == "grid") {
-    const auto dims = split(parts.size() > 1 ? parts[1] : "", 'x');
-    if (dims.size() != 2) usage("grid wants RxC");
-    return graph::make_grid(
-        static_cast<graph::NodeId>(std::strtoll(dims[0].c_str(), nullptr, 10)),
-        static_cast<graph::NodeId>(std::strtoll(dims[1].c_str(), nullptr, 10)));
-  }
-  if (kind == "gnp") {
-    if (parts.size() < 3) usage("gnp wants n:p");
-    return graph::make_connected_gnp(
-        static_cast<graph::NodeId>(arg_at(1)),
-        std::strtod(parts[2].c_str(), nullptr), rng);
-  }
-  if (kind == "tree")
-    return graph::make_random_tree(static_cast<graph::NodeId>(arg_at(1)), rng);
-  if (kind == "hypercube")
-    return graph::make_hypercube(static_cast<std::int32_t>(arg_at(1)));
-  if (kind == "caterpillar")
-    return graph::make_caterpillar(static_cast<graph::NodeId>(arg_at(1)),
-                                   static_cast<graph::NodeId>(arg_at(2)));
-  if (kind == "ring")
-    return graph::make_ring_of_cliques(static_cast<graph::NodeId>(arg_at(1)),
-                                       static_cast<graph::NodeId>(arg_at(2)));
-  if (kind == "link") return graph::make_single_link();
-  if (kind == "wct") {
-    const auto params = topology::WctParams::from_node_budget(
-        static_cast<std::int32_t>(arg_at(1)));
-    topology::WctNetwork wct(params, rng);
-    return wct.graph();  // structure only; schedules use the bench binaries
-  }
-  usage("unknown topology '" + kind + "'");
-}
-
-radio::FaultModel build_fault(const std::string& spec) {
-  const auto parts = split(spec, ':');
-  const std::string& kind = parts[0];
-  auto prob_at = [&](std::size_t i) -> double {
-    if (i >= parts.size()) usage("fault '" + spec + "' missing probability");
-    return std::strtod(parts[i].c_str(), nullptr);
-  };
-  if (kind == "none") return radio::FaultModel::faultless();
-  if (kind == "sender") return radio::FaultModel::sender(prob_at(1));
-  if (kind == "receiver") return radio::FaultModel::receiver(prob_at(1));
-  if (kind == "combined")
-    return radio::FaultModel::combined(prob_at(1), prob_at(2));
-  usage("unknown fault model '" + kind + "'");
-}
-
-struct TrialOutcome {
-  bool completed = false;
-  std::int64_t rounds = 0;
-};
-
-TrialOutcome run_trial(const Options& opt, const graph::Graph& g,
-                       radio::FaultModel fm, std::uint64_t trial_seed) {
-  radio::RadioNetwork net(g, fm, Rng(trial_seed));
-  Rng algo_rng(trial_seed ^ 0x1234abcdULL);
-  TrialOutcome out;
-  if (opt.algorithm == "decay") {
-    const auto r = core::Decay().run(net, 0, algo_rng);
-    out = {r.completed, r.rounds};
-  } else if (opt.algorithm == "fastbc") {
-    core::Fastbc algo(g, 0);
-    const auto r = algo.run(net, algo_rng);
-    out = {r.completed, r.rounds};
-  } else if (opt.algorithm == "robust") {
-    core::RobustFastbcParams params;
-    params.window_multiplier =
-        core::RobustFastbc::recommended_window_multiplier(fm.effective_loss());
-    core::RobustFastbc algo(g, 0, params);
-    const auto r = algo.run(net, algo_rng);
-    out = {r.completed, r.rounds};
-  } else if (opt.algorithm == "rlnc-decay" || opt.algorithm == "rlnc-robust") {
-    core::MultiMessageParams params;
-    params.k = static_cast<std::size_t>(opt.k);
-    params.pattern = opt.algorithm == "rlnc-decay"
-                         ? core::MultiPattern::kDecay
-                         : core::MultiPattern::kRobustFastbc;
-    core::RlncBroadcast algo(g, 0, params);
-    const auto r = algo.run(net, algo_rng);
-    out = {r.completed, r.rounds};
-  } else if (opt.algorithm == "pipeline") {
-    core::PipelineParams params;
-    params.k = opt.k;
-    const auto r = core::run_layered_pipeline_routing(net, 0, params, algo_rng);
-    out = {r.completed, r.rounds};
-  } else if (opt.algorithm == "greedy") {
-    core::GreedyRouterParams params;
-    params.k = opt.k;
-    const auto r = core::run_greedy_adaptive_routing(net, 0, params);
-    out = {r.completed, r.rounds};
-  } else {
-    usage("unknown algorithm '" + opt.algorithm + "'");
-  }
-  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
-  Rng topo_rng(opt.seed ^ 0xfeedULL);
-  const graph::Graph g = build_topology(opt.topology, topo_rng);
-  const radio::FaultModel fm = build_fault(opt.fault);
+  auto& registry = sim::ProtocolRegistry::global();
 
-  TableWriter table("nrn_sim " + opt.algorithm + " on " + opt.topology +
-                        " under " + to_string(fm),
-                    {"trial", "rounds", "completed", "rounds/message"});
-  table.add_note("n = " + std::to_string(g.node_count()) +
-                 ", edges = " + std::to_string(g.edge_count()) +
-                 ", k = " + std::to_string(opt.k) +
-                 ", seed = " + std::to_string(opt.seed));
-
-  std::vector<double> rounds;
-  bool all_completed = true;
-  for (int t = 0; t < opt.trials; ++t) {
-    const auto outcome = run_trial(opt, g, fm, opt.seed + 1000003ULL * t);
-    all_completed = all_completed && outcome.completed;
-    rounds.push_back(static_cast<double>(outcome.rounds));
-    table.add_row({fmt(t), fmt(outcome.rounds), verdict(outcome.completed),
-                   fmt(static_cast<double>(outcome.rounds) /
-                           static_cast<double>(opt.k),
-                       2)});
+  if (opt.list) {
+    for (const auto& name : registry.names())
+      std::cout << name << "  --  " << registry.description(name) << "\n";
+    return 0;
   }
-  const auto s = summarize(rounds);
-  table.add_note("median rounds: " + fmt(s.median, 0) + ", mean " +
-                 fmt(s.mean, 1) + " +/- " + fmt(ci95_halfwidth(s), 1));
-  if (opt.csv)
-    table.print_csv(std::cout);
-  else
-    table.print(std::cout);
-  return all_completed ? 0 : 1;
+
+  try {
+    const auto scenario = sim::Scenario::parse(
+        opt.topology, opt.fault, static_cast<graph::NodeId>(opt.source),
+        opt.k, opt.seed);
+    sim::DriverOptions driver_options;
+    driver_options.threads = static_cast<int>(opt.threads);
+    const auto report = sim::Driver(registry).run(
+        scenario, opt.algorithm, static_cast<int>(opt.trials), driver_options);
+    switch (opt.format) {
+      case Format::kTable:
+        sim::write_table(std::cout, report);
+        break;
+      case Format::kCsv:
+        sim::write_csv(std::cout, report);
+        break;
+      case Format::kJson:
+        sim::write_json(std::cout, report);
+        break;
+    }
+    return report.all_completed() ? 0 : 1;
+  } catch (const sim::SpecError& e) {
+    usage(e.what());
+  } catch (const nrn::ContractViolation& e) {
+    usage(e.what());
+  }
 }
