@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -68,6 +69,56 @@ inline double driver_median_rounds(const std::string& topology,
   NRN_ENSURES(report.all_completed(),
               protocol + " exceeded its budget on " + topology);
   return report.median_rounds();
+}
+
+/// Parses and runs a sweep plan through the extended registry (builtins
+/// plus the schedule protocols).  This is the bench-side grid runner: one
+/// plan per experiment table, no bespoke trial loops.
+inline sim::SweepReport run_sweep(const std::string& plan_text) {
+  const auto plan = sim::SweepPlan::parse(plan_text);
+  return sim::SweepRunner(sim::extended_registry()).run(plan);
+}
+
+/// The report's cell for (topology, fault, k, protocol); fails loudly when
+/// the plan did not produce it.
+inline const sim::ExperimentReport& sweep_cell(const sim::SweepReport& report,
+                                               const std::string& topology,
+                                               const std::string& fault,
+                                               std::int64_t k,
+                                               const std::string& protocol) {
+  for (const auto& cell : report.cells) {
+    const auto& exp = cell.experiment;
+    if (exp.scenario.topology.text == topology &&
+        exp.scenario.fault_text == fault && exp.scenario.k == k &&
+        exp.protocol == protocol)
+      return exp;
+  }
+  NRN_EXPECTS(false, "sweep report has no cell " + topology + "/" + fault +
+                         "/k=" + std::to_string(k) + "/" + protocol);
+  std::abort();  // unreachable; NRN_EXPECTS throws
+}
+
+/// Mean measured throughput (messages/round) over a cell's completed
+/// trials, and whether every trial completed -- the transform benches'
+/// success criterion.
+struct ThroughputSummary {
+  double throughput = 0.0;
+  bool success = false;
+};
+
+inline ThroughputSummary throughput_of(const sim::ExperimentReport& exp) {
+  ThroughputSummary out;
+  int completed = 0;
+  double total = 0.0;
+  for (const auto& trial : exp.trials) {
+    if (!trial.run.completed) continue;
+    ++completed;
+    total += static_cast<double>(trial.run.messages) /
+             static_cast<double>(trial.run.rounds);
+  }
+  out.success = completed == static_cast<int>(exp.trials.size());
+  out.throughput = completed > 0 ? total / completed : 0.0;
+  return out;
 }
 
 /// Spec string for a receiver-fault model, "none" when p == 0.

@@ -2,24 +2,31 @@
 // Non-adaptive routing pays Theta(log k) per message; coding and adaptive
 // routing pay Theta(1); so the non-adaptive gap grows like log k and the
 // adaptive gap is constant.
+//
+// Both tables are SweepPlans over the registry's link-* protocols (the
+// repetition/packet budgets derive from the scenario's fault model); the
+// bench only formats the resulting grid.
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/single_link.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace nrn;
 
+double completed_rounds(const sim::ExperimentReport& exp) {
+  NRN_ENSURES(exp.all_completed(),
+              exp.protocol + " failed on the link in E11/E12");
+  return exp.median_rounds();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
-  Rng rng(seed);
-  const double p = 0.5;
   const int trials = 5;
-  const auto g = graph::make_single_link();
+  const std::string common =
+      " trials=" + std::to_string(trials) + "; seed=" + std::to_string(seed);
 
   {
     TableWriter t(
@@ -30,37 +37,16 @@ int main(int argc, char** argv) {
     t.add_note("seed: " + std::to_string(seed));
     t.add_note("theory: non-adaptive = Theta(log k); adaptive and coding "
                "= Theta(1); gap/log2(k) ~ constant");
+    const auto report = bench::run_sweep(
+        "topology=link; fault=receiver:0.5; k={16..16384*4}; "
+        "protocols=link-nonadaptive,link-adaptive,link-coding;" + common);
     for (const std::int64_t k : {16, 64, 256, 1024, 4096, 16384}) {
-      const double na = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, radio::FaultModel::receiver(p),
-                                    Rng(r()));
-            const auto res = core::run_link_nonadaptive_routing(
-                net, k, core::link_nonadaptive_reps(k, p));
-            NRN_ENSURES(res.completed, "non-adaptive link failed in E11");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double ad = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, radio::FaultModel::receiver(p),
-                                    Rng(r()));
-            const auto res =
-                core::run_link_adaptive_routing(net, k, 1'000'000'000);
-            NRN_ENSURES(res.completed, "adaptive link failed in E11");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double cd = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(g, radio::FaultModel::receiver(p),
-                                    Rng(r()));
-            const auto res = core::run_link_rs_coding(
-                net, k, core::link_rs_packet_count(k, p));
-            NRN_ENSURES(res.completed, "coded link failed in E11");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
+      const double na = completed_rounds(bench::sweep_cell(
+          report, "link", "receiver:0.5", k, "link-nonadaptive"));
+      const double ad = completed_rounds(bench::sweep_cell(
+          report, "link", "receiver:0.5", k, "link-adaptive"));
+      const double cd = completed_rounds(bench::sweep_cell(
+          report, "link", "receiver:0.5", k, "link-coding"));
       const double gap = na / cd;
       t.add_row({fmt(k), fmt(na / k, 2), fmt(ad / k, 2), fmt(cd / k, 2),
                  fmt(gap, 2), fmt(gap / std::log2(k), 3)});
@@ -74,22 +60,18 @@ int main(int argc, char** argv) {
         "(Lemma 32: 1/(1-p))",
         {"p", "fault model", "rounds/message", "1/(1-p)"});
     const std::int64_t k = 4096;
-    for (const bool sender : {false, true}) {
-      for (const double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        const auto fm = sender ? radio::FaultModel::sender(q)
-                               : radio::FaultModel::receiver(q);
-        const double ad = bench::median_rounds(
-            [&](Rng& r) {
-              radio::RadioNetwork net(g, fm, Rng(r()));
-              const auto res =
-                  core::run_link_adaptive_routing(net, k, 1'000'000'000);
-              NRN_ENSURES(res.completed, "adaptive link failed in E12");
-              return static_cast<double>(res.rounds);
-            },
-            trials, rng);
-        t.add_row({fmt(q, 1), sender ? "sender" : "receiver",
-                   fmt(ad / k, 2), fmt(1.0 / (1.0 - q), 2)});
-      }
+    const auto report = bench::run_sweep(
+        "topology=link; protocols=link-adaptive; k=4096; "
+        "fault=receiver:{0.1,0.3,0.5,0.7,0.9},sender:{0.1,0.3,0.5,0.7,0.9};" +
+        common);
+    for (const auto& cell : report.cells) {
+      const auto& fault = cell.experiment.scenario.fault;
+      const double q = fault.effective_loss();
+      const double ad = completed_rounds(cell.experiment);
+      t.add_row({fmt(q, 1),
+                 fault.kind == radio::FaultKind::kSender ? "sender"
+                                                         : "receiver",
+                 fmt(ad / k, 2), fmt(1.0 / (1.0 - q), 2)});
     }
     t.print(std::cout);
   }

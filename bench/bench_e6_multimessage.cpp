@@ -1,33 +1,28 @@
 // E6 (Lemmas 12/13): multi-message RLNC broadcast throughput.
 // Decay+RLNC achieves Omega(1/log n); RobustFASTBC+RLNC achieves
 // Omega(1/(log n log log n)) with a better additive D term.
+//
+// Every table is one SweepPlan over the registry's rlnc-decay/rlnc-robust
+// protocols; the bench only formats the resulting grid.
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/multi_message.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace nrn;
 
-double run_multi(const graph::Graph& g, core::MultiMessageParams params,
-                 radio::FaultModel fm, Rng& rng) {
-  core::RlncBroadcast algo(g, 0, params);
-  radio::RadioNetwork net(g, fm, Rng(rng()));
-  Rng algo_rng(rng());
-  const auto r = algo.run(net, algo_rng);
-  NRN_ENSURES(r.completed, "RLNC broadcast exceeded its budget in E6");
-  return static_cast<double>(r.rounds);
+double completed_median_rounds(const sim::ExperimentReport& exp) {
+  NRN_ENSURES(exp.all_completed(), "RLNC broadcast exceeded its budget in E6");
+  return exp.median_rounds();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
-  Rng rng(seed);
-  const int trials = 3;
-  const auto fm = radio::FaultModel::receiver(0.3);
+  const std::string common =
+      " fault=receiver:0.3; trials=3; seed=" + std::to_string(seed);
 
   {
     TableWriter t(
@@ -37,12 +32,11 @@ int main(int argc, char** argv) {
     t.add_note("seed: " + std::to_string(seed));
     t.add_note("theory: O(D log n + k log n + log^2 n) -- rounds/message "
                "approaches Theta(log n) as k grows");
-    const auto g = graph::make_path(32);
-    for (const std::int64_t k : {4, 8, 16, 32, 64, 128}) {
-      core::MultiMessageParams params;
-      params.k = static_cast<std::size_t>(k);
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) { return run_multi(g, params, fm, r); }, trials, rng);
+    const auto report = bench::run_sweep(
+        "topology=path:32; protocols=rlnc-decay; k={4..128*2};" + common);
+    for (const auto& cell : report.cells) {
+      const std::int64_t k = cell.experiment.scenario.k;
+      const double rounds = completed_median_rounds(cell.experiment);
       t.add_row({fmt(k), fmt(rounds, 0), fmt(rounds / k, 1),
                  fmt(rounds / k / 5.0, 2)});
     }
@@ -56,13 +50,13 @@ int main(int argc, char** argv) {
         {"n (path)", "log2 n", "median rounds", "rounds/((D+k) log2 n)"});
     t.add_note("with k fixed, the D log n term dominates as the path "
                "grows; the normalized column should be roughly flat");
-    for (const std::int32_t n : {16, 32, 64, 128}) {
-      const auto g = graph::make_path(n);
-      core::MultiMessageParams params;
-      params.k = 32;
-      const double rounds = bench::median_rounds(
-          [&](Rng& r) { return run_multi(g, params, fm, r); }, trials, rng);
-      t.add_row({fmt(n), fmt(std::log2(n), 1), fmt(rounds, 0),
+    const auto report = bench::run_sweep(
+        "topology=path:{16..128*2}; protocols=rlnc-decay; k=32;" + common);
+    for (const auto& cell : report.cells) {
+      const double n = static_cast<double>(cell.experiment.node_count);
+      const double rounds = completed_median_rounds(cell.experiment);
+      t.add_row({fmt(cell.experiment.node_count), fmt(std::log2(n), 1),
+                 fmt(rounds, 0),
                  fmt(rounds / ((n - 1 + 32.0) * std::log2(n)), 2)});
     }
     t.print(std::cout);
@@ -75,27 +69,15 @@ int main(int argc, char** argv) {
         {"topology", "Decay+RLNC rounds", "RobustFASTBC+RLNC rounds"});
     t.add_note("Robust FASTBC's pattern trades a log log n throughput "
                "factor for a D-linear (not D log n) additive term");
-    struct Case {
-      std::string name;
-      graph::Graph g;
-    };
-    std::vector<Case> cases;
-    cases.push_back({"path-64", graph::make_path(64)});
-    cases.push_back({"grid-8x8", graph::make_grid(8, 8)});
-    cases.push_back({"star-63", graph::make_star(63)});
-    for (const auto& c : cases) {
-      core::MultiMessageParams decay_params;
-      decay_params.k = 32;
-      const double dr = bench::median_rounds(
-          [&](Rng& r) { return run_multi(c.g, decay_params, fm, r); }, trials,
-          rng);
-      core::MultiMessageParams robust_params;
-      robust_params.k = 32;
-      robust_params.pattern = core::MultiPattern::kRobustFastbc;
-      const double rr = bench::median_rounds(
-          [&](Rng& r) { return run_multi(c.g, robust_params, fm, r); },
-          trials, rng);
-      t.add_row({c.name, fmt(dr, 0), fmt(rr, 0)});
+    const auto report = bench::run_sweep(
+        "topology=path:64,grid:8x8,star:63; "
+        "protocols=rlnc-decay,rlnc-robust; k=32;" + common);
+    for (const std::string topology : {"path:64", "grid:8x8", "star:63"}) {
+      const double dr = completed_median_rounds(bench::sweep_cell(
+          report, topology, "receiver:0.3", 32, "rlnc-decay"));
+      const double rr = completed_median_rounds(bench::sweep_cell(
+          report, topology, "receiver:0.3", 32, "rlnc-robust"));
+      t.add_row({topology, fmt(dr, 0), fmt(rr, 0)});
     }
     t.print(std::cout);
   }

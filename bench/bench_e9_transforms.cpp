@@ -1,69 +1,47 @@
 // E9/E10 (Lemmas 25/26): faultless schedules transform into fault-robust
 // ones with throughput tau(1-p).
+//
+// Each table is one SweepPlan over the registry's transform-routing /
+// transform-coding protocols (the star and path-pipeline base schedules
+// are selected by the scenario's topology, k is the base message count);
+// the bench only formats the resulting grid.
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "core/transforms.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace nrn;
 
-struct Row {
-  double throughput = 0.0;
-  bool success = false;
-};
-
-template <typename RunFn>
-Row measure(const graph::Graph& g, radio::FaultModel fm,
-            const core::BaseSchedule& base, const core::TransformParams& tp,
-            Rng& rng, RunFn&& run) {
-  Row row;
-  int successes = 0;
-  double tput = 0.0;
-  const int trials = 3;
-  for (int t = 0; t < trials; ++t) {
-    radio::RadioNetwork net(g, fm, Rng(rng()));
-    Rng algo(rng());
-    const auto res = run(net, base, tp, algo);
-    if (res.run.completed) {
-      ++successes;
-      tput += res.measured_throughput;
-    }
-  }
-  row.success = successes == trials;
-  row.throughput = successes > 0 ? tput / successes : 0.0;
-  return row;
+// The protocols pick x = 64 and eta = recommended_transform_eta(p) when the
+// tuning leaves them unset; the target columns use the same eta.
+double target_throughput(double tau, double p) {
+  return tau * (1.0 - p) / (1.0 + core::recommended_transform_eta(p));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
-  Rng rng(seed);
-  // x is capped at 64 sub-messages (the paper takes x -> infinity to make
-  // eta arbitrarily small); at that x the Chernoff margin needs eta to
-  // grow with p, so each row picks eta accordingly.
-  const auto eta_for = [](double p) { return p >= 0.5 ? 0.5 : 0.25; };
+  const std::string common = " k=8; trials=3; seed=" + std::to_string(seed);
+  // The pipeline base's finite-k throughput: k0 / rounds = 8 / (3*7+12).
+  const double tau_pipeline = 8.0 / (3.0 * 7 + 12);
 
   {
     TableWriter t(
         "E9a  Lemma 25: routing transform under sender faults "
         "(star base, tau = 1)",
         {"p", "measured throughput", "tau(1-p)/(1+eta)", "ratio", "success"});
-    t.add_note("seed: " + std::to_string(seed) + ", x = 64, eta = 0.25 (0.5 for p >= 0.5)");
-    const auto g = graph::make_star(16);
-    core::StarBaseSchedule base(8);
-    for (const double p : {0.0, 0.2, 0.4, 0.6, 0.8}) {
-      const auto fm = p == 0.0 ? radio::FaultModel::faultless()
-                               : radio::FaultModel::sender(p);
-      core::TransformParams tp;
-      tp.x = 64;
-      tp.eta = eta_for(p);
-      const auto row =
-          measure(g, fm, base, tp, rng, core::run_routing_transform);
-      const double target = 1.0 * (1.0 - p) / (1.0 + tp.eta);
+    t.add_note("seed: " + std::to_string(seed) +
+               ", x = 64, eta = 0.25 (0.5 for p >= 0.5)");
+    const auto report = bench::run_sweep(
+        "topology=star:16; protocols=transform-routing; "
+        "fault=none,sender:{0.2,0.4,0.6,0.8};" + common);
+    for (const auto& cell : report.cells) {
+      const double p = cell.experiment.scenario.fault.effective_loss();
+      const auto row = bench::throughput_of(cell.experiment);
+      const double target = target_throughput(1.0, p);
       t.add_row({fmt(p, 1), fmt(row.throughput, 3), fmt(target, 3),
                  fmt(row.throughput > 0 ? row.throughput / target : 0.0, 2),
                  verdict(row.success)});
@@ -75,19 +53,13 @@ int main(int argc, char** argv) {
     TableWriter t(
         "E9b  Lemma 25 on the path pipeline base (tau = 1/3), sender faults",
         {"p", "measured throughput", "tau(1-p)/(1+eta)", "ratio", "success"});
-    const auto g = graph::make_path(12);
-    core::PathPipelineBaseSchedule base(12, 8);
-    for (const double p : {0.0, 0.2, 0.4, 0.6}) {
-      const auto fm = p == 0.0 ? radio::FaultModel::faultless()
-                               : radio::FaultModel::sender(p);
-      core::TransformParams tp;
-      tp.x = 64;
-      tp.eta = eta_for(p);
-      const auto row =
-          measure(g, fm, base, tp, rng, core::run_routing_transform);
-      // The pipeline's finite-k throughput: k0 / rounds = 8 / (3*7+12).
-      const double tau0 = 8.0 / (3.0 * 7 + 12);
-      const double target = tau0 * (1.0 - p) / (1.0 + tp.eta);
+    const auto report = bench::run_sweep(
+        "topology=path:12; protocols=transform-routing; "
+        "fault=none,sender:{0.2,0.4,0.6};" + common);
+    for (const auto& cell : report.cells) {
+      const double p = cell.experiment.scenario.fault.effective_loss();
+      const auto row = bench::throughput_of(cell.experiment);
+      const double target = target_throughput(tau_pipeline, p);
       t.add_row({fmt(p, 1), fmt(row.throughput, 3), fmt(target, 3),
                  fmt(row.throughput > 0 ? row.throughput / target : 0.0, 2),
                  verdict(row.success)});
@@ -102,23 +74,18 @@ int main(int argc, char** argv) {
         {"fault model", "p", "measured throughput", "target", "success"});
     t.add_note("the coding transform needs no adaptivity, so it survives "
                "receiver faults too -- the routing transform does not");
-    const auto g = graph::make_path(12);
-    core::PathPipelineBaseSchedule base(12, 8);
-    const double tau0 = 8.0 / (3.0 * 7 + 12);
-    for (const bool sender : {true, false}) {
-      for (const double p : {0.2, 0.5}) {
-        const auto fm = sender ? radio::FaultModel::sender(p)
-                               : radio::FaultModel::receiver(p);
-        core::TransformParams tp;
-        tp.x = 64;
-        tp.eta = eta_for(p);
-        const auto row =
-            measure(g, fm, base, tp, rng, core::run_coding_transform);
-        const double target = tau0 * (1.0 - p) / (1.0 + tp.eta);
-        t.add_row({sender ? "sender" : "receiver", fmt(p, 1),
-                   fmt(row.throughput, 3), fmt(target, 3),
-                   verdict(row.success)});
-      }
+    const auto report = bench::run_sweep(
+        "topology=path:12; protocols=transform-coding; "
+        "fault=sender:{0.2,0.5},receiver:{0.2,0.5};" + common);
+    for (const auto& cell : report.cells) {
+      const auto& fault = cell.experiment.scenario.fault;
+      const double p = fault.effective_loss();
+      const auto row = bench::throughput_of(cell.experiment);
+      t.add_row({fault.kind == radio::FaultKind::kSender ? "sender"
+                                                         : "receiver",
+                 fmt(p, 1), fmt(row.throughput, 3),
+                 fmt(target_throughput(tau_pipeline, p), 3),
+                 verdict(row.success)});
     }
     t.print(std::cout);
   }

@@ -84,6 +84,12 @@ struct TransformParams {
   double eta = 0.25;     ///< meta-round slack
 };
 
+/// Meta-round slack that keeps the Chernoff margin at the x = 64 cap the
+/// experiments use: eta must grow with the loss rate.
+inline double recommended_transform_eta(double loss) {
+  return loss >= 0.5 ? 0.5 : 0.25;
+}
+
 struct TransformResult {
   MultiRunResult run;           ///< rounds/messages in *sub-message* units
   std::int64_t meta_length = 0; ///< rounds per meta-round

@@ -71,6 +71,8 @@ struct FaultModel {
     }
   }
 
+  friend bool operator==(const FaultModel&, const FaultModel&) = default;
+
   /// Probability that a single uncontested transmission is lost end to
   /// end; the budget formulas of the algorithms use this.
   double effective_loss() const {

@@ -15,6 +15,12 @@ bool ExperimentReport::all_completed() const {
   return true;
 }
 
+int ExperimentReport::completed_trials() const {
+  int done = 0;
+  for (const auto& trial : trials) done += trial.run.completed ? 1 : 0;
+  return done;
+}
+
 std::vector<double> ExperimentReport::rounds() const {
   std::vector<double> out;
   out.reserve(trials.size());

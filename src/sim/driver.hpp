@@ -36,9 +36,13 @@ struct ExperimentReport {
   std::vector<TrialReport> trials;
 
   bool all_completed() const;
+  int completed_trials() const;
   std::vector<double> rounds() const;   ///< per-trial round counts, in order
   double median_rounds() const;
   double mean_rounds() const;
+
+  friend bool operator==(const ExperimentReport&,
+                         const ExperimentReport&) = default;
 };
 
 struct DriverOptions {

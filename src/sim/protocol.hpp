@@ -52,6 +52,10 @@ struct Tuning {
   std::int32_t window_multiplier = 0;  ///< Robust FASTBC window constant c
   std::int64_t batch = 0;              ///< pipeline batch size k'
   std::int64_t max_rounds = 0;         ///< round budget override
+  std::int64_t transform_x = 0;        ///< Lemma 25/26 sub-messages per base
+  double transform_eta = 0.0;          ///< Lemma 25/26 meta-round slack
+
+  friend bool operator==(const Tuning&, const Tuning&) = default;
 };
 
 /// A broadcast protocol bound to a concrete (graph, scenario).

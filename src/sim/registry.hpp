@@ -65,4 +65,16 @@ class ProtocolRegistry {
 /// exposed so tests can build isolated registries).
 void register_builtin_protocols(ProtocolRegistry& registry);
 
+/// Registers the schedule-level protocols: the Lemma 25/26 transforms
+/// (star/path base schedules) and the Appendix A single-link schedules.
+/// These are topology-constrained -- their factories throw SpecError on a
+/// scenario they cannot schedule -- so they live outside global() and are
+/// added explicitly by the sweep CLI, the benches, and the tests.
+void register_schedule_protocols(ProtocolRegistry& registry);
+
+/// The process-wide registry with the builtin AND schedule-level
+/// protocols: the one assembly the CLI, the sweep benches, and the sweep
+/// tests all run against.
+const ProtocolRegistry& extended_registry();
+
 }  // namespace nrn::sim

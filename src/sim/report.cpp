@@ -46,6 +46,57 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+/// The body of one experiment's JSON object (no surrounding braces); each
+/// line is prefixed with `indent`.  write_json and the sweep cell array
+/// share this so the two emitters cannot drift apart.
+void write_experiment_fields(std::ostream& os, const ExperimentReport& report,
+                             const std::string& indent) {
+  os << indent << "\"protocol\": \"" << json_escape(report.protocol)
+     << "\",\n"
+     << indent << "\"topology\": \""
+     << json_escape(report.scenario.topology.text) << "\",\n"
+     << indent << "\"fault\": \"" << json_escape(report.scenario.fault_text)
+     << "\",\n"
+     << indent << "\"source\": " << report.scenario.source << ",\n"
+     << indent << "\"k\": " << report.scenario.k << ",\n"
+     // Seeds are full-range uint64; emit as strings so double-backed JSON
+     // parsers cannot round them (they must reproduce trials exactly).
+     << indent << "\"seed\": \"" << report.scenario.seed << "\",\n"
+     << indent << "\"nodes\": " << report.node_count << ",\n"
+     << indent << "\"edges\": " << report.edge_count << ",\n"
+     << indent << "\"trials\": [\n";
+  for (std::size_t i = 0; i < report.trials.size(); ++i) {
+    const auto& trial = report.trials[i];
+    os << indent << "  {\"trial\": " << trial.index
+       << ", \"rounds\": " << trial.run.rounds << ", \"completed\": "
+       << (trial.run.completed ? "true" : "false")
+       << ", \"messages\": " << trial.run.messages
+       << ", \"informed\": " << trial.run.informed
+       << ", \"net_seed\": \"" << trial.net_seed
+       << "\", \"algo_seed\": \"" << trial.algo_seed << "\"}"
+       << (i + 1 < report.trials.size() ? "," : "") << "\n";
+  }
+  os << indent << "],\n"
+     << indent << "\"median_rounds\": " << report.median_rounds() << ",\n"
+     << indent << "\"all_completed\": "
+     << (report.all_completed() ? "true" : "false") << "\n";
+}
+
+/// Median rounds-per-message across a cell's trials.
+double median_rpm(const ExperimentReport& report) {
+  if (report.trials.empty()) return 0.0;
+  std::vector<double> rpm;
+  rpm.reserve(report.trials.size());
+  for (const auto& trial : report.trials)
+    rpm.push_back(trial.run.rounds_per_message());
+  return quantile(rpm, 0.5);
+}
+
+std::string completed_cell(const ExperimentReport& report) {
+  return std::to_string(report.completed_trials()) + "/" +
+         std::to_string(report.trials.size());
+}
+
 }  // namespace
 
 void write_table(std::ostream& os, const ExperimentReport& report) {
@@ -57,34 +108,69 @@ void write_csv(std::ostream& os, const ExperimentReport& report) {
 }
 
 void write_json(std::ostream& os, const ExperimentReport& report) {
-  os << "{\n"
-     << "  \"protocol\": \"" << json_escape(report.protocol) << "\",\n"
-     << "  \"topology\": \"" << json_escape(report.scenario.topology.text)
-     << "\",\n"
-     << "  \"fault\": \"" << json_escape(report.scenario.fault_text) << "\",\n"
-     << "  \"source\": " << report.scenario.source << ",\n"
-     << "  \"k\": " << report.scenario.k << ",\n"
-     // Seeds are full-range uint64; emit as strings so double-backed JSON
-     // parsers cannot round them (they must reproduce trials exactly).
-     << "  \"seed\": \"" << report.scenario.seed << "\",\n"
-     << "  \"nodes\": " << report.node_count << ",\n"
-     << "  \"edges\": " << report.edge_count << ",\n"
-     << "  \"trials\": [\n";
-  for (std::size_t i = 0; i < report.trials.size(); ++i) {
-    const auto& trial = report.trials[i];
-    os << "    {\"trial\": " << trial.index
-       << ", \"rounds\": " << trial.run.rounds << ", \"completed\": "
-       << (trial.run.completed ? "true" : "false")
-       << ", \"messages\": " << trial.run.messages
-       << ", \"informed\": " << trial.run.informed
-       << ", \"net_seed\": \"" << trial.net_seed
-       << "\", \"algo_seed\": \"" << trial.algo_seed << "\"}"
-       << (i + 1 < report.trials.size() ? "," : "") << "\n";
+  os << "{\n";
+  write_experiment_fields(os, report, "  ");
+  os << "}\n";
+}
+
+void write_sweep_table(std::ostream& os, const SweepReport& report) {
+  TableWriter table("sweep: " + report.plan_text,
+                    {"cell", "topology", "fault", "k", "protocol", "trials",
+                     "nodes", "completed", "median rounds", "mean rounds",
+                     "median rpm", "cache"});
+  table.add_note("master seed = " + std::to_string(report.master_seed) +
+                 ", cells = " + std::to_string(report.cells.size()) + " of " +
+                 std::to_string(report.total_cells) +
+                 (report.complete() ? "" : " (shard subset)"));
+  table.add_note("cache hits: " + std::to_string(report.cache_hits()) + "/" +
+                 std::to_string(report.cells.size()));
+  for (const auto& cell : report.cells) {
+    const auto& exp = cell.experiment;
+    table.add_row({fmt(cell.cell_index), exp.scenario.topology.text,
+                   exp.scenario.fault_text, fmt(exp.scenario.k), exp.protocol,
+                   fmt(static_cast<std::int64_t>(exp.trials.size())),
+                   fmt(exp.node_count), completed_cell(exp),
+                   fmt(exp.median_rounds(), 1), fmt(exp.mean_rounds(), 2),
+                   fmt(median_rpm(exp), 2), cell.from_cache ? "hit" : "-"});
   }
-  os << "  ],\n"
-     << "  \"median_rounds\": " << report.median_rounds() << ",\n"
-     << "  \"all_completed\": " << (report.all_completed() ? "true" : "false")
-     << "\n}\n";
+  table.print(os);
+}
+
+void write_sweep_csv(std::ostream& os, const SweepReport& report) {
+  os << "# sweep: " << report.plan_text << "\n"
+     << "# master_seed = " << report.master_seed << ", cells = "
+     << report.cells.size() << " of " << report.total_cells << "\n"
+     << "cell,topology,fault,source,k,protocol,trials,seed,nodes,edges,"
+        "completed_trials,median_rounds,mean_rounds,median_rpm\n";
+  for (const auto& cell : report.cells) {
+    const auto& exp = cell.experiment;
+    os << cell.cell_index << "," << exp.scenario.topology.text << ","
+       << exp.scenario.fault_text << "," << exp.scenario.source << ","
+       << exp.scenario.k << "," << exp.protocol << "," << exp.trials.size()
+       << "," << exp.scenario.seed << "," << exp.node_count << ","
+       << exp.edge_count << "," << exp.completed_trials() << ","
+       << fmt(exp.median_rounds(), 1) << "," << fmt(exp.mean_rounds(), 2)
+       << "," << fmt(median_rpm(exp), 2) << "\n";
+  }
+}
+
+void write_sweep_json(std::ostream& os, const SweepReport& report) {
+  os << "{\n"
+     << "  \"plan\": \"" << json_escape(report.plan_text) << "\",\n"
+     << "  \"master_seed\": \"" << report.master_seed << "\",\n"
+     << "  \"total_cells\": " << report.total_cells << ",\n"
+     << "  \"cell_count\": " << report.cells.size() << ",\n"
+     << "  \"all_completed\": "
+     << (report.all_completed() ? "true" : "false") << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const auto& cell = report.cells[i];
+    os << "    {\n"
+       << "      \"cell\": " << cell.cell_index << ",\n";
+    write_experiment_fields(os, cell.experiment, "      ");
+    os << "    }" << (i + 1 < report.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
 }
 
 }  // namespace nrn::sim

@@ -1,13 +1,17 @@
-// Report emitters: one ExperimentReport, three renderings.
+// Report emitters: experiment and sweep reports, three renderings each.
 //
-// The text table matches the library's TableWriter house style; CSV and
-// JSON carry the same per-trial rows plus the scenario header, so external
-// plotting and the CI smoke checks share one source of truth.
+// The text tables match the library's TableWriter house style; CSV and
+// JSON carry the same rows plus the scenario/plan headers, so external
+// plotting, the golden-file regression tests, and the CI smoke checks
+// share one source of truth.  Emitter output is deterministic in the
+// report alone (cache provenance is surfaced only in the human table), so
+// a merged sharded sweep emits byte-identical CSV/JSON to the serial run.
 #pragma once
 
 #include <iosfwd>
 
 #include "sim/driver.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace nrn::sim {
 
@@ -19,5 +23,16 @@ void write_csv(std::ostream& os, const ExperimentReport& report);
 
 /// A single JSON object with scenario metadata and a "trials" array.
 void write_json(std::ostream& os, const ExperimentReport& report);
+
+/// Aligned grid table: one row per cell with summary statistics (and a
+/// cache-provenance column; the only emitter that shows cache state).
+void write_sweep_table(std::ostream& os, const SweepReport& report);
+
+/// CSV grid: plan comment lines, then one summary row per cell.
+void write_sweep_csv(std::ostream& os, const SweepReport& report);
+
+/// JSON object with the plan header and a "cells" array; each cell embeds
+/// the same fields as write_json, including its per-trial array.
+void write_sweep_json(std::ostream& os, const SweepReport& report);
 
 }  // namespace nrn::sim

@@ -59,6 +59,8 @@ struct TopologySpec {
 
   /// True iff build() consumes randomness (gnp, tree, regular, wct).
   bool randomized() const;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 };
 
 /// Parses a fault spec ("none", "sender:p", "receiver:p", "combined:ps:pr").
@@ -87,6 +89,8 @@ struct Scenario {
 
   /// "grid:16x16 under receiver-faults(p=0.3), k=4, seed=7"
   std::string describe() const;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
 }  // namespace nrn::sim

@@ -1,0 +1,160 @@
+// Schedule-level protocol adapters: the Lemma 25/26 transforms and the
+// Appendix A single-link schedules behind the uniform BroadcastProtocol
+// interface.  Unlike the builtin broadcast protocols these only run on the
+// topologies whose base schedules exist (star/path for the transforms, the
+// two-node link for the Appendix A schedules), so their factories validate
+// the scenario and they are registered separately from global().
+#include <memory>
+
+#include "core/single_link.hpp"
+#include "core/transforms.hpp"
+#include "sim/registry.hpp"
+
+namespace nrn::sim {
+
+namespace {
+
+std::unique_ptr<core::BaseSchedule> base_schedule_for(
+    const ProtocolContext& ctx, const std::string& protocol) {
+  const auto& topology = ctx.scenario.topology;
+  const std::int64_t k0 = ctx.scenario.k;
+  if (topology.kind == "star")
+    return std::make_unique<core::StarBaseSchedule>(k0);
+  if (topology.kind == "path")
+    return std::make_unique<core::PathPipelineBaseSchedule>(
+        static_cast<std::int32_t>(topology.ints.at(0)), k0);
+  throw SpecError(protocol + " needs a star:* or path:* topology, got '" +
+                  topology.text + "'");
+}
+
+core::TransformParams transform_params(const ProtocolContext& ctx) {
+  core::TransformParams params;
+  if (ctx.tuning.transform_x > 0) params.x = ctx.tuning.transform_x;
+  else params.x = 64;  // the experiments' x cap (paper takes x -> infinity)
+  params.eta = ctx.tuning.transform_eta > 0.0
+                   ? ctx.tuning.transform_eta
+                   : core::recommended_transform_eta(
+                         ctx.scenario.fault.effective_loss());
+  return params;
+}
+
+class TransformProtocol final : public BroadcastProtocol {
+ public:
+  TransformProtocol(const ProtocolContext& ctx, bool coding)
+      : name_(coding ? "transform-coding" : "transform-routing"),
+        coding_(coding),
+        base_(base_schedule_for(ctx, name_)),
+        params_(transform_params(ctx)) {}
+
+  const std::string& name() const override { return name_; }
+
+  RunReport run(radio::RadioNetwork& net, Rng& rng,
+                radio::TraceRecorder* /*trace*/) const override {
+    const auto result =
+        coding_ ? core::run_coding_transform(net, *base_, params_, rng)
+                : core::run_routing_transform(net, *base_, params_, rng);
+    // The run is in sub-message units, so rounds_per_message() inverts to
+    // the transform's measured throughput.
+    return RunReport::from(result.run);
+  }
+
+ private:
+  std::string name_;
+  bool coding_;
+  std::unique_ptr<core::BaseSchedule> base_;
+  core::TransformParams params_;
+};
+
+enum class LinkMode { kNonadaptive, kAdaptive, kCoding };
+
+class LinkProtocol final : public BroadcastProtocol {
+ public:
+  LinkProtocol(const ProtocolContext& ctx, LinkMode mode, std::string name)
+      : name_(std::move(name)), mode_(mode), k_(ctx.scenario.k) {
+    if (ctx.scenario.topology.kind != "link")
+      throw SpecError(name_ + " needs the 'link' topology, got '" +
+                      ctx.scenario.topology.text + "'");
+    const double loss = ctx.scenario.fault.effective_loss();
+    reps_ = loss > 0.0 ? core::link_nonadaptive_reps(k_, loss) : 1;
+    packets_ = core::link_rs_packet_count(k_, loss);
+    max_rounds_ =
+        ctx.tuning.max_rounds > 0 ? ctx.tuning.max_rounds : 1'000'000'000;
+  }
+
+  const std::string& name() const override { return name_; }
+
+  RunReport run(radio::RadioNetwork& net, Rng& /*rng*/,
+                radio::TraceRecorder* /*trace*/) const override {
+    // All three schedules are deterministic given the network's fault tape.
+    switch (mode_) {
+      case LinkMode::kNonadaptive:
+        return RunReport::from(
+            core::run_link_nonadaptive_routing(net, k_, reps_));
+      case LinkMode::kAdaptive:
+        return RunReport::from(
+            core::run_link_adaptive_routing(net, k_, max_rounds_));
+      case LinkMode::kCoding:
+        return RunReport::from(core::run_link_rs_coding(net, k_, packets_));
+    }
+    NRN_EXPECTS(false, "unhandled link mode");
+    return {};
+  }
+
+ private:
+  std::string name_;
+  LinkMode mode_;
+  std::int64_t k_;
+  std::int64_t reps_ = 1;
+  std::int64_t packets_ = 1;
+  std::int64_t max_rounds_ = 0;
+};
+
+}  // namespace
+
+const ProtocolRegistry& extended_registry() {
+  static const ProtocolRegistry* registry = [] {
+    auto* r = new ProtocolRegistry();
+    register_builtin_protocols(*r);
+    register_schedule_protocols(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void register_schedule_protocols(ProtocolRegistry& registry) {
+  registry.add("transform-routing",
+               "Lemma 25: routing transform of a faultless base schedule "
+               "(star/path), throughput tau(1-p) under sender faults",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<TransformProtocol>(ctx, false);
+               });
+  registry.add("transform-coding",
+               "Lemma 26: coding transform of a faultless base schedule "
+               "(star/path), robust to sender or receiver faults",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<TransformProtocol>(ctx, true);
+               });
+  registry.add("link-nonadaptive",
+               "Lemma 29: non-adaptive repetition schedule on the single "
+               "link, Theta(log k) rounds/message",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<LinkProtocol>(
+                     ctx, LinkMode::kNonadaptive, "link-nonadaptive");
+               });
+  registry.add("link-adaptive",
+               "Lemma 32: adaptive feedback schedule on the single link, "
+               "1/(1-p) rounds/message",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<LinkProtocol>(
+                     ctx, LinkMode::kAdaptive, "link-adaptive");
+               });
+  registry.add("link-coding",
+               "Lemma 30: Reed-Solomon stream on the single link, Theta(1) "
+               "rounds/message",
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<LinkProtocol>(ctx, LinkMode::kCoding,
+                                                       "link-coding");
+               });
+}
+
+}  // namespace nrn::sim

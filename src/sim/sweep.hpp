@@ -1,0 +1,95 @@
+// Sweep plans: the cross-product grammar over scenarios and protocols.
+//
+// A SweepPlan describes a whole experiment grid in one string -- topologies
+// x fault models x message counts x protocols -- and expands it
+// deterministically into an ordered list of cells, each of which is one
+// (Scenario, protocol, trials) experiment for the Driver.  Plans are the
+// unit of sharding and caching: the expansion order, the per-cell seeds,
+// and the cell keys depend only on the plan text and the master seed, never
+// on which process or thread runs a cell.
+//
+// Plan grammar (clauses separated by ';', an optional leading "sweep:"):
+//   topology=SPEC[,SPEC...]    required; TopologySpec grammar per item
+//   protocols=NAME[,NAME...]   required; registry protocol names
+//   fault=SPEC[,SPEC...]       default none
+//   k=N[,N...]                 default 1
+//   source=N                   default 0
+//   trials=N                   default 1
+//   seed=N                     default 1 (the master seed)
+//
+// List values split on commas at brace depth 0.  Inside any list item,
+// one or more brace groups expand into a cross product (leftmost group
+// varies slowest):
+//   path:{64,128}        -> path:64 path:128
+//   grid:{4,8}x{4,8}     -> grid:4x4 grid:4x8 grid:8x4 grid:8x8
+//   receiver:{0.1,0.5}   -> receiver:0.1 receiver:0.5
+// A brace-group item (or a bare numeric list item, e.g. for k=) may be an
+// integer range:
+//   lo..hi       arithmetic, step 1        4..7      -> 4 5 6 7
+//   lo..hi+d     arithmetic, step d        0..10+5   -> 0 5 10
+//   lo..hi*f     geometric, factor f       64..512*2 -> 64 128 256 512
+//
+// Cells enumerate in nested order: topology (outermost), fault, k,
+// protocol (innermost).  Each distinct scenario (topology, fault, source,
+// k) derives its seed by mixing the master seed with a hash of the
+// scenario's identity, so (a) every protocol sharing a scenario sees the
+// same graph and the same per-trial fault coins (paired comparisons), and
+// (b) adding or removing axis values never perturbs the seeds of the
+// remaining cells (stable cache keys).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "sim/scenario.hpp"
+
+namespace nrn::sim {
+
+/// FNV-1a 64-bit hash; the library's one content hash (cell seeds, cache
+/// file names, serialization checksums).  Fixed algorithm, never platform
+/// dependent.
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Expands one clause value into its ordered item list: depth-0 comma
+/// split, then brace/range expansion per item.  Throws SpecError on
+/// malformed braces or ranges, and on expansions beyond the per-axis cap.
+std::vector<std::string> expand_spec_list(const std::string& value);
+
+/// One cell of the grid: a concrete scenario, a protocol name, and the
+/// trial count.  `index` is the cell's position in the plan's enumeration
+/// order (the sharding key).
+struct SweepCell {
+  int index = 0;
+  Scenario scenario;
+  std::string protocol;
+  int trials = 1;
+
+  /// Canonical identity string, e.g.
+  /// "topology=path:64|fault=none|source=0|k=1|seed=123|protocol=decay|trials=3".
+  /// Two cells with equal keys reproduce bit-identical ExperimentReports
+  /// (modulo tuning, which the runner appends for cache keys).
+  std::string key() const;
+};
+
+/// A parsed, fully expanded sweep plan.
+struct SweepPlan {
+  std::string text;          ///< original plan string (single line)
+  std::uint64_t master_seed = 1;
+  std::vector<std::string> topologies;
+  std::vector<std::string> faults;
+  std::vector<std::string> protocols;
+  std::vector<std::int64_t> ks;
+  graph::NodeId source = 0;
+  int trials = 1;
+  std::vector<SweepCell> cells;  ///< enumeration order; cells[i].index == i
+
+  /// Parses and expands `spec`; throws SpecError on any malformed clause,
+  /// duplicate/unknown keys, invalid scenario or fault specs, or a grid
+  /// larger than the expansion cap.
+  static SweepPlan parse(const std::string& spec);
+};
+
+}  // namespace nrn::sim

@@ -1,0 +1,399 @@
+#include "sim/sweep_runner.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace nrn::sim {
+
+namespace {
+
+[[noreturn]] void bad_format(const std::string& what) { throw SpecError(what); }
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+/// Strict line-by-line reader for the record formats below.
+struct LineCursor {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+
+  explicit LineCursor(const std::string& text) {
+    std::string line;
+    std::istringstream in(text);
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  bool done() const { return pos >= lines.size(); }
+
+  const std::string& next(const std::string& context) {
+    if (done()) bad_format(context + ": unexpected end of record");
+    return lines[pos++];
+  }
+
+  /// Consumes the next line, which must start with `prefix`; returns the
+  /// remainder.
+  std::string field(const std::string& prefix) {
+    const std::string& line = next("after '" + prefix + "'");
+    if (line.rfind(prefix, 0) != 0)
+      bad_format("expected '" + prefix + "...', got '" + line + "'");
+    return line.substr(prefix.size());
+  }
+
+  void literal(const std::string& expected) {
+    const std::string& line = next("expecting '" + expected + "'");
+    if (line != expected)
+      bad_format("expected '" + expected + "', got '" + line + "'");
+  }
+};
+
+std::vector<std::string> split_spaces(const std::string& s) {
+  std::vector<std::string> parts;
+  std::istringstream in(s);
+  std::string token;
+  while (in >> token) parts.push_back(token);
+  return parts;
+}
+
+void append_experiment_record(std::ostream& os,
+                              const ExperimentReport& report) {
+  os << "experiment v1\n"
+     << "protocol " << report.protocol << "\n"
+     << "topology " << report.scenario.topology.text << "\n"
+     << "fault " << report.scenario.fault_text << "\n"
+     << "source " << report.scenario.source << "\n"
+     << "k " << report.scenario.k << "\n"
+     << "seed " << report.scenario.seed << "\n"
+     << "nodes " << report.node_count << "\n"
+     << "edges " << report.edge_count << "\n"
+     << "trials " << report.trials.size() << "\n";
+  for (const auto& trial : report.trials)
+    os << "trial " << trial.index << " " << trial.net_seed << " "
+       << trial.algo_seed << " " << (trial.run.completed ? 1 : 0) << " "
+       << trial.run.rounds << " " << trial.run.messages << " "
+       << trial.run.informed << "\n";
+  os << "end\n";
+}
+
+ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
+  cursor.literal("experiment v1");
+  ExperimentReport report;
+  report.protocol = cursor.field("protocol ");
+  const std::string topology = cursor.field("topology ");
+  const std::string fault = cursor.field("fault ");
+  const std::int64_t source = parse_spec_int(cursor.field("source "), "source");
+  const std::int64_t k = parse_spec_int(cursor.field("k "), "k");
+  const std::uint64_t seed = parse_spec_uint(cursor.field("seed "), "seed");
+  report.scenario = Scenario::parse(topology, fault,
+                                    static_cast<graph::NodeId>(source), k,
+                                    seed);
+  report.node_count = parse_spec_int(cursor.field("nodes "), "nodes");
+  report.edge_count = parse_spec_int(cursor.field("edges "), "edges");
+  const std::int64_t trials =
+      parse_spec_int(cursor.field("trials "), "trials");
+  if (trials < 0 || trials > 10'000'000) bad_format("implausible trial count");
+  report.trials.resize(static_cast<std::size_t>(trials));
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const auto tokens = split_spaces(cursor.field("trial "));
+    if (tokens.size() != 7) bad_format("malformed trial line");
+    auto& trial = report.trials[static_cast<std::size_t>(t)];
+    trial.index = static_cast<int>(parse_spec_int(tokens[0], "trial index"));
+    if (trial.index != static_cast<int>(t)) bad_format("trial out of order");
+    trial.net_seed = parse_spec_uint(tokens[1], "net seed");
+    trial.algo_seed = parse_spec_uint(tokens[2], "algo seed");
+    const std::int64_t completed = parse_spec_int(tokens[3], "completed");
+    if (completed != 0 && completed != 1) bad_format("bad completed flag");
+    trial.run.completed = completed == 1;
+    trial.run.rounds = parse_spec_int(tokens[4], "rounds");
+    trial.run.messages = parse_spec_int(tokens[5], "messages");
+    trial.run.informed = parse_spec_int(tokens[6], "informed");
+  }
+  cursor.literal("end");
+  return report;
+}
+
+/// Splits `text` into (body, checksum) at the trailing checksum line and
+/// verifies the checksum; the returned body still ends with '\n'.
+std::string verified_body(const std::string& text) {
+  if (text.empty() || text.back() != '\n')
+    bad_format("record is truncated (no trailing newline)");
+  const auto line_start = text.rfind('\n', text.size() - 2);
+  const std::size_t begin = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string last = text.substr(begin, text.size() - begin - 1);
+  const std::string prefix = "checksum ";
+  if (last.rfind(prefix, 0) != 0) bad_format("record has no checksum line");
+  const std::string body = text.substr(0, begin);
+  if (hex64(fnv1a64(body)) != last.substr(prefix.size()))
+    bad_format("record checksum mismatch");
+  return body;
+}
+
+void write_with_checksum(std::ostream& os, const std::string& body) {
+  os << body << "checksum " << hex64(fnv1a64(body)) << "\n";
+}
+
+}  // namespace
+
+std::string experiment_record(const ExperimentReport& report) {
+  std::ostringstream out;
+  append_experiment_record(out, report);
+  return out.str();
+}
+
+ExperimentReport parse_experiment_record(const std::string& text) {
+  LineCursor cursor(text);
+  ExperimentReport report = parse_experiment_cursor(cursor);
+  if (!cursor.done()) bad_format("trailing data after experiment record");
+  return report;
+}
+
+// ----------------------------------------------------------------- cache
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  NRN_EXPECTS(!dir_.empty(), "cache directory must be non-empty");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return (std::filesystem::path(dir_) / (hex64(fnv1a64(key)) + ".nrnc"))
+      .string();
+}
+
+std::optional<ExperimentReport> ResultCache::load(
+    const std::string& key) const {
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  try {
+    LineCursor cursor(verified_body(raw.str()));
+    cursor.literal("nrn-sweep-cache v1");
+    if (cursor.field("key ") != key) return std::nullopt;  // hash collision
+    ExperimentReport report = parse_experiment_cursor(cursor);
+    if (!cursor.done()) bad_format("trailing data in cache entry");
+    return report;
+  } catch (const SpecError&) {
+    return std::nullopt;  // damaged entry: recompute, never trust
+  }
+}
+
+void ResultCache::store(const std::string& key, const ExperimentReport& report,
+                        int tag) const {
+  std::ostringstream body;
+  body << "nrn-sweep-cache v1\n"
+       << "key " << key << "\n";
+  append_experiment_record(body, report);
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp" + std::to_string(tag);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable cache never fails the sweep
+    write_with_checksum(out, body.str());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning) {
+  // transform_eta is rendered as an exact hexfloat: any bitwise change to
+  // the tuning must change the key, so default stream precision (which
+  // collapses nearby doubles) would poison the cache.
+  char eta[32];
+  std::snprintf(eta, sizeof eta, "%a", tuning.transform_eta);
+  std::ostringstream key;
+  key << cell.key() << "|tuning=" << tuning.decay_phase << ","
+      << tuning.rank_modulus << "," << tuning.block_size << ","
+      << tuning.window_multiplier << "," << tuning.batch << ","
+      << tuning.max_rounds << "," << tuning.transform_x << "," << eta;
+  return key.str();
+}
+
+// ---------------------------------------------------------------- report
+
+int SweepReport::cache_hits() const {
+  int hits = 0;
+  for (const auto& cell : cells) hits += cell.from_cache ? 1 : 0;
+  return hits;
+}
+
+bool SweepReport::all_completed() const {
+  for (const auto& cell : cells)
+    if (!cell.experiment.all_completed()) return false;
+  return true;
+}
+
+void write_shard_file(std::ostream& os, const SweepReport& report) {
+  std::ostringstream body;
+  body << "nrn-sweep-shard v1\n"
+       << "plan " << report.plan_text << "\n"
+       << "master-seed " << report.master_seed << "\n"
+       << "total-cells " << report.total_cells << "\n"
+       << "cells " << report.cells.size() << "\n";
+  for (const auto& cell : report.cells) {
+    body << "cell " << cell.cell_index << "\n";
+    append_experiment_record(body, cell.experiment);
+  }
+  write_with_checksum(os, body.str());
+}
+
+SweepReport read_shard_file(std::istream& is) {
+  std::ostringstream raw;
+  raw << is.rdbuf();
+  LineCursor cursor(verified_body(raw.str()));
+  cursor.literal("nrn-sweep-shard v1");
+  SweepReport report;
+  report.plan_text = cursor.field("plan ");
+  report.master_seed =
+      parse_spec_uint(cursor.field("master-seed "), "master seed");
+  report.total_cells = static_cast<int>(
+      parse_spec_int(cursor.field("total-cells "), "total cells"));
+  const std::int64_t count =
+      parse_spec_int(cursor.field("cells "), "cell count");
+  if (count < 0 || count > report.total_cells)
+    bad_format("shard cell count out of range");
+  int previous = -1;
+  for (std::int64_t i = 0; i < count; ++i) {
+    SweepCellReport cell;
+    cell.cell_index = static_cast<int>(
+        parse_spec_int(cursor.field("cell "), "cell index"));
+    if (cell.cell_index <= previous)
+      bad_format("shard cells out of order");
+    if (cell.cell_index >= report.total_cells)
+      bad_format("cell index exceeds total-cells");
+    previous = cell.cell_index;
+    cell.experiment = parse_experiment_cursor(cursor);
+    report.cells.push_back(std::move(cell));
+  }
+  if (!cursor.done()) bad_format("trailing data after shard cells");
+  return report;
+}
+
+SweepReport merge_sweep_reports(const std::vector<SweepReport>& shards) {
+  if (shards.empty()) bad_format("nothing to merge");
+  SweepReport merged;
+  merged.plan_text = shards.front().plan_text;
+  merged.master_seed = shards.front().master_seed;
+  merged.total_cells = shards.front().total_cells;
+  std::vector<const SweepCellReport*> slots(
+      static_cast<std::size_t>(merged.total_cells), nullptr);
+  for (const auto& shard : shards) {
+    if (shard.plan_text != merged.plan_text ||
+        shard.master_seed != merged.master_seed ||
+        shard.total_cells != merged.total_cells)
+      bad_format("cannot merge shards of different sweep plans");
+    for (const auto& cell : shard.cells) {
+      if (cell.cell_index < 0 || cell.cell_index >= merged.total_cells)
+        bad_format("merge: cell index " + std::to_string(cell.cell_index) +
+                   " outside the plan");
+      auto& slot = slots[static_cast<std::size_t>(cell.cell_index)];
+      if (slot != nullptr)
+        bad_format("merge: cell " + std::to_string(cell.cell_index) +
+                   " appears in more than one shard");
+      slot = &cell;
+    }
+  }
+  merged.cells.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == nullptr)
+      bad_format("merge: cell " + std::to_string(i) + " is missing");
+    merged.cells.push_back(*slots[i]);
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------- runner
+
+SweepReport SweepRunner::run(const SweepPlan& plan,
+                             const SweepOptions& options) const {
+  NRN_EXPECTS(options.shard_count >= 1, "shard count must be positive");
+  NRN_EXPECTS(options.shard_index >= 0 &&
+                  options.shard_index < options.shard_count,
+              "shard index must be in [0, shard_count)");
+  NRN_EXPECTS(options.cell_threads >= 1, "cell threads must be positive");
+  NRN_EXPECTS(options.trial_threads >= 1, "trial threads must be positive");
+  for (const auto& protocol : plan.protocols)
+    if (!registry_->contains(protocol))
+      throw SpecError("sweep plan names unknown protocol '" + protocol + "'");
+
+  SweepReport report;
+  report.plan_text = plan.text;
+  report.master_seed = plan.master_seed;
+  report.total_cells = static_cast<int>(plan.cells.size());
+
+  std::vector<const SweepCell*> mine;
+  for (const auto& cell : plan.cells)
+    if (cell.index % options.shard_count == options.shard_index)
+      mine.push_back(&cell);
+  report.cells.resize(mine.size());
+
+  std::optional<ResultCache> cache;
+  if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
+
+  const Driver driver(*registry_);
+  DriverOptions driver_options;
+  driver_options.threads = options.trial_threads;
+  driver_options.tuning = options.tuning;
+
+  auto run_cell = [&](std::size_t slot) {
+    const SweepCell& cell = *mine[slot];
+    auto& out = report.cells[slot];
+    out.cell_index = cell.index;
+    if (cache) {
+      const std::string key = sweep_cache_key(cell, options.tuning);
+      if (auto cached = cache->load(key)) {
+        out.experiment = std::move(*cached);
+        out.from_cache = true;
+        return;
+      }
+      out.experiment =
+          driver.run(cell.scenario, cell.protocol, cell.trials, driver_options);
+      cache->store(key, out.experiment, cell.index);
+    } else {
+      out.experiment =
+          driver.run(cell.scenario, cell.protocol, cell.trials, driver_options);
+    }
+  };
+
+  const int workers =
+      std::min<int>(options.cell_threads, static_cast<int>(mine.size()));
+  if (workers <= 1) {
+    for (std::size_t slot = 0; slot < mine.size(); ++slot) run_cell(slot);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t slot = next.fetch_add(1);
+          if (slot >= mine.size()) break;
+          try {
+            run_cell(slot);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    if (error) std::rethrow_exception(error);
+  }
+  return report;
+}
+
+}  // namespace nrn::sim

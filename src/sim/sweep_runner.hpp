@@ -1,0 +1,140 @@
+// Sweep execution: cell batching, sharding, merging, and the result cache.
+//
+// The SweepRunner executes a SweepPlan's cells through the Driver, batching
+// cells across threads (on top of the Driver's own per-trial threading).
+// Results are deterministic: a cell's ExperimentReport depends only on its
+// scenario, protocol, trial count, and tuning -- never on thread count,
+// shard assignment, or cache state.
+//
+// Sharding: `--shard i/k` runs only the cells with index % k == i.  The
+// partition is stable, so k processes produce disjoint shard reports whose
+// merge is bit-identical to the single-process run (merge_sweep_reports and
+// the shard-file round trip both preserve every integer field exactly; no
+// floating-point state is serialized).
+//
+// Caching: with a cache directory set, each finished cell is stored under a
+// content-addressed key (cell spec + derived seed + tuning).  Re-runs load
+// completed cells instead of recomputing them.  Entries carry an FNV-1a
+// checksum and their full key; a truncated, corrupted, or colliding entry
+// fails verification and is silently recomputed -- the cache can make a
+// sweep faster, never wrong.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "sim/sweep.hpp"
+
+namespace nrn::sim {
+
+/// Exact text round trip of one ExperimentReport (integer fields only; the
+/// scenario is re-parsed from its spec strings, which reproduces it
+/// bit-identically).  parse_experiment_record throws SpecError on any
+/// deviation from the format.
+std::string experiment_record(const ExperimentReport& report);
+ExperimentReport parse_experiment_record(const std::string& text);
+
+/// On-disk cell cache, one file per key under `dir` (created if absent).
+/// File names are the FNV-1a hash of the key; the key itself is stored and
+/// verified inside the entry, so a hash collision reads as a miss.
+class ResultCache {
+ public:
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path the entry for `key` lives at (exposed so tests can corrupt it).
+  std::string entry_path(const std::string& key) const;
+
+  /// The cached report for `key`, or nullopt on miss OR any verification
+  /// failure (bad checksum, truncation, key mismatch, malformed record).
+  std::optional<ExperimentReport> load(const std::string& key) const;
+
+  /// Atomically (write + rename) stores `report` under `key`.  `tag` keeps
+  /// concurrent writers of duplicate cells off each other's temp files.
+  void store(const std::string& key, const ExperimentReport& report,
+             int tag = 0) const;
+
+ private:
+  std::string dir_;
+};
+
+/// The cache key for a cell: the cell's own key plus the tuning knobs
+/// (tuning changes protocol behavior, so it must invalidate entries).
+std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning);
+
+struct SweepOptions {
+  int shard_index = 0;  ///< 0-based, in [0, shard_count)
+  int shard_count = 1;
+  int cell_threads = 1;   ///< concurrent cells; <= 1 runs cells inline
+  int trial_threads = 1;  ///< Driver threads inside each cell
+  std::string cache_dir;  ///< empty disables the result cache
+  Tuning tuning;          ///< forwarded to every cell's Driver
+};
+
+/// One executed cell.  `from_cache` records provenance for operators; it is
+/// excluded from equality and serialization so warm and cold runs compare
+/// equal.
+struct SweepCellReport {
+  int cell_index = 0;
+  ExperimentReport experiment;
+  bool from_cache = false;
+
+  friend bool operator==(const SweepCellReport& a, const SweepCellReport& b) {
+    return a.cell_index == b.cell_index && a.experiment == b.experiment;
+  }
+};
+
+/// The outcome of one sweep run (possibly one shard of a plan).  `cells`
+/// is sorted by cell_index and covers exactly this shard's slice of the
+/// plan's `total_cells`.
+struct SweepReport {
+  std::string plan_text;
+  std::uint64_t master_seed = 1;
+  int total_cells = 0;
+  std::vector<SweepCellReport> cells;
+
+  /// True when every cell of the plan is present (serial run or merge).
+  bool complete() const {
+    return static_cast<int>(cells.size()) == total_cells;
+  }
+  int cache_hits() const;
+  bool all_completed() const;  ///< every trial of every cell completed
+
+  friend bool operator==(const SweepReport& a, const SweepReport& b) {
+    return a.plan_text == b.plan_text && a.master_seed == b.master_seed &&
+           a.total_cells == b.total_cells && a.cells == b.cells;
+  }
+};
+
+/// Exact, checksummed serialization of a SweepReport, used for shard
+/// hand-off files (and therefore for the merge path).  read_shard_file
+/// throws SpecError on any damage.
+void write_shard_file(std::ostream& os, const SweepReport& report);
+SweepReport read_shard_file(std::istream& is);
+
+/// Merges disjoint shard reports of the same plan into the full report.
+/// Throws SpecError when plans disagree, a cell index repeats, or cells
+/// are missing.  The result is bit-identical to the serial run.
+SweepReport merge_sweep_reports(const std::vector<SweepReport>& shards);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(
+      const ProtocolRegistry& registry = ProtocolRegistry::global())
+      : registry_(&registry) {}
+
+  /// Runs this shard's cells of `plan`.  Throws SpecError for unknown
+  /// protocols (before running anything) and propagates protocol errors.
+  SweepReport run(const SweepPlan& plan,
+                  const SweepOptions& options = {}) const;
+
+ private:
+  const ProtocolRegistry* registry_;
+};
+
+}  // namespace nrn::sim

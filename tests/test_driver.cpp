@@ -6,18 +6,12 @@
 
 #include <gtest/gtest.h>
 
-#include <sstream>
-
-#include "sim/report.hpp"
+#include "sim_test_util.hpp"
 
 namespace nrn::sim {
 namespace {
 
-std::string csv_of(const ExperimentReport& report) {
-  std::ostringstream out;
-  write_csv(out, report);
-  return out.str();
-}
+using testutil::csv_of;
 
 TEST(Driver, ReportsAreBitIdenticalForTheSameSeed) {
   const auto scenario = Scenario::parse("grid:8x8", "receiver:0.3", 0, 1, 42);
@@ -91,17 +85,14 @@ TEST(Driver, EmittersCarryTheTrials) {
   // 2 comment notes + 1 header + 3 trial rows.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
 
-  std::ostringstream json;
-  write_json(json, report);
-  const auto text = json.str();
+  const auto text = testutil::json_of(report);
   EXPECT_NE(text.find("\"protocol\": \"decay\""), std::string::npos);
   EXPECT_NE(text.find("\"topology\": \"star:32\""), std::string::npos);
   EXPECT_NE(text.find("\"trials\": ["), std::string::npos);
   EXPECT_NE(text.find("\"all_completed\": true"), std::string::npos);
 
-  std::ostringstream table;
-  write_table(table, report);
-  EXPECT_NE(table.str().find("decay on star:32"), std::string::npos);
+  EXPECT_NE(testutil::table_of(report).find("decay on star:32"),
+            std::string::npos);
 }
 
 TEST(Driver, BudgetExhaustionIsReportedNotThrown) {

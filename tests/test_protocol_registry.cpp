@@ -6,16 +6,13 @@
 
 #include <algorithm>
 
+#include "sim_test_util.hpp"
+
 namespace nrn::sim {
 namespace {
 
-const std::vector<std::string>& builtin_names() {
-  static const std::vector<std::string> names = {
-      "decay",    "fastbc",      "greedy", "pipeline",
-      "rlnc-decay", "rlnc-robust", "robust",
-  };
-  return names;
-}
+using testutil::builtin_names;
+using testutil::ScenarioFixture;
 
 TEST(ProtocolRegistry, GlobalEnumeratesEveryBuiltin) {
   const auto names = ProtocolRegistry::global().names();
@@ -24,9 +21,8 @@ TEST(ProtocolRegistry, GlobalEnumeratesEveryBuiltin) {
 }
 
 TEST(ProtocolRegistry, EveryBuiltinConstructsAndReportsItsName) {
-  const auto scenario = Scenario::parse("path:16", "receiver:0.2", 0, 2, 5);
-  const auto graph = scenario.build_graph();
-  const ProtocolContext ctx{graph, scenario, Tuning{}};
+  const ScenarioFixture fixture("path:16", "receiver:0.2", 0, 2, 5);
+  const ProtocolContext ctx = fixture.context();
   for (const auto& name : ProtocolRegistry::global().names()) {
     SCOPED_TRACE(name);
     const auto protocol = ProtocolRegistry::global().create(name, ctx);
@@ -37,9 +33,8 @@ TEST(ProtocolRegistry, EveryBuiltinConstructsAndReportsItsName) {
 }
 
 TEST(ProtocolRegistry, UnknownNameThrowsListingKnownOnes) {
-  const auto scenario = Scenario::parse("path:8", "none");
-  const auto graph = scenario.build_graph();
-  const ProtocolContext ctx{graph, scenario, Tuning{}};
+  const ScenarioFixture fixture("path:8");
+  const ProtocolContext ctx = fixture.context();
   try {
     ProtocolRegistry::global().create("flooding", ctx);
     FAIL() << "expected SpecError";
@@ -65,11 +60,10 @@ TEST(ProtocolRegistry, CustomRegistrationAndOverride) {
   EXPECT_TRUE(registry.contains("my-decay"));
   EXPECT_EQ(registry.names().size(), builtin_names().size() + 1);
 
-  const auto scenario = Scenario::parse("path:12", "none", 0, 1, 3);
-  const auto graph = scenario.build_graph();
-  const ProtocolContext ctx{graph, scenario, Tuning{}};
+  const ScenarioFixture fixture("path:12", "none", 0, 1, 3);
+  const ProtocolContext ctx = fixture.context();
   const auto protocol = registry.create("my-decay", ctx);
-  radio::RadioNetwork net(graph, scenario.fault, Rng(1));
+  radio::RadioNetwork net(fixture.graph, fixture.scenario.fault, Rng(1));
   Rng rng(2);
   const auto report = protocol->run(net, rng);
   EXPECT_TRUE(report.completed);
@@ -77,13 +71,12 @@ TEST(ProtocolRegistry, CustomRegistrationAndOverride) {
 
 TEST(ProtocolRegistry, TuningReachesTheProtocol) {
   // An absurdly small round budget must be honored by the adapters.
-  const auto scenario = Scenario::parse("path:128", "none", 0, 1, 4);
-  const auto graph = scenario.build_graph();
   Tuning tuning;
   tuning.max_rounds = 5;
-  const ProtocolContext ctx{graph, scenario, tuning};
+  const ScenarioFixture fixture("path:128", "none", 0, 1, 4, tuning);
+  const ProtocolContext ctx = fixture.context();
   const auto protocol = ProtocolRegistry::global().create("decay", ctx);
-  radio::RadioNetwork net(graph, scenario.fault, Rng(1));
+  radio::RadioNetwork net(fixture.graph, fixture.scenario.fault, Rng(1));
   Rng rng(2);
   const auto report = protocol->run(net, rng);
   EXPECT_FALSE(report.completed);

@@ -1,0 +1,79 @@
+// Golden-file regression tests for the CSV/JSON emitters: a fixed seed and
+// a small plan against checked-in expected output, so emitter refactors
+// cannot silently change the report formats external tooling parses.
+//
+// To regenerate after an INTENTIONAL format change:
+//   NRN_UPDATE_GOLDEN=1 ./test_report_golden
+// and commit the rewritten files under tests/golden/.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim_test_util.hpp"
+
+namespace nrn::sim {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(NRN_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const auto path = golden_path(name);
+  if (std::getenv("NRN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with NRN_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "emitter output drifted from " << path
+      << "; if intentional, regenerate with NRN_UPDATE_GOLDEN=1";
+}
+
+ExperimentReport fixed_experiment() {
+  const auto scenario = Scenario::parse("path:12", "receiver:0.25", 0, 1, 5);
+  return Driver().run(scenario, "decay", 3);
+}
+
+SweepReport fixed_sweep() {
+  const auto plan = SweepPlan::parse(
+      "topology=path:12,star:8; fault=none,receiver:0.25; "
+      "protocols=decay,greedy; trials=2; seed=99");
+  return SweepRunner().run(plan);
+}
+
+TEST(GoldenFiles, ExperimentCsv) {
+  check_golden("experiment_decay_path12.csv",
+               testutil::csv_of(fixed_experiment()));
+}
+
+TEST(GoldenFiles, ExperimentJson) {
+  check_golden("experiment_decay_path12.json",
+               testutil::json_of(fixed_experiment()));
+}
+
+TEST(GoldenFiles, SweepCsv) {
+  check_golden("sweep_small.csv", testutil::sweep_csv_of(fixed_sweep()));
+}
+
+TEST(GoldenFiles, SweepJson) {
+  check_golden("sweep_small.json", testutil::sweep_json_of(fixed_sweep()));
+}
+
+TEST(GoldenFiles, ShardFileFormat) {
+  // The shard/merge hand-off format is an interchange format too: sharded
+  // production runs from different build timestamps must stay mergeable.
+  check_golden("sweep_small.nrns", testutil::shard_bytes(fixed_sweep()));
+}
+
+}  // namespace
+}  // namespace nrn::sim

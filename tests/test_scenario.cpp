@@ -6,14 +6,12 @@
 #include <gtest/gtest.h>
 
 #include "graph/algorithms.hpp"
+#include "sim_test_util.hpp"
 
 namespace nrn::sim {
 namespace {
 
-graph::Graph build(const std::string& spec, std::uint64_t seed = 1) {
-  Rng rng(seed);
-  return TopologySpec::parse(spec).build(rng);
-}
+using testutil::build_topology;
 
 TEST(TopologySpec, EveryDocumentedKindBuilds) {
   struct Case {
@@ -39,7 +37,7 @@ TEST(TopologySpec, EveryDocumentedKindBuilds) {
       {"wct:100", -1},
   };
   for (const auto& c : cases) {
-    const auto g = build(c.spec);
+    const auto g = build_topology(c.spec);
     if (c.expected_nodes >= 0) {
       EXPECT_EQ(g.node_count(), c.expected_nodes) << c.spec;
     }

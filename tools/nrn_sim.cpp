@@ -1,18 +1,28 @@
 // nrn_sim -- command-line driver for the noisy radio network simulator.
 //
-// A thin shell over the library's Scenario / ProtocolRegistry / Driver API:
-// all spec parsing, protocol selection, and the trial loop live in src/sim.
+// A thin shell over the library's Scenario / ProtocolRegistry / Driver /
+// SweepPlan API: all spec parsing, protocol selection, and the trial and
+// cell loops live in src/sim.
 //
 //   nrn_sim --topology=path:512 --algorithm=decay --fault=receiver:0.3
 //   nrn_sim --topology=grid:16x16 --algorithm=rlnc-decay --k=32 --trials=5
 //   nrn_sim --topology=star:1024 --algorithm=greedy --k=64 --fault=combined:0.2:0.2 --csv
 //   nrn_sim --list
 //
+//   nrn_sim sweep "--plan=topology=path:{64..256*2}; protocols=decay,robust;
+//                  fault=receiver:{0.1,0.3}; trials=5; seed=7" --csv
+//   nrn_sim sweep --plan=... --shard=0/2 --out=shard0.nrns
+//   nrn_sim sweep --plan=... --shard=1/2 --out=shard1.nrns
+//   nrn_sim sweep --merge=shard0.nrns,shard1.nrns --out=merged.nrns --csv
+//
 // Exit status: 0 if every trial completed, 1 otherwise, 2 on usage errors
-// (unknown flags, malformed specs, non-numeric values).
+// (unknown flags, malformed specs/plans, non-numeric values).
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "sim/sim.hpp"
 
@@ -40,7 +50,13 @@ struct Options {
             << "usage: nrn_sim [--topology=SPEC] [--algorithm=NAME] "
                "[--fault=SPEC]\n"
             << "               [--source=N] [--k=N] [--seed=N] [--trials=N]\n"
-            << "               [--threads=N] [--csv] [--json] [--list]\n\n"
+            << "               [--threads=N] [--csv] [--json] [--list]\n"
+            << "       nrn_sim sweep --plan=PLAN [--shard=I/K] "
+               "[--cache-dir=DIR]\n"
+            << "               [--cell-threads=N] [--threads=N] [--out=FILE]\n"
+            << "               [--csv] [--json]\n"
+            << "       nrn_sim sweep --merge=FILE[,FILE...] [--out=FILE] "
+               "[--csv] [--json]\n\n"
             << "topologies: path:n  cycle:n  star:leaves  complete:n  "
                "grid:RxC\n"
             << "            gnp:n:p  tree:n  binary-tree:n  hypercube:d\n"
@@ -48,9 +64,15 @@ struct Options {
             << "            barbell:clique:bridge  lollipop:clique:tail\n"
             << "            regular:n:d  link  wct:budget\n"
             << "algorithms:";
-  for (const auto& name : sim::ProtocolRegistry::global().names())
+  for (const auto& name : sim::extended_registry().names())
     std::cerr << " " << name;
-  std::cerr << "\nfaults:     none  sender:p  receiver:p  combined:ps:pr\n";
+  std::cerr << "\nfaults:     none  sender:p  receiver:p  combined:ps:pr\n"
+            << "plans:      topology=...; protocols=...; fault=...; k=...;\n"
+            << "            trials=N; seed=N; source=N  (lists expand "
+               "{a,b}, {lo..hi*f}, {lo..hi+d})\n"
+            << "sharding:   --shard=I/K runs cells with index mod K == I "
+               "(0-based); --out\n"
+            << "            writes a mergeable shard file\n";
   std::exit(2);
 }
 
@@ -108,11 +130,131 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
+// ------------------------------------------------------------------ sweep
+
+struct SweepCliOptions {
+  std::string plan;
+  std::vector<std::string> merge_files;
+  sim::SweepOptions run;
+  std::string out_file;
+  Format format = Format::kTable;
+};
+
+SweepCliOptions parse_sweep_args(int argc, char** argv) {
+  SweepCliOptions opt;
+  auto int_value = [](const std::string& key, const std::string& value) {
+    try {
+      return sim::parse_spec_int(value, key);
+    } catch (const sim::SpecError& e) {
+      usage(e.what());
+    }
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--plan") {
+      opt.plan = value;
+    } else if (key == "--merge") {
+      std::stringstream files(value);
+      std::string file;
+      while (std::getline(files, file, ','))
+        if (!file.empty()) opt.merge_files.push_back(file);
+      if (opt.merge_files.empty()) usage("--merge needs at least one file");
+    } else if (key == "--shard") {
+      const auto slash = value.find('/');
+      if (slash == std::string::npos) usage("--shard wants I/K (0-based I)");
+      const std::int64_t index =
+          int_value("--shard index", value.substr(0, slash));
+      const std::int64_t count =
+          int_value("--shard count", value.substr(slash + 1));
+      if (count < 1 || count > 1'000'000 || index < 0 || index >= count)
+        usage("--shard=I/K needs 0 <= I < K (K at most 1000000)");
+      opt.run.shard_index = static_cast<int>(index);
+      opt.run.shard_count = static_cast<int>(count);
+    } else if (key == "--cache-dir") {
+      if (value.empty()) usage("--cache-dir needs a directory");
+      opt.run.cache_dir = value;
+    } else if (key == "--cell-threads") {
+      const std::int64_t threads = int_value(key, value);
+      if (threads < 1 || threads > 4096)
+        usage("--cell-threads must be in [1, 4096]");
+      opt.run.cell_threads = static_cast<int>(threads);
+    } else if (key == "--threads") {
+      const std::int64_t threads = int_value(key, value);
+      if (threads < 1 || threads > 4096)
+        usage("--threads must be in [1, 4096]");
+      opt.run.trial_threads = static_cast<int>(threads);
+    } else if (key == "--out") {
+      if (value.empty()) usage("--out needs a file name");
+      opt.out_file = value;
+    } else if (key == "--csv") {
+      opt.format = Format::kCsv;
+    } else if (key == "--json") {
+      opt.format = Format::kJson;
+    } else if (key == "--help" || key == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown sweep flag '" + key + "'");
+    }
+  }
+  if (opt.plan.empty() == opt.merge_files.empty())
+    usage("sweep wants exactly one of --plan or --merge");
+  if (!opt.merge_files.empty() &&
+      (opt.run.shard_count != 1 || !opt.run.cache_dir.empty()))
+    usage("--merge does not combine with --shard or --cache-dir");
+  return opt;
+}
+
+int sweep_main(int argc, char** argv) {
+  const SweepCliOptions opt = parse_sweep_args(argc, argv);
+  try {
+    sim::SweepReport report;
+    if (!opt.merge_files.empty()) {
+      std::vector<sim::SweepReport> shards;
+      for (const auto& file : opt.merge_files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) usage("cannot open shard file '" + file + "'");
+        shards.push_back(sim::read_shard_file(in));
+      }
+      report = sim::merge_sweep_reports(shards);
+    } else {
+      const auto plan = sim::SweepPlan::parse(opt.plan);
+      report = sim::SweepRunner(sim::extended_registry()).run(plan, opt.run);
+    }
+    if (!opt.out_file.empty()) {
+      std::ofstream out(opt.out_file, std::ios::binary | std::ios::trunc);
+      if (!out) usage("cannot write '" + opt.out_file + "'");
+      sim::write_shard_file(out, report);
+    }
+    switch (opt.format) {
+      case Format::kTable:
+        sim::write_sweep_table(std::cout, report);
+        break;
+      case Format::kCsv:
+        sim::write_sweep_csv(std::cout, report);
+        break;
+      case Format::kJson:
+        sim::write_sweep_json(std::cout, report);
+        break;
+    }
+    return report.all_completed() ? 0 : 1;
+  } catch (const sim::SpecError& e) {
+    usage(e.what());
+  } catch (const nrn::ContractViolation& e) {
+    usage(e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "sweep")
+    return sweep_main(argc, argv);
   const Options opt = parse_args(argc, argv);
-  auto& registry = sim::ProtocolRegistry::global();
+  const auto& registry = sim::extended_registry();
 
   if (opt.list) {
     for (const auto& name : registry.names())
