@@ -40,8 +40,8 @@ inline std::uint64_t seed_from_args(int argc, char** argv) {
   }
 }
 
-/// Median of `trials` runs of a rounds-valued experiment (for benches whose
-/// schedules are not registry protocols, e.g. the star/WCT schedule gaps).
+/// Median of `trials` runs of a rounds-valued experiment (for probes that
+/// are not broadcast runs, e.g. structural measurements).
 template <typename Fn>
 double median_rounds(Fn&& run_once, int trials, Rng& rng) {
   std::vector<double> rounds;
@@ -113,12 +113,22 @@ inline ThroughputSummary throughput_of(const sim::ExperimentReport& exp) {
   for (const auto& trial : exp.trials) {
     if (!trial.run.completed) continue;
     ++completed;
-    total += static_cast<double>(trial.run.messages) /
-             static_cast<double>(trial.run.rounds);
+    total += static_cast<double>(trial.run.messages()) /
+             static_cast<double>(trial.run.rounds());
   }
   out.success = completed == static_cast<int>(exp.trials.size());
   out.throughput = completed > 0 ? total / completed : 0.0;
   return out;
+}
+
+/// Median rounds-per-message over a cell's trials -- the unit the star/WCT
+/// gap tables compare across schedules.
+inline double median_rpm_of(const sim::ExperimentReport& exp) {
+  std::vector<double> rpm;
+  rpm.reserve(exp.trials.size());
+  for (const auto& trial : exp.trials)
+    rpm.push_back(trial.run.rounds_per_message());
+  return rpm.empty() ? 0.0 : quantile(rpm, 0.5);
 }
 
 /// Spec string for a receiver-fault model, "none" when p == 0.

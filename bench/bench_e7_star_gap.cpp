@@ -1,11 +1,14 @@
 // E7 (Lemmas 15/16, Theorem 17): the Theta(log n) coding gap on the star
 // with receiver faults and adaptive routing.
+//
+// Every table is one SweepPlan over the registry's star-* schedule
+// protocols (star-adaptive / star-nonadaptive / star-coding); the bench
+// only formats the resulting grid.  The per-protocol gap-vs-theory columns
+// (measured rounds / registered bound) come straight off the
+// ExperimentReport; the routing-vs-coding gap is the ratio of two cells.
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/star_schedules.hpp"
-#include "core/throughput.hpp"
-#include "topology/star.hpp"
 
 namespace {
 
@@ -15,51 +18,45 @@ using namespace nrn;
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
-  Rng rng(seed);
-  const int trials = 5;
-  const double p = 0.5;
-  const std::int64_t k = 256;
 
   {
+    const std::int64_t k = 256;
     TableWriter t(
         "E7a  Star with receiver faults p=0.5: adaptive routing vs RS "
         "coding (Theorem 17)",
-        {"leaves n", "log2 n", "routing rpm", "coding rpm", "gap",
-         "gap/log2(n)"});
+        {"leaves n", "log2 n", "routing rpm", "coding rpm", "routing gap",
+         "coding gap", "gap", "gap/log2(n)"});
     t.add_note("seed: " + std::to_string(seed) + ", k: " + std::to_string(k) +
-               ", trials: " + std::to_string(trials));
+               ", trials: 5");
     t.add_note("theory: routing rpm = Theta(log n) (Lemma 15), coding rpm "
                "= Theta(1) (Lemma 16); gap/log2(n) should be ~constant");
+    t.add_note("routing/coding gap columns are measured rounds / the "
+               "registered per-protocol bound (should stay ~constant)");
+    const auto report = bench::run_sweep(
+        "topology=star:{64..4096*2}; fault=receiver:0.5; k=256; "
+        "protocols=star-adaptive,star-coding; trials=5; seed=" +
+        std::to_string(seed));
     std::vector<double> ns, routing_rpms, coding_rpms;
-    for (const std::int32_t n : {64, 128, 256, 512, 1024, 2048, 4096}) {
-      const auto star = topology::make_star(n);
-      const double routing = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
-                                    Rng(r()));
-            const auto res =
-                core::run_star_adaptive_routing(net, star, k, 1'000'000'000);
-            NRN_ENSURES(res.completed, "star routing failed in E7");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double coding = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
-                                    Rng(r()));
-            const auto res = core::run_star_rs_coding(
-                net, star, k, core::rs_packet_count(k, n + 1, p));
-            NRN_ENSURES(res.completed, "star coding failed in E7");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double gap = routing / coding;
-      ns.push_back(n);
-      routing_rpms.push_back(routing / k);
-      coding_rpms.push_back(coding / k);
-      t.add_row({fmt(n), fmt(std::log2(n), 1), fmt(routing / k, 2),
-                 fmt(coding / k, 2), fmt(gap, 2),
-                 fmt(gap / std::log2(n), 3)});
+    for (const std::int64_t n : {64, 128, 256, 512, 1024, 2048, 4096}) {
+      const std::string topology = "star:" + std::to_string(n);
+      const auto& routing = bench::sweep_cell(report, topology,
+                                              "receiver:0.5", k,
+                                              "star-adaptive");
+      const auto& coding = bench::sweep_cell(report, topology,
+                                             "receiver:0.5", k,
+                                             "star-coding");
+      NRN_ENSURES(routing.all_completed(), "star routing failed in E7a");
+      NRN_ENSURES(coding.all_completed(), "star coding failed in E7a");
+      const double routing_rpm = bench::median_rpm_of(routing);
+      const double coding_rpm = bench::median_rpm_of(coding);
+      const double gap = routing_rpm / coding_rpm;
+      ns.push_back(static_cast<double>(n));
+      routing_rpms.push_back(routing_rpm);
+      coding_rpms.push_back(coding_rpm);
+      t.add_row({fmt(n), fmt(std::log2(static_cast<double>(n)), 1),
+                 fmt(routing_rpm, 2), fmt(coding_rpm, 2),
+                 fmt(routing.gap(), 2), fmt(coding.gap(), 2), fmt(gap, 2),
+                 fmt(gap / std::log2(static_cast<double>(n)), 3)});
     }
     const auto routing_fit = fit_log_linear(ns, routing_rpms);
     const auto coding_fit = fit_log_linear(ns, coding_rpms);
@@ -73,72 +70,46 @@ int main(int argc, char** argv) {
   }
 
   {
+    const std::int64_t k_small = 64;
     TableWriter t(
         "E7b  Adaptivity ablation on a 1024-star (non-adaptive routing "
         "needs log k repetition)",
-        {"schedule", "rounds/message", "success"});
-    const auto star = topology::make_star(1024);
-    const std::int64_t k_small = 64;
-    {
-      radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
-                              Rng(rng()));
-      const auto res =
-          core::run_star_adaptive_routing(net, star, k_small, 1'000'000'000);
-      t.add_row({"adaptive routing", fmt(res.rounds_per_message(), 2),
-                 verdict(res.completed)});
-    }
-    {
-      // Repetitions for per-leaf, per-message failure below 1/(n k).
-      const auto reps = static_cast<std::int64_t>(
-          std::ceil(std::log2(1024.0 * 64 * 64)));
-      radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
-                              Rng(rng()));
-      const auto res =
-          core::run_star_nonadaptive_routing(net, star, k_small, reps);
-      t.add_row({"non-adaptive routing (" + std::to_string(reps) + " reps)",
-                 fmt(res.rounds_per_message(), 2), verdict(res.completed)});
-    }
-    {
-      radio::RadioNetwork net(star.graph, radio::FaultModel::receiver(p),
-                              Rng(rng()));
-      const auto res = core::run_star_rs_coding(
-          net, star, k_small, core::rs_packet_count(k_small, 1025, p));
-      t.add_row({"RS coding", fmt(res.rounds_per_message(), 2),
-                 verdict(res.completed)});
+        {"schedule", "rounds/message", "gap vs bound", "success"});
+    const auto report = bench::run_sweep(
+        "topology=star:1024; fault=receiver:0.5; k=64; "
+        "protocols=star-adaptive,star-nonadaptive,star-coding; trials=1; "
+        "seed=" + std::to_string(seed + 1));
+    for (const char* protocol :
+         {"star-adaptive", "star-nonadaptive", "star-coding"}) {
+      const auto& exp = bench::sweep_cell(report, "star:1024",
+                                          "receiver:0.5", k_small, protocol);
+      t.add_row({protocol, fmt(bench::median_rpm_of(exp), 2),
+                 fmt(exp.gap(), 2), verdict(exp.all_completed())});
     }
     t.print(std::cout);
   }
 
   {
+    const std::int64_t k = 256;
     TableWriter t(
         "E7c  Sender faults make the star cheap for routing too "
         "(the Theorem 28 asymmetry)",
         {"fault model", "routing rpm", "coding rpm", "gap"});
-    const auto star = topology::make_star(1024);
-    for (const bool sender : {false, true}) {
-      const auto fm = sender ? radio::FaultModel::sender(p)
-                             : radio::FaultModel::receiver(p);
-      const double routing = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(star.graph, fm, Rng(r()));
-            const auto res =
-                core::run_star_adaptive_routing(net, star, k, 1'000'000'000);
-            NRN_ENSURES(res.completed, "star routing failed in E7c");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double coding = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(star.graph, fm, Rng(r()));
-            const auto res = core::run_star_rs_coding(
-                net, star, k, core::rs_packet_count(k, 1025, p));
-            NRN_ENSURES(res.completed, "star coding failed in E7c");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      t.add_row({sender ? "sender p=0.5" : "receiver p=0.5",
-                 fmt(routing / k, 2), fmt(coding / k, 2),
-                 fmt(routing / coding, 2)});
+    const auto report = bench::run_sweep(
+        "topology=star:1024; fault=receiver:0.5,sender:0.5; k=256; "
+        "protocols=star-adaptive,star-coding; trials=5; seed=" +
+        std::to_string(seed + 2));
+    for (const char* fault : {"receiver:0.5", "sender:0.5"}) {
+      const auto& routing =
+          bench::sweep_cell(report, "star:1024", fault, k, "star-adaptive");
+      const auto& coding =
+          bench::sweep_cell(report, "star:1024", fault, k, "star-coding");
+      NRN_ENSURES(routing.all_completed(), "star routing failed in E7c");
+      NRN_ENSURES(coding.all_completed(), "star coding failed in E7c");
+      const double routing_rpm = bench::median_rpm_of(routing);
+      const double coding_rpm = bench::median_rpm_of(coding);
+      t.add_row({fault, fmt(routing_rpm, 2), fmt(coding_rpm, 2),
+                 fmt(routing_rpm / coding_rpm, 2)});
     }
     t.print(std::cout);
   }

@@ -1,15 +1,16 @@
 // E8 (Lemmas 18/19/21/22/23, Theorem 24): the worst-case topology WCT.
 //   E8a verifies the Lemma 18 structural bound (unique-reception fraction
 //        O(1/log n) per round, for any broadcast set size).
-//   E8b measures adaptive routing (layered pipeline, Theta(1/log^2 n))
-//        against the coded schedule (Theta(1/log n)).
+//   E8b measures adaptive routing (layered pipeline + greedy) against the
+//        coded schedule (Theta(1/log n)).
+//
+// Both tables are SweepPlans over registry protocols: the Lemma 18 probe
+// is the wct-unique-probe schedule-gap protocol (its observables arrive as
+// Outcome metrics), and E8b races pipeline/greedy against wct-coding on
+// the explicit-parameter wct:M:L:C:S topologies.
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/bipartite_pipeline.hpp"
-#include "core/greedy_router.hpp"
-#include "core/wct_schedules.hpp"
-#include "topology/wct.hpp"
 
 namespace {
 
@@ -19,7 +20,6 @@ using namespace nrn;
 
 int main(int argc, char** argv) {
   const auto seed = bench::seed_from_args(argc, argv);
-  Rng rng(seed);
 
   {
     TableWriter t(
@@ -28,31 +28,20 @@ int main(int argc, char** argv) {
     t.add_note("seed: " + std::to_string(seed));
     t.add_note("theory: fraction = O(1/L); the product column should stay "
                "bounded (~2-3) as L grows");
-    for (const std::int32_t L : {2, 4, 6, 8, 10}) {
-      topology::WctParams params;
-      params.sender_count = 1 << (L + 1);
-      params.class_count = L;
-      params.clusters_per_class = 48;
-      params.cluster_size = 1;  // structural probe: members irrelevant
-      Rng grng(rng());
-      const topology::WctNetwork wct(params, grng);
-      double worst = 0.0;
-      for (std::int32_t s = 1; s <= params.sender_count; s *= 2) {
-        for (int trial = 0; trial < 12; ++trial) {
-          std::vector<std::int32_t> ids(
-              static_cast<std::size_t>(params.sender_count));
-          for (std::int32_t i = 0; i < params.sender_count; ++i)
-            ids[static_cast<std::size_t>(i)] = i;
-          grng.shuffle(ids);
-          std::vector<bool> mask(
-              static_cast<std::size_t>(params.sender_count), false);
-          for (std::int32_t i = 0; i < s; ++i)
-            mask[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
-                true;
-          worst = std::max(worst, wct.unique_reception_fraction(mask));
-        }
-      }
-      t.add_row({fmt(L), fmt(worst, 3), fmt(worst * L, 2)});
+    // Explicit WCT parameters: M = 2^(L+1) senders, 48 single-member
+    // clusters per class (a structural probe; members are irrelevant).
+    const auto report = bench::run_sweep(
+        "topology=wct:8:2:48:1,wct:32:4:48:1,wct:128:6:48:1,"
+        "wct:512:8:48:1,wct:2048:10:48:1; "
+        "protocols=wct-unique-probe; trials=1; seed=" +
+        std::to_string(seed));
+    for (const auto& cell : report.cells) {
+      const auto& exp = cell.experiment;
+      const std::int64_t classes = exp.scenario.topology.ints.at(1);
+      t.add_row({fmt(classes),
+                 fmt(exp.metric_summary("unique_fraction").mean, 3),
+                 fmt(exp.metric_summary("unique_fraction_x_classes").mean,
+                     2)});
     }
     t.print(std::cout);
   }
@@ -61,64 +50,40 @@ int main(int argc, char** argv) {
     TableWriter t(
         "E8b  WCT with receiver faults p=0.5: adaptive routing vs coding "
         "(Theorem 24)",
-        {"~n", "classes L", "pipeline rpm", "greedy rpm", "coding rpm",
+        {"~n", "pipeline rpm", "greedy rpm", "coding rpm", "coding gap",
          "gap (best routing / coding)", "gap/log2(n)"});
     t.add_note("theory: routing rpm = Theta(log^2 n), coding rpm = "
                "Theta(log n); their ratio should grow with log n");
     t.add_note("two routing schedules bracket Definition 14: the Lemma 21 "
                "pipeline and a greedy marginal-coverage scheduler; the gap "
                "uses whichever is better");
+    t.add_note("coding gap = measured rounds / the registered k log n "
+               "bound (Lemma 23); should stay ~constant");
     const std::int64_t k = 64;
-    const int trials = 3;
-    for (const std::int32_t budget : {1024, 4096, 16384}) {
-      auto params = topology::WctParams::from_node_budget(budget);
-      Rng grng(rng());
-      const topology::WctNetwork wct(params, grng);
-      const auto n = wct.graph().node_count();
-      const double pipeline = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(wct.graph(),
-                                    radio::FaultModel::receiver(0.5),
-                                    Rng(r()));
-            core::PipelineParams pp;
-            pp.k = k;
-            Rng algo(r());
-            const auto res = core::run_layered_pipeline_routing(
-                net, wct.source(), pp, algo);
-            NRN_ENSURES(res.completed, "WCT routing failed in E8b");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double greedy = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(wct.graph(),
-                                    radio::FaultModel::receiver(0.5),
-                                    Rng(r()));
-            core::GreedyRouterParams gp;
-            gp.k = k;
-            const auto res =
-                core::run_greedy_adaptive_routing(net, wct.source(), gp);
-            NRN_ENSURES(res.completed, "WCT greedy routing failed in E8b");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double coding = bench::median_rounds(
-          [&](Rng& r) {
-            radio::RadioNetwork net(wct.graph(),
-                                    radio::FaultModel::receiver(0.5),
-                                    Rng(r()));
-            core::WctCodedParams cp;
-            cp.k = k;
-            Rng algo(r());
-            const auto res = core::run_wct_rs_coding(net, wct, cp, algo);
-            NRN_ENSURES(res.completed, "WCT coding failed in E8b");
-            return static_cast<double>(res.rounds);
-          },
-          trials, rng);
-      const double best_routing = std::min(pipeline, greedy);
-      const double gap = best_routing / coding;
-      t.add_row({fmt(n), fmt(params.class_count), fmt(pipeline / k, 1),
-                 fmt(greedy / k, 1), fmt(coding / k, 1), fmt(gap, 2),
+    const auto report = bench::run_sweep(
+        "topology=wct:{1024,4096,16384}; fault=receiver:0.5; k=64; "
+        "protocols=pipeline,greedy,wct-coding; trials=3; seed=" +
+        std::to_string(seed + 1));
+    for (const std::int64_t budget : {1024, 4096, 16384}) {
+      const std::string topology = "wct:" + std::to_string(budget);
+      const auto& pipeline = bench::sweep_cell(report, topology,
+                                               "receiver:0.5", k, "pipeline");
+      const auto& greedy = bench::sweep_cell(report, topology,
+                                             "receiver:0.5", k, "greedy");
+      const auto& coding = bench::sweep_cell(report, topology,
+                                             "receiver:0.5", k, "wct-coding");
+      NRN_ENSURES(pipeline.all_completed(), "WCT routing failed in E8b");
+      NRN_ENSURES(greedy.all_completed(), "WCT greedy routing failed in E8b");
+      NRN_ENSURES(coding.all_completed(), "WCT coding failed in E8b");
+      const double n = static_cast<double>(pipeline.node_count);
+      const double pipeline_rpm = bench::median_rpm_of(pipeline);
+      const double greedy_rpm = bench::median_rpm_of(greedy);
+      const double coding_rpm = bench::median_rpm_of(coding);
+      const double best_routing = std::min(pipeline_rpm, greedy_rpm);
+      const double gap = best_routing / coding_rpm;
+      t.add_row({fmt(pipeline.node_count), fmt(pipeline_rpm, 1),
+                 fmt(greedy_rpm, 1), fmt(coding_rpm, 1),
+                 fmt(coding.gap(), 2), fmt(gap, 2),
                  fmt(gap / std::log2(n), 3)});
     }
     t.print(std::cout);

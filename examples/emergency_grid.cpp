@@ -6,14 +6,14 @@
 // RLNC-composed Decay of Lemma 12, with real payloads decoded and verified
 // at every sensor.
 //
-// The rounds comparison runs through the Scenario/Driver API ("rlnc-decay"
-// from the registry); the payload spot-check then uses the coding layer's
-// run_and_verify directly, since carrying and decoding real bytes is a
-// coding-API feature, not a protocol-selection feature.
+// Everything runs through the Scenario/Driver API: the rounds comparison
+// uses "rlnc-decay" from the registry, and the payload check uses the
+// "rlnc-decay-verified" protocol (Protocol v2's kVerifiedPayload
+// capability), whose verified_bytes metric certifies that real bytes
+// traveled and decoded at every sensor.
 #include <iostream>
 #include <string>
 
-#include "core/multi_message.hpp"
 #include "sim/sim.hpp"
 
 int main() {
@@ -42,39 +42,35 @@ int main() {
             << (coded.all_completed() ? "all sensors reached full rank"
                                       : "FAILED")
             << "\n";
-  std::cout << "rounds used: " << coded_run.rounds << " ("
+  std::cout << "rounds used: " << coded_run.rounds() << " ("
             << coded_run.rounds_per_message() << " rounds/bulletin)\n";
-  std::cout << "single-bulletin flood: " << solo_run.rounds
+  std::cout << "single-bulletin flood: " << solo_run.rounds()
             << " rounds; naive sequential estimate for " << kBulletins
             << " bulletins: "
-            << solo_run.rounds * static_cast<std::int64_t>(kBulletins)
+            << solo_run.rounds() * static_cast<std::int64_t>(kBulletins)
             << " rounds\n";
   std::cout << "pipelining benefit: "
-            << static_cast<double>(solo_run.rounds) *
+            << static_cast<double>(solo_run.rounds()) *
                    static_cast<double>(kBulletins) /
-                   static_cast<double>(coded_run.rounds)
+                   static_cast<double>(coded_run.rounds())
             << "x\n\n";
 
-  // Payload spot-check: real bytes travel and decode at every sensor.
-  Rng payload_rng(2024);
-  std::vector<std::vector<std::uint8_t>> bulletins(
-      kBulletins, std::vector<std::uint8_t>(kBulletinBytes));
-  for (std::size_t i = 0; i < kBulletins; ++i)
-    for (auto& b : bulletins[i])
-      b = static_cast<std::uint8_t>(payload_rng.next_below(256));
+  // Payload check through the registry: rlnc-decay-verified carries
+  // kBulletinBytes of real payload per bulletin and checks every sensor's
+  // decode against the source bytes.  verified_bytes counts what was
+  // certified.
+  sim::DriverOptions options;
+  options.tuning.payload_len = static_cast<std::int64_t>(kBulletinBytes);
+  const auto verified =
+      sim::Driver().run(coded_scenario, "rlnc-decay-verified", 1, options);
+  const auto& verified_run = verified.trials.front().run;
+  const sim::MetricValue* bytes = verified_run.find("verified_bytes");
+  std::cout << "payload check (rlnc-decay-verified): "
+            << (verified.all_completed()
+                    ? "all sensors decoded all bulletins"
+                    : "FAILED")
+            << " (" << verified_run.rounds() << " rounds, "
+            << (bytes ? bytes->as_int() : 0) << " bytes verified)\n";
 
-  const graph::Graph city = coded_scenario.build_graph();
-  core::MultiMessageParams params;
-  params.k = kBulletins;
-  params.block_len = kBulletinBytes;
-  core::RlncBroadcast broadcaster(city, /*source=*/0, params);
-  radio::RadioNetwork net(city, coded_scenario.fault, Rng(99));
-  Rng algo_rng(17);
-  const auto verified = broadcaster.run_and_verify(net, algo_rng, bulletins);
-  std::cout << "payload spot-check: "
-            << (verified.completed ? "all sensors decoded all bulletins"
-                                   : "FAILED")
-            << " (" << verified.rounds << " rounds)\n";
-
-  return coded.all_completed() && verified.completed ? 0 : 1;
+  return coded.all_completed() && verified.all_completed() ? 0 : 1;
 }

@@ -44,11 +44,15 @@ int main() {
   radio::RadioNetwork net(grid, scenario.fault, Rng(99));
   Rng algorithm_rng(7);
   radio::TraceRecorder trace;
-  const sim::RunReport result = decay->run(net, algorithm_rng, &trace);
+  const sim::Outcome result = decay->run(net, algorithm_rng, &trace);
 
+  // v2 outcomes carry a typed metrics map; "informed" is present because
+  // decay is a single-message protocol that tracks its frontier.
+  const sim::MetricValue* informed = result.find("informed");
   std::cout << "traced run " << (result.completed ? "completed" : "FAILED")
-            << " in " << result.rounds << " rounds; informed "
-            << result.informed << "/" << grid.node_count() << "\n";
+            << " in " << result.rounds() << " rounds; informed "
+            << (informed ? informed->as_int() : 0) << "/"
+            << grid.node_count() << "\n";
 
   const auto totals = net.totals();
   std::cout << "engine totals: " << totals.broadcasts << " broadcasts, "

@@ -1,0 +1,59 @@
+// Reed-Solomon erasure coding over GF(2^8).
+//
+// The byte-field sibling of reed_solomon.hpp (which works over GF(2^16)):
+// same any-k-of-m contract -- coded packet j is the evaluation at alpha^j
+// of the degree-(k-1) polynomial whose coefficients are the messages, and
+// any k packets with distinct indices reconstruct the originals via the
+// Vandermonde system.  GF(2^8) keeps symbols byte-sized (the natural unit
+// for payload-verified broadcast runs, per "Erasure Correction for Noisy
+// Radio Networks", arXiv:1805.04165) at the cost of a smaller evaluation
+// domain: at most 255 distinct coded packets, so k plus the Chernoff slack
+// must stay below 255.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/gf256.hpp"
+
+namespace nrn::coding {
+
+/// A coded packet over GF(2^8): its evaluation index and byte payload.
+struct Rs256Packet {
+  std::uint32_t index = 0;
+  std::vector<std::uint8_t> symbols;
+};
+
+class Rs256 {
+ public:
+  /// k: number of source messages; block_len: bytes per message.
+  Rs256(std::size_t k, std::size_t block_len);
+
+  std::size_t k() const { return k_; }
+  std::size_t block_len() const { return block_len_; }
+
+  /// Maximum number of distinct coded packets (nonzero field elements).
+  static constexpr std::uint32_t max_packets() { return 255; }
+
+  /// Encodes packet `index` (0 <= index < max_packets()).
+  Rs256Packet encode_packet(
+      const std::vector<std::vector<std::uint8_t>>& messages,
+      std::uint32_t index) const;
+
+  /// Encodes packets [0, count).
+  std::vector<Rs256Packet> encode(
+      const std::vector<std::vector<std::uint8_t>>& messages,
+      std::uint32_t count) const;
+
+  /// Reconstructs the k messages from any k packets with distinct indices.
+  /// Throws if fewer than k distinct indices are supplied.
+  std::vector<std::vector<std::uint8_t>> decode(
+      const std::vector<Rs256Packet>& packets) const;
+
+ private:
+  std::size_t k_;
+  std::size_t block_len_;
+  const Gf256& field_;
+};
+
+}  // namespace nrn::coding

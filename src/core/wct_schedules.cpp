@@ -10,7 +10,14 @@ namespace nrn::core {
 MultiRunResult run_wct_rs_coding(radio::RadioNetwork& net,
                                  const topology::WctNetwork& wct,
                                  const WctCodedParams& params, Rng& rng) {
-  NRN_EXPECTS(&net.graph() == &wct.graph(),
+  // Structural identity, not pointer identity: the registry's protocol
+  // adapters rebuild the WctNetwork deterministically from the scenario
+  // seed, so the network's graph is an equal copy, not the same object.
+  // The caller owes full structural identity (the sim adapter verifies
+  // adjacency once at construction); this guard is the cheap per-run
+  // sanity bound.
+  NRN_EXPECTS(net.graph().node_count() == wct.graph().node_count() &&
+                  net.graph().edge_count() == wct.graph().edge_count(),
               "network built on a different graph");
   NRN_EXPECTS(params.k >= 1, "need at least one message");
   const std::int64_t k = params.k;

@@ -1,11 +1,14 @@
 #include "sim/driver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "common/stats.hpp"
+#include "graph/algorithms.hpp"
 
 namespace nrn::sim {
 
@@ -25,7 +28,7 @@ std::vector<double> ExperimentReport::rounds() const {
   std::vector<double> out;
   out.reserve(trials.size());
   for (const auto& trial : trials)
-    out.push_back(static_cast<double>(trial.run.rounds));
+    out.push_back(static_cast<double>(trial.run.rounds()));
   return out;
 }
 
@@ -35,6 +38,43 @@ double ExperimentReport::median_rounds() const {
 
 double ExperimentReport::mean_rounds() const {
   return trials.empty() ? 0.0 : mean(rounds());
+}
+
+double ExperimentReport::gap() const {
+  return has_theory_bound() ? median_rounds() / theory_bound : 0.0;
+}
+
+std::vector<std::string> ExperimentReport::metric_keys() const {
+  std::set<std::string> keys;
+  for (const auto& trial : trials)
+    for (const auto& [key, unused] : trial.run.metrics) keys.insert(key);
+  return {keys.begin(), keys.end()};
+}
+
+std::vector<double> ExperimentReport::metric_values(
+    const std::string& key) const {
+  std::vector<double> out;
+  out.reserve(trials.size());
+  for (const auto& trial : trials)
+    if (const MetricValue* v = trial.run.find(key))
+      out.push_back(v->as_real());
+  return out;
+}
+
+MetricSummary ExperimentReport::metric_summary(const std::string& key) const {
+  MetricSummary s;
+  for (const double v : metric_values(key)) {
+    if (s.count == 0) {
+      s.min = s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    s.mean += v;
+    ++s.count;
+  }
+  if (s.count > 0) s.mean /= s.count;
+  return s;
 }
 
 ExperimentReport Driver::run(const Scenario& scenario,
@@ -49,6 +89,14 @@ ExperimentReport Driver::run(const Scenario& scenario,
   const graph::Graph graph = scenario.build_graph();
   report.node_count = graph.node_count();
   report.edge_count = graph.edge_count();
+  report.depth =
+      scenario.source < graph.node_count()
+          ? graph::eccentricity(graph, scenario.source)
+          : 0;
+  report.capabilities = registry_->capabilities(protocol_name);
+  report.theory_bound = registry_->theory_bound(
+      protocol_name, TheoryContext{scenario, report.node_count,
+                                   report.edge_count, report.depth});
 
   const ProtocolContext ctx{graph, scenario, options.tuning};
   const auto protocol = registry_->create(protocol_name, ctx);

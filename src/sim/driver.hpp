@@ -7,6 +7,11 @@
 // the trials -- serially or batched across threads.  Per-trial seeds are
 // derived up front in trial order, so an ExperimentReport is bit-identical
 // for a given scenario regardless of the thread count.
+//
+// v2: trials carry Outcome metric maps instead of a fixed struct, and the
+// report records the protocol's capabilities, the source's BFS depth, and
+// the registered theory bound evaluated on the concrete scenario -- the
+// inputs of the emitters' gap-vs-theory columns.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +27,19 @@ struct TrialReport {
   int index = 0;
   std::uint64_t net_seed = 0;   ///< seeds the fault-coin stream
   std::uint64_t algo_seed = 0;  ///< seeds the protocol's own coins
-  RunReport run;
+  Outcome run;
 
   friend bool operator==(const TrialReport&, const TrialReport&) = default;
+};
+
+/// Mean/min/max of one metric across the trials that report it.
+struct MetricSummary {
+  int count = 0;  ///< trials carrying the metric
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  friend bool operator==(const MetricSummary&, const MetricSummary&) = default;
 };
 
 /// A full experiment: one protocol, one scenario, T trials.
@@ -33,6 +48,10 @@ struct ExperimentReport {
   Scenario scenario;
   std::int64_t node_count = 0;
   std::int64_t edge_count = 0;
+  std::int64_t depth = 0;  ///< BFS eccentricity of the source (the paper's D)
+  CapabilitySet capabilities = 0;
+  double theory_bound = 0.0;  ///< registered bound in rounds; 0 = none
+
   std::vector<TrialReport> trials;
 
   bool all_completed() const;
@@ -40,6 +59,16 @@ struct ExperimentReport {
   std::vector<double> rounds() const;   ///< per-trial round counts, in order
   double median_rounds() const;
   double mean_rounds() const;
+
+  bool has_theory_bound() const { return theory_bound > 0.0; }
+  /// median rounds / theory bound; 0 when no bound is registered.
+  double gap() const;
+
+  /// Sorted union of the metric keys across all trials.
+  std::vector<std::string> metric_keys() const;
+  /// Values of one metric (as reals) over the trials that carry it.
+  std::vector<double> metric_values(const std::string& key) const;
+  MetricSummary metric_summary(const std::string& key) const;
 
   friend bool operator==(const ExperimentReport&,
                          const ExperimentReport&) = default;

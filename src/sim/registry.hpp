@@ -5,8 +5,18 @@
 // switches exist outside this file's implementation.  The global() instance
 // comes pre-loaded with the library's built-in protocols; custom protocols
 // (experiments, ablation variants) can be added to any instance.
+//
+// v2 registers three things per protocol besides the factory:
+//   * a CapabilitySet (multi-message, verified-payload, schedule-gap,
+//     traced) that drivers and sweeps interrogate instead of special-casing
+//     protocol names;
+//   * an optional TheoryBound: the protocol's asymptotic round bound from
+//     the paper, evaluated on the concrete scenario so reports can emit
+//     gap-vs-theory columns (measured rounds / theoretical bound);
+//   * a one-line description.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,12 +37,33 @@ struct ProtocolContext {
   Tuning tuning;
 };
 
+/// What a theory-bound formula may consult: the scenario (k, fault model,
+/// topology arguments) plus the materialized graph's dimensions.  `depth`
+/// is the BFS eccentricity of the source -- the D of every bound in the
+/// paper.
+struct TheoryContext {
+  const Scenario& scenario;
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t depth = 0;
+};
+
+/// The protocol's theoretical round bound for a concrete scenario, with
+/// Theta-constants dropped (so measured/bound ratios are O(1) and their
+/// growth exposes a wrong exponent, not a wrong constant).
+using TheoryBound = std::function<double(const TheoryContext&)>;
+
 class ProtocolRegistry {
  public:
   using Factory =
       std::function<std::unique_ptr<BroadcastProtocol>(const ProtocolContext&)>;
 
   /// Registers (or replaces) a protocol under `name`.
+  void add(const std::string& name, const std::string& description,
+           CapabilitySet capabilities, Factory factory,
+           TheoryBound bound = nullptr);
+
+  /// Convenience overload: no capabilities, no theory bound.
   void add(const std::string& name, const std::string& description,
            Factory factory);
 
@@ -49,15 +80,33 @@ class ProtocolRegistry {
   /// One-line description of a registered protocol.
   const std::string& description(const std::string& name) const;
 
+  /// The protocol's capability set; throws SpecError on an unknown name.
+  CapabilitySet capabilities(const std::string& name) const;
+
+  bool has_capability(const std::string& name, Capability cap) const {
+    return (capabilities(name) & cap) != 0;
+  }
+
+  /// True iff a theory bound is registered for `name`.
+  bool has_theory_bound(const std::string& name) const;
+
+  /// Evaluates the protocol's registered bound on `ctx`; 0.0 when none is
+  /// registered.  Throws SpecError on an unknown name.
+  double theory_bound(const std::string& name, const TheoryContext& ctx) const;
+
   /// The process-wide registry, pre-loaded with the built-in protocols:
-  /// decay, fastbc, robust, rlnc-decay, rlnc-robust, pipeline, greedy.
+  /// decay, fastbc, robust, rlnc-decay, rlnc-robust, the verified-payload
+  /// variants, erasure-decay, pipeline, greedy.
   static ProtocolRegistry& global();
 
  private:
   struct Entry {
     std::string description;
+    CapabilitySet capabilities = 0;
     Factory factory;
+    TheoryBound bound;
   };
+  const Entry& entry(const std::string& name) const;
   std::map<std::string, Entry> entries_;
 };
 
@@ -66,7 +115,8 @@ class ProtocolRegistry {
 void register_builtin_protocols(ProtocolRegistry& registry);
 
 /// Registers the schedule-level protocols: the Lemma 25/26 transforms
-/// (star/path base schedules) and the Appendix A single-link schedules.
+/// (star/path base schedules), the Appendix A single-link schedules, the
+/// Section 5.1.1 star schedules, and the Section 5.1.2 WCT schedules.
 /// These are topology-constrained -- their factories throw SpecError on a
 /// scenario they cannot schedule -- so they live outside global() and are
 /// added explicitly by the sweep CLI, the benches, and the tests.

@@ -1,6 +1,8 @@
 #include "sim/report.hpp"
 
+#include <algorithm>
 #include <ostream>
+#include <set>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -9,30 +11,53 @@ namespace nrn::sim {
 
 namespace {
 
-std::string informed_cell(const RunReport& run) {
-  return run.informed < 0 ? "-" : fmt(run.informed);
+/// Human rendering of one metric value: integers exact, reals at three
+/// digits.
+std::string metric_cell(const MetricValue& value) {
+  return value.is_int() ? fmt(value.as_int()) : fmt(value.as_real(), 3);
+}
+
+/// Metric keys beyond the first-class rounds/messages columns, sorted.
+std::vector<std::string> extra_metric_keys(const ExperimentReport& report) {
+  std::vector<std::string> keys;
+  for (const auto& key : report.metric_keys())
+    if (key != "rounds" && key != "messages") keys.push_back(key);
+  return keys;
 }
 
 TableWriter build_table(const ExperimentReport& report) {
+  const auto extras = extra_metric_keys(report);
+  std::vector<std::string> columns = {"trial", "rounds", "completed",
+                                      "rounds/message"};
+  columns.insert(columns.end(), extras.begin(), extras.end());
   TableWriter table(report.protocol + " on " + report.scenario.topology.text +
                         " under " + to_string(report.scenario.fault),
-                    {"trial", "rounds", "completed", "rounds/message",
-                     "informed"});
+                    columns);
   table.add_note("n = " + std::to_string(report.node_count) +
                  ", edges = " + std::to_string(report.edge_count) +
+                 ", depth = " + std::to_string(report.depth) +
                  ", k = " + std::to_string(report.scenario.k) +
                  ", source = " + std::to_string(report.scenario.source) +
                  ", seed = " + std::to_string(report.scenario.seed));
-  for (const auto& trial : report.trials)
-    table.add_row({fmt(trial.index), fmt(trial.run.rounds),
-                   verdict(trial.run.completed),
-                   fmt(trial.run.rounds_per_message(), 2),
-                   informed_cell(trial.run)});
+  table.add_note("capabilities: " + capability_names(report.capabilities));
+  for (const auto& trial : report.trials) {
+    std::vector<std::string> row = {fmt(trial.index), fmt(trial.run.rounds()),
+                                    verdict(trial.run.completed),
+                                    fmt(trial.run.rounds_per_message(), 2)};
+    for (const auto& key : extras) {
+      const MetricValue* v = trial.run.find(key);
+      row.push_back(v == nullptr ? "-" : metric_cell(*v));
+    }
+    table.add_row(std::move(row));
+  }
   if (!report.trials.empty()) {
     const auto s = summarize(report.rounds());
     table.add_note("median rounds: " + fmt(s.median, 0) + ", mean " +
                    fmt(s.mean, 1) + " +/- " + fmt(ci95_halfwidth(s), 1));
   }
+  if (report.has_theory_bound())
+    table.add_note("theory bound: " + fmt(report.theory_bound, 1) +
+                   " rounds; gap (median/bound): " + fmt(report.gap(), 2));
   return table;
 }
 
@@ -64,15 +89,29 @@ void write_experiment_fields(std::ostream& os, const ExperimentReport& report,
      << indent << "\"seed\": \"" << report.scenario.seed << "\",\n"
      << indent << "\"nodes\": " << report.node_count << ",\n"
      << indent << "\"edges\": " << report.edge_count << ",\n"
-     << indent << "\"trials\": [\n";
+     << indent << "\"depth\": " << report.depth << ",\n"
+     << indent << "\"capabilities\": \""
+     << capability_names(report.capabilities) << "\",\n";
+  if (report.has_theory_bound())
+    os << indent << "\"theory_bound\": " << report.theory_bound << ",\n"
+       << indent << "\"gap\": " << report.gap() << ",\n";
+  os << indent << "\"trials\": [\n";
   for (std::size_t i = 0; i < report.trials.size(); ++i) {
     const auto& trial = report.trials[i];
     os << indent << "  {\"trial\": " << trial.index
-       << ", \"rounds\": " << trial.run.rounds << ", \"completed\": "
+       << ", \"rounds\": " << trial.run.rounds() << ", \"completed\": "
        << (trial.run.completed ? "true" : "false")
-       << ", \"messages\": " << trial.run.messages
-       << ", \"informed\": " << trial.run.informed
-       << ", \"net_seed\": \"" << trial.net_seed
+       << ", \"messages\": " << trial.run.messages() << ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : trial.run.metrics) {
+      if (key == "rounds" || key == "messages") continue;
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << key << "\": ";
+      if (value.is_int()) os << value.as_int();
+      else os << value.as_real();
+    }
+    os << "}, \"net_seed\": \"" << trial.net_seed
        << "\", \"algo_seed\": \"" << trial.algo_seed << "\"}"
        << (i + 1 < report.trials.size() ? "," : "") << "\n";
   }
@@ -97,6 +136,30 @@ std::string completed_cell(const ExperimentReport& report) {
          std::to_string(report.trials.size());
 }
 
+/// Sorted union of the extra metric keys across every cell of a sweep --
+/// the sweep emitters' dynamic column set.
+std::vector<std::string> sweep_metric_keys(const SweepReport& report) {
+  std::set<std::string> keys;
+  for (const auto& cell : report.cells)
+    for (const auto& key : extra_metric_keys(cell.experiment))
+      keys.insert(key);
+  return {keys.begin(), keys.end()};
+}
+
+std::string theory_bound_cell(const ExperimentReport& exp) {
+  return exp.has_theory_bound() ? fmt(exp.theory_bound, 1) : "-";
+}
+
+std::string gap_cell(const ExperimentReport& exp) {
+  return exp.has_theory_bound() ? fmt(exp.gap(), 2) : "-";
+}
+
+std::string metric_mean_cell(const ExperimentReport& exp,
+                             const std::string& key) {
+  const auto s = exp.metric_summary(key);
+  return s.count == 0 ? "-" : fmt(s.mean, 3);
+}
+
 }  // namespace
 
 void write_table(std::ostream& os, const ExperimentReport& report) {
@@ -114,43 +177,65 @@ void write_json(std::ostream& os, const ExperimentReport& report) {
 }
 
 void write_sweep_table(std::ostream& os, const SweepReport& report) {
-  TableWriter table("sweep: " + report.plan_text,
-                    {"cell", "topology", "fault", "k", "protocol", "trials",
-                     "nodes", "completed", "median rounds", "mean rounds",
-                     "median rpm", "cache"});
+  const auto metric_keys = sweep_metric_keys(report);
+  std::vector<std::string> columns = {
+      "cell",     "topology",      "fault",       "k",
+      "protocol", "trials",        "nodes",       "completed",
+      "median rounds", "mean rounds", "median rpm", "theory bound", "gap"};
+  for (const auto& key : metric_keys) columns.push_back("mean " + key);
+  columns.push_back("cache");
+  TableWriter table("sweep: " + report.plan_text, columns);
   table.add_note("master seed = " + std::to_string(report.master_seed) +
                  ", cells = " + std::to_string(report.cells.size()) + " of " +
                  std::to_string(report.total_cells) +
                  (report.complete() ? "" : " (shard subset)"));
   table.add_note("cache hits: " + std::to_string(report.cache_hits()) + "/" +
                  std::to_string(report.cells.size()));
+  table.add_note("gap = median rounds / registered theory bound "
+                 "(Theta-constants dropped)");
   for (const auto& cell : report.cells) {
     const auto& exp = cell.experiment;
-    table.add_row({fmt(cell.cell_index), exp.scenario.topology.text,
-                   exp.scenario.fault_text, fmt(exp.scenario.k), exp.protocol,
-                   fmt(static_cast<std::int64_t>(exp.trials.size())),
-                   fmt(exp.node_count), completed_cell(exp),
-                   fmt(exp.median_rounds(), 1), fmt(exp.mean_rounds(), 2),
-                   fmt(median_rpm(exp), 2), cell.from_cache ? "hit" : "-"});
+    std::vector<std::string> row = {
+        fmt(cell.cell_index), exp.scenario.topology.text,
+        exp.scenario.fault_text, fmt(exp.scenario.k), exp.protocol,
+        fmt(static_cast<std::int64_t>(exp.trials.size())),
+        fmt(exp.node_count), completed_cell(exp),
+        fmt(exp.median_rounds(), 1), fmt(exp.mean_rounds(), 2),
+        fmt(median_rpm(exp), 2), theory_bound_cell(exp), gap_cell(exp)};
+    for (const auto& key : metric_keys)
+      row.push_back(metric_mean_cell(exp, key));
+    row.push_back(cell.from_cache ? "hit" : "-");
+    table.add_row(std::move(row));
   }
   table.print(os);
 }
 
 void write_sweep_csv(std::ostream& os, const SweepReport& report) {
+  const auto metric_keys = sweep_metric_keys(report);
   os << "# sweep: " << report.plan_text << "\n"
      << "# master_seed = " << report.master_seed << ", cells = "
      << report.cells.size() << " of " << report.total_cells << "\n"
      << "cell,topology,fault,source,k,protocol,trials,seed,nodes,edges,"
-        "completed_trials,median_rounds,mean_rounds,median_rpm\n";
+        "depth,completed_trials,median_rounds,mean_rounds,median_rpm,"
+        "theory_bound,gap";
+  for (const auto& key : metric_keys) os << ",mean_" << key;
+  os << "\n";
   for (const auto& cell : report.cells) {
     const auto& exp = cell.experiment;
     os << cell.cell_index << "," << exp.scenario.topology.text << ","
        << exp.scenario.fault_text << "," << exp.scenario.source << ","
        << exp.scenario.k << "," << exp.protocol << "," << exp.trials.size()
        << "," << exp.scenario.seed << "," << exp.node_count << ","
-       << exp.edge_count << "," << exp.completed_trials() << ","
-       << fmt(exp.median_rounds(), 1) << "," << fmt(exp.mean_rounds(), 2)
-       << "," << fmt(median_rpm(exp), 2) << "\n";
+       << exp.edge_count << "," << exp.depth << ","
+       << exp.completed_trials() << "," << fmt(exp.median_rounds(), 1) << ","
+       << fmt(exp.mean_rounds(), 2) << "," << fmt(median_rpm(exp), 2) << ","
+       << (exp.has_theory_bound() ? fmt(exp.theory_bound, 1) : "") << ","
+       << (exp.has_theory_bound() ? fmt(exp.gap(), 2) : "");
+    for (const auto& key : metric_keys) {
+      const auto s = exp.metric_summary(key);
+      os << "," << (s.count == 0 ? "" : fmt(s.mean, 3));
+    }
+    os << "\n";
   }
 }
 

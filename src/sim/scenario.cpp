@@ -82,7 +82,7 @@ constexpr KindRule kKindRules[] = {
     {"lollipop", 2, false, false},    {"path", 1, false, false},
     {"regular", 2, false, true},      {"ring", 2, false, false},
     {"star", 1, false, false},        {"tree", 1, false, true},
-    {"wct", 1, false, true},
+    {"wct", 1, false, true},  // special: 1 (budget) or 4 (M:L:C:S) arguments
 };
 
 const KindRule* find_rule(const std::string& kind) {
@@ -116,6 +116,11 @@ TopologySpec TopologySpec::parse(const std::string& spec) {
     if (dims.size() != 2) bad_spec("grid wants grid:RxC");
     out.ints.push_back(parse_spec_int(dims[0], "grid rows"));
     out.ints.push_back(parse_spec_int(dims[1], "grid cols"));
+  } else if (out.kind == "wct") {
+    if (parts.size() != 2 && parts.size() != 5)
+      bad_spec("wct wants wct:budget or wct:M:L:C:S");
+    for (std::size_t i = 1; i < parts.size(); ++i)
+      out.ints.push_back(parse_spec_int(parts[i], "wct argument"));
   } else {
     const std::size_t expected =
         1 + static_cast<std::size_t>(rule->int_args) + (rule->has_real ? 1 : 0);
@@ -177,7 +182,20 @@ TopologySpec TopologySpec::parse(const std::string& spec) {
     if ((out.ints[0] * out.ints[1]) % 2 != 0)
       bad_spec("regular requires n * degree to be even");
   } else if (out.kind == "wct") {
-    if (out.ints[0] < 16) bad_spec("wct node budget must be at least 16");
+    if (out.ints.size() == 1) {
+      if (out.ints[0] < 16) bad_spec("wct node budget must be at least 16");
+    } else {
+      if (out.ints[0] < 2) bad_spec("wct sender count must be at least 2");
+      positive_arg(out, 1, "class count");
+      positive_arg(out, 2, "clusters per class");
+      positive_arg(out, 3, "cluster size");
+      check_product(out.ints[1] * out.ints[2], out.ints[3]);
+      // The *total* node count (source + senders + cluster members) must
+      // fit the NodeId range too, not just each factor.
+      if (1 + out.ints[0] + out.ints[1] * out.ints[2] * out.ints[3] >
+          kMaxNodes)
+        bad_spec("topology '" + spec + "': total node count overflows");
+    }
   } else if (!out.ints.empty()) {
     positive_arg(out, 0, "size");
   }
@@ -187,6 +205,19 @@ TopologySpec TopologySpec::parse(const std::string& spec) {
 bool TopologySpec::randomized() const {
   const KindRule* rule = find_rule(kind);
   return rule != nullptr && rule->randomized;
+}
+
+topology::WctParams TopologySpec::wct_params() const {
+  NRN_EXPECTS(kind == "wct", "wct_params on a non-wct topology");
+  if (ints.size() == 1)
+    return topology::WctParams::from_node_budget(
+        static_cast<std::int32_t>(ints.at(0)));
+  topology::WctParams params;
+  params.sender_count = static_cast<std::int32_t>(ints.at(0));
+  params.class_count = static_cast<std::int32_t>(ints.at(1));
+  params.clusters_per_class = static_cast<std::int32_t>(ints.at(2));
+  params.cluster_size = static_cast<std::int32_t>(ints.at(3));
+  return params;
 }
 
 graph::Graph TopologySpec::build(Rng& rng) const {
@@ -210,11 +241,7 @@ graph::Graph TopologySpec::build(Rng& rng) const {
     return graph::make_random_regular(n(0), static_cast<std::int32_t>(ints.at(1)),
                                       rng);
   if (kind == "link") return graph::make_single_link();
-  if (kind == "wct") {
-    const auto params = topology::WctParams::from_node_budget(
-        static_cast<std::int32_t>(ints.at(0)));
-    return topology::WctNetwork(params, rng).graph();
-  }
+  if (kind == "wct") return topology::WctNetwork(wct_params(), rng).graph();
   bad_spec("unknown topology '" + kind + "'");
 }
 
@@ -274,7 +301,7 @@ Scenario Scenario::parse(const std::string& topology_spec,
 graph::Graph Scenario::build_graph() const {
   // Randomized topologies draw from a stream derived only from the master
   // seed, so trial streams never perturb the graph (and vice versa).
-  Rng topo_rng(seed ^ 0xfeedULL);
+  Rng topo_rng = topology_rng();
   return topology.build(topo_rng);
 }
 

@@ -10,8 +10,13 @@
 //               gnp:n:p  tree:n  binary-tree:n  hypercube:d
 //               caterpillar:spine:legs  ring:cliques:size
 //               barbell:clique:bridge  lollipop:clique:tail
-//               regular:n:d  link  wct:budget
+//               regular:n:d  link  wct:budget  wct:M:L:C:S
 //   faults:     none  sender:p  receiver:p  combined:ps:pr
+//
+// The wct family has two forms: wct:budget scales all dimensions from a
+// target node count (WctParams::from_node_budget), while wct:M:L:C:S pins
+// sender count, class count, clusters per class, and cluster size exactly
+// (the Lemma 18 structural probes need explicit class counts).
 //
 // Malformed specs (wrong arity, non-numeric or out-of-range values, unknown
 // kinds) raise SpecError -- never a silently-zero strtoll parse.
@@ -25,6 +30,10 @@
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "radio/fault_model.hpp"
+
+namespace nrn::topology {
+struct WctParams;
+}
 
 namespace nrn::sim {
 
@@ -60,6 +69,12 @@ struct TopologySpec {
   /// True iff build() consumes randomness (gnp, tree, regular, wct).
   bool randomized() const;
 
+  /// The WCT parameters this spec pins down (budget-scaled for wct:budget,
+  /// exact for wct:M:L:C:S).  Only valid for kind == "wct"; protocol
+  /// factories use it to rebuild the cluster structure build() flattens
+  /// into a plain graph.
+  topology::WctParams wct_params() const;
+
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 };
 
@@ -86,6 +101,11 @@ struct Scenario {
   /// Materializes the topology deterministically from `seed` (randomized
   /// families use a stream derived from the seed, independent of trials).
   graph::Graph build_graph() const;
+
+  /// The exact stream build_graph() draws from.  Protocol factories that
+  /// must reconstruct a randomized topology's structure (e.g. the WCT
+  /// cluster layout) replay this stream and get the identical network.
+  Rng topology_rng() const { return Rng(seed ^ 0xfeedULL); }
 
   /// "grid:16x16 under receiver-faults(p=0.3), k=4, seed=7"
   std::string describe() const;

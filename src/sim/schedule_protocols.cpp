@@ -1,14 +1,28 @@
-// Schedule-level protocol adapters: the Lemma 25/26 transforms and the
-// Appendix A single-link schedules behind the uniform BroadcastProtocol
+// Schedule-level protocol adapters: the Lemma 25/26 transforms, the
+// Appendix A single-link schedules, the Section 5.1.1 star schedules, and
+// the Section 5.1.2 WCT schedules behind the uniform BroadcastProtocol
 // interface.  Unlike the builtin broadcast protocols these only run on the
 // topologies whose base schedules exist (star/path for the transforms, the
-// two-node link for the Appendix A schedules), so their factories validate
-// the scenario and they are registered separately from global().
+// two-node link for the Appendix A schedules, star/wct for the gap
+// schedules), so their factories validate the scenario and they are
+// registered separately from global().
+//
+// These are the protocols behind the paper's gap experiments: each one
+// carries the kScheduleGap capability and a theory bound, so the e7/e8
+// benches and `nrn_sim sweep` read the routing-vs-coding separations
+// straight off the emitters' gap columns instead of bespoke trial loops.
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "core/single_link.hpp"
+#include "core/star_schedules.hpp"
 #include "core/transforms.hpp"
+#include "core/wct_schedules.hpp"
 #include "sim/registry.hpp"
+#include "sim/theory_bounds.hpp"
+#include "topology/star.hpp"
+#include "topology/wct.hpp"
 
 namespace nrn::sim {
 
@@ -48,14 +62,14 @@ class TransformProtocol final : public BroadcastProtocol {
 
   const std::string& name() const override { return name_; }
 
-  RunReport run(radio::RadioNetwork& net, Rng& rng,
-                radio::TraceRecorder* /*trace*/) const override {
+  Outcome run(radio::RadioNetwork& net, Rng& rng,
+              radio::TraceRecorder* /*trace*/) const override {
     const auto result =
         coding_ ? core::run_coding_transform(net, *base_, params_, rng)
                 : core::run_routing_transform(net, *base_, params_, rng);
     // The run is in sub-message units, so rounds_per_message() inverts to
     // the transform's measured throughput.
-    return RunReport::from(result.run);
+    return Outcome::from(result.run);
   }
 
  private:
@@ -83,18 +97,18 @@ class LinkProtocol final : public BroadcastProtocol {
 
   const std::string& name() const override { return name_; }
 
-  RunReport run(radio::RadioNetwork& net, Rng& /*rng*/,
-                radio::TraceRecorder* /*trace*/) const override {
+  Outcome run(radio::RadioNetwork& net, Rng& /*rng*/,
+              radio::TraceRecorder* /*trace*/) const override {
     // All three schedules are deterministic given the network's fault tape.
     switch (mode_) {
       case LinkMode::kNonadaptive:
-        return RunReport::from(
+        return Outcome::from(
             core::run_link_nonadaptive_routing(net, k_, reps_));
       case LinkMode::kAdaptive:
-        return RunReport::from(
+        return Outcome::from(
             core::run_link_adaptive_routing(net, k_, max_rounds_));
       case LinkMode::kCoding:
-        return RunReport::from(core::run_link_rs_coding(net, k_, packets_));
+        return Outcome::from(core::run_link_rs_coding(net, k_, packets_));
     }
     NRN_EXPECTS(false, "unhandled link mode");
     return {};
@@ -108,6 +122,217 @@ class LinkProtocol final : public BroadcastProtocol {
   std::int64_t packets_ = 1;
   std::int64_t max_rounds_ = 0;
 };
+
+// ------------------------------------------------------ star gap schedules
+
+topology::Star star_for(const ProtocolContext& ctx,
+                        const std::string& protocol) {
+  const auto& topology = ctx.scenario.topology;
+  if (topology.kind != "star")
+    throw SpecError(protocol + " needs a star:* topology, got '" +
+                    topology.text + "'");
+  if (ctx.scenario.source != 0)
+    throw SpecError(protocol + " needs source 0 (the hub)");
+  return topology::make_star(
+      static_cast<graph::NodeId>(topology.ints.at(0)));
+}
+
+enum class StarMode { kAdaptive, kNonadaptive, kCoding };
+
+class StarProtocol final : public BroadcastProtocol {
+ public:
+  StarProtocol(const ProtocolContext& ctx, StarMode mode, std::string name)
+      : name_(std::move(name)),
+        mode_(mode),
+        star_(star_for(ctx, name_)),
+        k_(ctx.scenario.k) {
+    const double p = ctx.scenario.fault.effective_loss();
+    const auto n = static_cast<std::int64_t>(star_.leaves.size());
+    // Lemma 15 ablation: repetitions for per-leaf, per-message failure
+    // below 1/(n k): p^r <= 1/(n k^2), i.e. r = ceil(log_{1/p}(n k^2)).
+    reps_ = p <= 0.0
+                ? 1
+                : std::max<std::int64_t>(
+                      1, static_cast<std::int64_t>(std::ceil(
+                             std::log(std::max<double>(
+                                 2.0, static_cast<double>(n * k_ * k_))) /
+                             std::log(1.0 / p))));
+    packets_ = core::rs_packet_count(
+        k_, static_cast<std::int32_t>(n + 1), p);
+    max_rounds_ =
+        ctx.tuning.max_rounds > 0 ? ctx.tuning.max_rounds : 1'000'000'000;
+  }
+
+  const std::string& name() const override { return name_; }
+
+  Outcome run(radio::RadioNetwork& net, Rng& /*rng*/,
+              radio::TraceRecorder* /*trace*/) const override {
+    // The star schedules draw all randomness from the network fault tape.
+    switch (mode_) {
+      case StarMode::kAdaptive:
+        return Outcome::from(
+            core::run_star_adaptive_routing(net, star_, k_, max_rounds_));
+      case StarMode::kNonadaptive:
+        return Outcome::from(
+            core::run_star_nonadaptive_routing(net, star_, k_, reps_));
+      case StarMode::kCoding:
+        return Outcome::from(
+            core::run_star_rs_coding(net, star_, k_, packets_));
+    }
+    NRN_EXPECTS(false, "unhandled star mode");
+    return {};
+  }
+
+ private:
+  std::string name_;
+  StarMode mode_;
+  topology::Star star_;
+  std::int64_t k_;
+  std::int64_t reps_ = 1;
+  std::int64_t packets_ = 1;
+  std::int64_t max_rounds_ = 0;
+};
+
+// ------------------------------------------------------- wct gap schedules
+
+/// Rebuilds the scenario's WctNetwork (cluster structure included) by
+/// replaying the exact stream build_graph() used; the Driver's graph and
+/// this network are bit-identical.  Full adjacency is verified here, once
+/// per protocol construction, so the per-trial core check stays cheap.
+topology::WctNetwork wct_for(const ProtocolContext& ctx,
+                             const std::string& protocol) {
+  if (ctx.scenario.topology.kind != "wct")
+    throw SpecError(protocol + " needs a wct:* topology, got '" +
+                    ctx.scenario.topology.text + "'");
+  Rng rng = ctx.scenario.topology_rng();
+  topology::WctNetwork wct(ctx.scenario.topology.wct_params(), rng);
+  const auto& rebuilt = wct.graph();
+  NRN_ENSURES(rebuilt.node_count() == ctx.graph.node_count() &&
+                  rebuilt.edge_count() == ctx.graph.edge_count(),
+              "WCT reconstruction diverged from the scenario graph");
+  for (graph::NodeId u = 0; u < rebuilt.node_count(); ++u) {
+    const auto a = rebuilt.neighbors(u);
+    const auto b = ctx.graph.neighbors(u);
+    NRN_ENSURES(a.size() == b.size() &&
+                    std::equal(a.begin(), a.end(), b.begin()),
+                "WCT reconstruction diverged from the scenario graph");
+  }
+  return wct;
+}
+
+class WctCodingProtocol final : public BroadcastProtocol {
+ public:
+  explicit WctCodingProtocol(const ProtocolContext& ctx)
+      : wct_(wct_for(ctx, "wct-coding")) {
+    params_.k = ctx.scenario.k;
+    params_.decay_phase = ctx.tuning.decay_phase;
+    params_.max_rounds = ctx.tuning.max_rounds;
+  }
+
+  const std::string& name() const override {
+    static const std::string n = "wct-coding";
+    return n;
+  }
+
+  Outcome run(radio::RadioNetwork& net, Rng& rng,
+              radio::TraceRecorder* /*trace*/) const override {
+    return Outcome::from(core::run_wct_rs_coding(net, wct_, params_, rng));
+  }
+
+ private:
+  topology::WctNetwork wct_;
+  core::WctCodedParams params_;
+};
+
+/// The Lemma 18 structural probe: for broadcast sets of every power-of-two
+/// size, the worst observed fraction of clusters with exactly one
+/// broadcasting neighbor.  Emits "unique_fraction" (should be O(1/L)) and
+/// "unique_fraction_x_classes" (should stay bounded as L grows); runs no
+/// broadcast rounds.
+class WctUniqueProbeProtocol final : public BroadcastProtocol {
+ public:
+  explicit WctUniqueProbeProtocol(const ProtocolContext& ctx)
+      : wct_(wct_for(ctx, "wct-unique-probe")) {}
+
+  const std::string& name() const override {
+    static const std::string n = "wct-unique-probe";
+    return n;
+  }
+
+  Outcome run(radio::RadioNetwork& /*net*/, Rng& rng,
+              radio::TraceRecorder* /*trace*/) const override {
+    const std::int32_t senders = wct_.params().sender_count;
+    double worst = 0.0;
+    std::vector<std::int32_t> ids(static_cast<std::size_t>(senders));
+    for (std::int32_t i = 0; i < senders; ++i)
+      ids[static_cast<std::size_t>(i)] = i;
+    for (std::int32_t s = 1; s <= senders; s *= 2) {
+      for (int shuffle = 0; shuffle < 12; ++shuffle) {
+        rng.shuffle(ids);
+        std::vector<bool> mask(static_cast<std::size_t>(senders), false);
+        for (std::int32_t i = 0; i < s; ++i)
+          mask[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
+              true;
+        worst = std::max(worst, wct_.unique_reception_fraction(mask));
+      }
+    }
+    Outcome out;
+    out.completed = true;
+    out.set("rounds", std::int64_t{0});
+    out.set("unique_fraction", worst);
+    out.set("unique_fraction_x_classes",
+            worst * static_cast<double>(wct_.params().class_count));
+    return out;
+  }
+
+ private:
+  topology::WctNetwork wct_;
+};
+
+// ------------------------------------------------------------- the bounds
+
+using bounds::kd;
+using bounds::log2n;
+using bounds::loss_factor;
+
+/// Leaves, not nodes: the star's coupon collection runs over the n leaves.
+double star_leaves(const TheoryContext& ctx) {
+  return std::max<double>(
+      2.0, static_cast<double>(ctx.scenario.topology.ints.at(0)));
+}
+
+double coded_stream_bound(const TheoryContext& ctx) {
+  // Theta(1) rounds/message: k/(1-p) rounds end to end (Lemmas 16, 30, 32).
+  return kd(ctx) * loss_factor(ctx);
+}
+
+double star_adaptive_bound(const TheoryContext& ctx) {
+  // Lemma 15: log_{1/p} n rounds/message (last-of-n coupons).
+  const double p = ctx.scenario.fault.effective_loss();
+  if (p <= 0.0) return kd(ctx);
+  return kd(ctx) *
+         std::max(1.0, std::log(star_leaves(ctx)) / std::log(1.0 / p));
+}
+
+double star_nonadaptive_bound(const TheoryContext& ctx) {
+  // The repetition law the adapter implements: log_{1/p}(n k^2)
+  // rounds/message (one round/message when faultless).
+  const double p = ctx.scenario.fault.effective_loss();
+  if (p <= 0.0) return kd(ctx);
+  return kd(ctx) *
+         std::max(1.0, std::log(star_leaves(ctx) * kd(ctx) * kd(ctx)) /
+                           std::log(1.0 / p));
+}
+
+double wct_coding_bound(const TheoryContext& ctx) {
+  // Lemma 23: Theta(1/log n) throughput.
+  return kd(ctx) * log2n(ctx) * loss_factor(ctx);
+}
+
+double link_nonadaptive_bound(const TheoryContext& ctx) {
+  // Lemma 29: Theta(log k) rounds/message.
+  return kd(ctx) * std::max(1.0, std::log2(std::max(2.0, kd(ctx))));
+}
 
 }  // namespace
 
@@ -125,35 +350,85 @@ void register_schedule_protocols(ProtocolRegistry& registry) {
   registry.add("transform-routing",
                "Lemma 25: routing transform of a faultless base schedule "
                "(star/path), throughput tau(1-p) under sender faults",
+               kMultiMessage,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<TransformProtocol>(ctx, false);
                });
   registry.add("transform-coding",
                "Lemma 26: coding transform of a faultless base schedule "
                "(star/path), robust to sender or receiver faults",
+               kMultiMessage,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<TransformProtocol>(ctx, true);
                });
   registry.add("link-nonadaptive",
                "Lemma 29: non-adaptive repetition schedule on the single "
                "link, Theta(log k) rounds/message",
+               kMultiMessage | kScheduleGap,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<LinkProtocol>(
                      ctx, LinkMode::kNonadaptive, "link-nonadaptive");
-               });
+               },
+               link_nonadaptive_bound);
   registry.add("link-adaptive",
                "Lemma 32: adaptive feedback schedule on the single link, "
                "1/(1-p) rounds/message",
+               kMultiMessage | kScheduleGap,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<LinkProtocol>(
                      ctx, LinkMode::kAdaptive, "link-adaptive");
-               });
+               },
+               coded_stream_bound);
   registry.add("link-coding",
                "Lemma 30: Reed-Solomon stream on the single link, Theta(1) "
                "rounds/message",
+               kMultiMessage | kScheduleGap,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<LinkProtocol>(ctx, LinkMode::kCoding,
                                                        "link-coding");
+               },
+               coded_stream_bound);
+  registry.add("star-adaptive",
+               "Lemma 15: hub resends each message until all leaves have "
+               "it; Theta(log n) rounds/message under receiver faults",
+               kMultiMessage | kScheduleGap,
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<StarProtocol>(
+                     ctx, StarMode::kAdaptive, "star-adaptive");
+               },
+               star_adaptive_bound);
+  registry.add("star-nonadaptive",
+               "Non-adaptive star routing: each message repeated "
+               "ceil(log_{1/p} n k^2) times (the adaptivity ablation)",
+               kMultiMessage | kScheduleGap,
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<StarProtocol>(
+                     ctx, StarMode::kNonadaptive, "star-nonadaptive");
+               },
+               star_nonadaptive_bound);
+  registry.add("star-coding",
+               "Lemma 16: hub streams Reed-Solomon packets; Theta(1) "
+               "rounds/message -- the Theorem 17 coding gap's fast side",
+               kMultiMessage | kScheduleGap,
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<StarProtocol>(
+                     ctx, StarMode::kCoding, "star-coding");
+               },
+               coded_stream_bound);
+  registry.add("wct-coding",
+               "Lemma 23: coded schedule on the worst-case topology, "
+               "Theta(1/log n) throughput (Theorem 24's fast side)",
+               kMultiMessage | kScheduleGap,
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<WctCodingProtocol>(ctx);
+               },
+               wct_coding_bound);
+  registry.add("wct-unique-probe",
+               "Lemma 18 structural probe: worst unique-reception fraction "
+               "over broadcast set sizes (no rounds run)",
+               kScheduleGap,
+               [](const ProtocolContext& ctx) {
+                 return std::make_unique<WctUniqueProbeProtocol>(ctx);
                });
 }
 

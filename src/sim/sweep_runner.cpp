@@ -66,7 +66,7 @@ std::vector<std::string> split_spaces(const std::string& s) {
 
 void append_experiment_record(std::ostream& os,
                               const ExperimentReport& report) {
-  os << "experiment v1\n"
+  os << "experiment v2\n"
      << "protocol " << report.protocol << "\n"
      << "topology " << report.scenario.topology.text << "\n"
      << "fault " << report.scenario.fault_text << "\n"
@@ -75,17 +75,25 @@ void append_experiment_record(std::ostream& os,
      << "seed " << report.scenario.seed << "\n"
      << "nodes " << report.node_count << "\n"
      << "edges " << report.edge_count << "\n"
+     << "depth " << report.depth << "\n"
+     << "capabilities " << report.capabilities << "\n"
+     // Hexfloat via MetricValue: bit-exact round trip for the bound.
+     << "theory-bound " << MetricValue(report.theory_bound).serialize()
+     << "\n"
      << "trials " << report.trials.size() << "\n";
-  for (const auto& trial : report.trials)
+  for (const auto& trial : report.trials) {
     os << "trial " << trial.index << " " << trial.net_seed << " "
        << trial.algo_seed << " " << (trial.run.completed ? 1 : 0) << " "
-       << trial.run.rounds << " " << trial.run.messages << " "
-       << trial.run.informed << "\n";
+       << trial.run.metrics.size();
+    for (const auto& [key, value] : trial.run.metrics)
+      os << " " << key << "=" << value.serialize();
+    os << "\n";
+  }
   os << "end\n";
 }
 
 ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
-  cursor.literal("experiment v1");
+  cursor.literal("experiment v2");
   ExperimentReport report;
   report.protocol = cursor.field("protocol ");
   const std::string topology = cursor.field("topology ");
@@ -98,13 +106,19 @@ ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
                                     seed);
   report.node_count = parse_spec_int(cursor.field("nodes "), "nodes");
   report.edge_count = parse_spec_int(cursor.field("edges "), "edges");
+  report.depth = parse_spec_int(cursor.field("depth "), "depth");
+  report.capabilities = static_cast<CapabilitySet>(
+      parse_spec_uint(cursor.field("capabilities "), "capabilities"));
+  const auto bound = MetricValue::parse(cursor.field("theory-bound "));
+  if (!bound || bound->is_int()) bad_format("malformed theory bound");
+  report.theory_bound = bound->as_real();
   const std::int64_t trials =
       parse_spec_int(cursor.field("trials "), "trials");
   if (trials < 0 || trials > 10'000'000) bad_format("implausible trial count");
   report.trials.resize(static_cast<std::size_t>(trials));
   for (std::int64_t t = 0; t < trials; ++t) {
     const auto tokens = split_spaces(cursor.field("trial "));
-    if (tokens.size() != 7) bad_format("malformed trial line");
+    if (tokens.size() < 5) bad_format("malformed trial line");
     auto& trial = report.trials[static_cast<std::size_t>(t)];
     trial.index = static_cast<int>(parse_spec_int(tokens[0], "trial index"));
     if (trial.index != static_cast<int>(t)) bad_format("trial out of order");
@@ -113,9 +127,21 @@ ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
     const std::int64_t completed = parse_spec_int(tokens[3], "completed");
     if (completed != 0 && completed != 1) bad_format("bad completed flag");
     trial.run.completed = completed == 1;
-    trial.run.rounds = parse_spec_int(tokens[4], "rounds");
-    trial.run.messages = parse_spec_int(tokens[5], "messages");
-    trial.run.informed = parse_spec_int(tokens[6], "informed");
+    const std::int64_t metric_count =
+        parse_spec_int(tokens[4], "metric count");
+    if (metric_count < 0 ||
+        metric_count != static_cast<std::int64_t>(tokens.size()) - 5)
+      bad_format("metric count mismatch on trial line");
+    for (std::size_t i = 5; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) bad_format("malformed metric token");
+      const std::string key = tokens[i].substr(0, eq);
+      if (!valid_metric_key(key)) bad_format("invalid metric key");
+      const auto value = MetricValue::parse(tokens[i].substr(eq + 1));
+      if (!value) bad_format("malformed metric value");
+      if (!trial.run.metrics.emplace(key, *value).second)
+        bad_format("duplicate metric key");
+    }
   }
   cursor.literal("end");
   return report;
@@ -176,7 +202,7 @@ std::optional<ExperimentReport> ResultCache::load(
   raw << in.rdbuf();
   try {
     LineCursor cursor(verified_body(raw.str()));
-    cursor.literal("nrn-sweep-cache v1");
+    cursor.literal("nrn-sweep-cache v2");
     if (cursor.field("key ") != key) return std::nullopt;  // hash collision
     ExperimentReport report = parse_experiment_cursor(cursor);
     if (!cursor.done()) bad_format("trailing data in cache entry");
@@ -189,7 +215,7 @@ std::optional<ExperimentReport> ResultCache::load(
 void ResultCache::store(const std::string& key, const ExperimentReport& report,
                         int tag) const {
   std::ostringstream body;
-  body << "nrn-sweep-cache v1\n"
+  body << "nrn-sweep-cache v2\n"
        << "key " << key << "\n";
   append_experiment_record(body, report);
   const std::string path = entry_path(key);
@@ -214,7 +240,8 @@ std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning) {
   key << cell.key() << "|tuning=" << tuning.decay_phase << ","
       << tuning.rank_modulus << "," << tuning.block_size << ","
       << tuning.window_multiplier << "," << tuning.batch << ","
-      << tuning.max_rounds << "," << tuning.transform_x << "," << eta;
+      << tuning.max_rounds << "," << tuning.transform_x << "," << eta << ","
+      << tuning.payload_len;
   return key.str();
 }
 
@@ -234,7 +261,7 @@ bool SweepReport::all_completed() const {
 
 void write_shard_file(std::ostream& os, const SweepReport& report) {
   std::ostringstream body;
-  body << "nrn-sweep-shard v1\n"
+  body << "nrn-sweep-shard v2\n"
        << "plan " << report.plan_text << "\n"
        << "master-seed " << report.master_seed << "\n"
        << "total-cells " << report.total_cells << "\n"
@@ -250,7 +277,7 @@ SweepReport read_shard_file(std::istream& is) {
   std::ostringstream raw;
   raw << is.rdbuf();
   LineCursor cursor(verified_body(raw.str()));
-  cursor.literal("nrn-sweep-shard v1");
+  cursor.literal("nrn-sweep-shard v2");
   SweepReport report;
   report.plan_text = cursor.field("plan ");
   report.master_seed =

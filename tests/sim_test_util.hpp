@@ -14,8 +14,16 @@ namespace nrn::sim::testutil {
 /// The sorted names register_builtin_protocols installs.
 inline const std::vector<std::string>& builtin_names() {
   static const std::vector<std::string> names = {
-      "decay",      "fastbc",      "greedy", "pipeline",
-      "rlnc-decay", "rlnc-robust", "robust",
+      "decay",
+      "erasure-decay",
+      "fastbc",
+      "greedy",
+      "pipeline",
+      "rlnc-decay",
+      "rlnc-decay-verified",
+      "rlnc-robust",
+      "rlnc-robust-verified",
+      "robust",
   };
   return names;
 }

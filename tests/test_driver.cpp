@@ -52,7 +52,7 @@ TEST(Driver, EveryRegisteredProtocolRunsOnAScenario) {
     EXPECT_EQ(report.node_count, 24);
     ASSERT_EQ(report.trials.size(), 2u);
     EXPECT_TRUE(report.all_completed());
-    for (const auto& trial : report.trials) EXPECT_GT(trial.run.rounds, 0);
+    for (const auto& trial : report.trials) EXPECT_GT(trial.run.rounds(), 0);
     // Reproducibility holds for every protocol, not just decay.
     const auto again = Driver().run(scenario, name, 2);
     EXPECT_EQ(report.trials, again.trials);
@@ -66,7 +66,7 @@ TEST(Driver, SummaryHelpersMatchTrials) {
   ASSERT_EQ(rounds.size(), 5u);
   for (std::size_t i = 0; i < rounds.size(); ++i)
     EXPECT_DOUBLE_EQ(rounds[i],
-                     static_cast<double>(report.trials[i].run.rounds));
+                     static_cast<double>(report.trials[i].run.rounds()));
   EXPECT_GT(report.median_rounds(), 0.0);
   EXPECT_GT(report.mean_rounds(), 0.0);
 }
@@ -82,8 +82,9 @@ TEST(Driver, EmittersCarryTheTrials) {
 
   const auto csv = csv_of(report);
   EXPECT_NE(csv.find("trial,rounds,completed"), std::string::npos);
-  // 2 comment notes + 1 header + 3 trial rows.
-  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+  // 4 comment notes (scenario, capabilities, summary, theory bound) +
+  // 1 header + 3 trial rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 8);
 
   const auto text = testutil::json_of(report);
   EXPECT_NE(text.find("\"protocol\": \"decay\""), std::string::npos);
@@ -103,7 +104,7 @@ TEST(Driver, BudgetExhaustionIsReportedNotThrown) {
   EXPECT_FALSE(report.all_completed());
   for (const auto& trial : report.trials) {
     EXPECT_FALSE(trial.run.completed);
-    EXPECT_EQ(trial.run.rounds, 4);
+    EXPECT_EQ(trial.run.rounds(), 4);
   }
 }
 

@@ -80,7 +80,7 @@ TEST(ProtocolRegistry, TuningReachesTheProtocol) {
   Rng rng(2);
   const auto report = protocol->run(net, rng);
   EXPECT_FALSE(report.completed);
-  EXPECT_EQ(report.rounds, 5);
+  EXPECT_EQ(report.rounds(), 5);
 }
 
 }  // namespace

@@ -94,6 +94,9 @@ TEST(TopologySpec, RejectsMalformedSpecs) {
       "regular:5:3",     // odd n*d
       "regular:4:9",     // degree too large
       "wct:4",           // budget too small
+      "wct:8:2",         // wrong arity (1 or 4 arguments)
+      "wct:8:0:4:1",     // degenerate class count
+      "wct:2000000000:1:1000:2000000",  // total node count overflows
       "mesh:8",          // unknown kind
       "path:4294967299", // would truncate to int32 (2^32 + 3 -> 3)
       "grid:65536x65536",  // rows * cols overflows int32

@@ -115,7 +115,7 @@ TEST(SweepRunner, ScheduleProtocolsRunThroughSweeps) {
       "protocols=transform-routing,transform-coding");
   EXPECT_EQ(transforms.cells.size(), 4u);
   for (const auto& cell : transforms.cells)
-    EXPECT_GT(cell.experiment.trials.front().run.messages, 1);
+    EXPECT_GT(cell.experiment.trials.front().run.messages(), 1);
 
   // Topology-constrained protocols reject scenarios they cannot schedule.
   EXPECT_THROW(run_plan("topology=path:8; protocols=link-adaptive"),
@@ -130,7 +130,7 @@ TEST(ExperimentRecord, RoundTripsExactly) {
     const auto text = experiment_record(cell.experiment);
     EXPECT_EQ(parse_experiment_record(text), cell.experiment);
   }
-  EXPECT_THROW(parse_experiment_record("experiment v1\n"), SpecError);
+  EXPECT_THROW(parse_experiment_record("experiment v2\n"), SpecError);
   EXPECT_THROW(parse_experiment_record(""), SpecError);
 }
 
@@ -252,10 +252,13 @@ TEST(ResultCache, KeysSeparateSpecProtocolTuningAndSeed) {
                           "protocols=decay; trials=2; seed=5"),
                 {}),
             base);
-  // ...and so does tuning.
+  // ...and so does tuning, every field of it.
   Tuning tuned;
   tuned.max_rounds = 64;
   EXPECT_NE(sweep_cache_key(cell, tuned), base);
+  Tuning payload;
+  payload.payload_len = 64;
+  EXPECT_NE(sweep_cache_key(cell, payload), base);
   // While an identical plan reproduces the identical key.
   EXPECT_EQ(sweep_cache_key(
                 cell_with("topology=path:8; fault=receiver:0.2; "

@@ -7,7 +7,7 @@
 //   nrn_sim --topology=path:512 --algorithm=decay --fault=receiver:0.3
 //   nrn_sim --topology=grid:16x16 --algorithm=rlnc-decay --k=32 --trials=5
 //   nrn_sim --topology=star:1024 --algorithm=greedy --k=64 --fault=combined:0.2:0.2 --csv
-//   nrn_sim --list
+//   nrn_sim protocols          (capabilities + theory bounds per protocol)
 //
 //   nrn_sim sweep "--plan=topology=path:{64..256*2}; protocols=decay,robust;
 //                  fault=receiver:{0.1,0.3}; trials=5; seed=7" --csv
@@ -17,6 +17,7 @@
 //
 // Exit status: 0 if every trial completed, 1 otherwise, 2 on usage errors
 // (unknown flags, malformed specs/plans, non-numeric values).
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -51,6 +52,8 @@ struct Options {
                "[--fault=SPEC]\n"
             << "               [--source=N] [--k=N] [--seed=N] [--trials=N]\n"
             << "               [--threads=N] [--csv] [--json] [--list]\n"
+            << "       nrn_sim protocols   (list protocols with "
+               "capabilities)\n"
             << "       nrn_sim sweep --plan=PLAN [--shard=I/K] "
                "[--cache-dir=DIR]\n"
             << "               [--cell-threads=N] [--threads=N] [--out=FILE]\n"
@@ -62,7 +65,7 @@ struct Options {
             << "            gnp:n:p  tree:n  binary-tree:n  hypercube:d\n"
             << "            caterpillar:spine:legs  ring:cliques:size\n"
             << "            barbell:clique:bridge  lollipop:clique:tail\n"
-            << "            regular:n:d  link  wct:budget\n"
+            << "            regular:n:d  link  wct:budget  wct:M:L:C:S\n"
             << "algorithms:";
   for (const auto& name : sim::extended_registry().names())
     std::cerr << " " << name;
@@ -248,19 +251,39 @@ int sweep_main(int argc, char** argv) {
   }
 }
 
+// The `protocols` subcommand (and --list): every registered protocol with
+// its capability set, whether a theory bound is registered, and the
+// one-line description.
+int protocols_main() {
+  const auto& registry = sim::extended_registry();
+  std::size_t name_width = 0, caps_width = 0;
+  for (const auto& name : registry.names()) {
+    name_width = std::max(name_width, name.size());
+    caps_width = std::max(
+        caps_width,
+        sim::capability_names(registry.capabilities(name)).size());
+  }
+  for (const auto& name : registry.names()) {
+    const std::string caps =
+        sim::capability_names(registry.capabilities(name));
+    std::cout << name << std::string(name_width - name.size() + 2, ' ')
+              << caps << std::string(caps_width - caps.size() + 2, ' ')
+              << (registry.has_theory_bound(name) ? "bound " : "-     ")
+              << " " << registry.description(name) << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "sweep")
     return sweep_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "protocols") return protocols_main();
   const Options opt = parse_args(argc, argv);
   const auto& registry = sim::extended_registry();
 
-  if (opt.list) {
-    for (const auto& name : registry.names())
-      std::cout << name << "  --  " << registry.description(name) << "\n";
-    return 0;
-  }
+  if (opt.list) return protocols_main();
 
   try {
     const auto scenario = sim::Scenario::parse(
