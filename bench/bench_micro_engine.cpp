@@ -11,6 +11,7 @@
 #include "core/decay.hpp"
 #include "graph/generators.hpp"
 #include "radio/network.hpp"
+#include "sim/sim.hpp"
 
 namespace {
 
@@ -56,6 +57,60 @@ void BM_EngineDecayPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineDecayPath)->Arg(256)->Arg(1024);
+
+void BM_EngineKernel(benchmark::State& state, radio::RadioNetwork::Kernel k) {
+  // The kernel-selection regime: a G(n, p) graph with half the nodes
+  // broadcasting, forced through one kernel.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng grng(11);
+  const auto g = graph::make_connected_gnp(n, 16.0 / n, grng);
+  radio::RadioNetwork net(g, radio::FaultModel::combined(0.1, 0.1), Rng(2));
+  net.set_kernel(k);
+  for (auto _ : state) {
+    for (graph::NodeId u = 0; u < n; u += 2)
+      net.set_broadcast(u, radio::Packet{u});
+    benchmark::DoNotOptimize(net.run_round());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+void BM_EngineKernelSparse(benchmark::State& state) {
+  BM_EngineKernel(state, radio::RadioNetwork::Kernel::kSparse);
+}
+void BM_EngineKernelDense(benchmark::State& state) {
+  BM_EngineKernel(state, radio::RadioNetwork::Kernel::kDense);
+}
+BENCHMARK(BM_EngineKernelSparse)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EngineKernelDense)->Arg(1024)->Arg(16384);
+
+void BM_EngineSilentRounds(benchmark::State& state) {
+  const auto g = graph::make_path(1024);
+  radio::RadioNetwork net(g, radio::FaultModel::receiver(0.3), Rng(3));
+  for (auto _ : state) {
+    net.run_silent_rounds(1024);
+    benchmark::DoNotOptimize(net.round_number());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EngineSilentRounds);
+
+void BM_SweepThroughput(benchmark::State& state) {
+  // End-to-end: SweepRunner -> Driver -> protocol -> engine, the path a
+  // production grid run exercises (no cache, single worker -- the engine
+  // dominates).
+  const auto plan = sim::SweepPlan::parse(
+      "topology=gnp:192:0.08,path:96; fault=none,receiver:0.3; "
+      "protocols=decay; trials=3; seed=11");
+  const sim::SweepRunner runner;
+  std::int64_t trials = 0;
+  for (auto _ : state) {
+    const auto report = runner.run(plan);
+    for (const auto& cell : report.cells)
+      trials += static_cast<std::int64_t>(cell.experiment.trials.size());
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(trials);
+}
+BENCHMARK(BM_SweepThroughput);
 
 void BM_Gf256Mul(benchmark::State& state) {
   const auto& f = coding::Gf256::instance();
@@ -157,6 +212,21 @@ void BM_RngBernoulliTape(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_RngBernoulliTape);
+
+void BM_RngBernoulliSkip(benchmark::State& state) {
+  // O(k) selection over 4096 candidates at p = 2^-i: the Decay staging
+  // loop's cost model.  Items = candidates considered, so this is directly
+  // comparable to BM_RngBernoulliTape.
+  const auto i = static_cast<std::int32_t>(state.range(0));
+  Rng rng(10);
+  for (auto _ : state) {
+    int hits = 0;
+    rng.for_each_bernoulli_pow2(4096, i, [&](std::size_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RngBernoulliSkip)->Arg(1)->Arg(4)->Arg(8);
 
 }  // namespace
 

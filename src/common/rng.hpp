@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -102,6 +103,124 @@ class Rng {
     return uniform01() < p;
   }
 
+  /// Sentinel for bernoulli_skip: no success within any addressable range.
+  static constexpr std::uint64_t kNoSuccess = ~std::uint64_t{0};
+
+  /// Fixed-point coin threshold for u64 compares: a draw x succeeds iff
+  /// x < coin_threshold(p), so P(success) matches p to within 2^-64.  This
+  /// is the canonical coin the v3 fault tape is defined in terms of.
+  static std::uint64_t coin_threshold(double p) {
+    if (p <= 0.0) return 0;
+    const double scaled = std::ldexp(p, 64);
+    return scaled >= 0x1.0p64 ? kNoSuccess : static_cast<std::uint64_t>(scaled);
+  }
+
+  /// Stateless counter-based draw: mixes (salt, index) into a uniform u64
+  /// with the splitmix64 finalizer.  Distinct indices under one salt give
+  /// independent-quality coins in ANY evaluation order -- the engine's
+  /// receiver-fault coins use this so parallel-friendly kernels need not
+  /// agree on a draw sequence, only on the per-round salt.
+  static std::uint64_t mix64(std::uint64_t salt, std::uint64_t index) {
+    std::uint64_t s = salt + 0x9e3779b97f4a7c15ULL * index;
+    return splitmix64(s);
+  }
+
+  /// Geometric gap sampling: the number of *failures* before the next
+  /// success in an i.i.d. Bernoulli(p) sequence (support {0, 1, 2, ...}).
+  /// Consumes exactly one u64 draw for p in (0, 1); consumes nothing and
+  /// returns 0 for p >= 1, or kNoSuccess for p <= 0.  Lets callers skip
+  /// directly to the next successful index in O(1) instead of testing one
+  /// coin per candidate.
+  std::uint64_t bernoulli_skip(double p) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return kNoSuccess;
+    return skip_with_inverse(1.0 / std::log1p(-p));
+  }
+
+  /// bernoulli_skip specialized to the dyadic probabilities p = 2^-i the
+  /// Decay-style schedules use every round: the 1/log(1-p) reciprocal is
+  /// read from a table instead of recomputed.  Bit-identical to
+  /// bernoulli_skip(ldexp(1.0, -i)) on the same stream.
+  std::uint64_t bernoulli_skip_pow2(std::int32_t i) {
+    NRN_EXPECTS(i >= 0, "dyadic exponent must be non-negative");
+    if (i == 0) return 0;
+    if (i >= 64) return bernoulli_skip(std::ldexp(1.0, -i));
+    return skip_with_inverse(dyadic_skip_table()[static_cast<std::size_t>(i)]);
+  }
+
+  /// Success probability above which for_each_bernoulli tests one cheap
+  /// u64-threshold coin per index instead of sampling geometric gaps: a
+  /// gap draw costs a log(), roughly five coin flips, so it only wins
+  /// when successes are sparse.
+  static constexpr double kSkipSamplingCutoff = 0.125;
+
+  /// Calls fn(index) for every index in [0, count) whose independent
+  /// Bernoulli(p) coin succeeds, in increasing index order.
+  ///
+  /// Tape (deterministic given p): p >= 1 visits every index and draws
+  /// nothing; p > kSkipSamplingCutoff draws one u64 coin per index
+  /// (success iff draw < coin_threshold(p)); smaller p draws bernoulli_skip
+  /// gaps, one per visited index plus at most one terminating overshoot --
+  /// O(1 + count*p) expected draws instead of count.
+  template <typename Fn>
+  void for_each_bernoulli(std::size_t count, double p, Fn&& fn) {
+    if (p >= 1.0) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    if (p <= 0.0) return;
+    if (p > kSkipSamplingCutoff) {
+      const std::uint64_t threshold = coin_threshold(p);
+      for (std::size_t i = 0; i < count; ++i)
+        if ((*this)() < threshold) fn(i);
+      return;
+    }
+    std::size_t idx = 0;
+    while (idx < count) {
+      const std::uint64_t gap = bernoulli_skip(p);
+      if (gap >= static_cast<std::uint64_t>(count - idx)) return;
+      idx += static_cast<std::size_t>(gap);
+      fn(idx);
+      ++idx;
+    }
+  }
+
+  /// for_each_bernoulli with p = 2^-i.  Above the skip-sampling cutoff
+  /// (i <= 2) a dyadic coin needs only i fair bits, so one u64 draw serves
+  /// 64/i indices exactly: index idx succeeds iff its i-bit chunk of the
+  /// draw is all zero.  Below the cutoff, geometric gaps as in
+  /// for_each_bernoulli.
+  template <typename Fn>
+  void for_each_bernoulli_pow2(std::size_t count, std::int32_t i, Fn&& fn) {
+    NRN_EXPECTS(i >= 0, "dyadic exponent must be non-negative");
+    if (i == 0) {
+      for (std::size_t idx = 0; idx < count; ++idx) fn(idx);
+      return;
+    }
+    if (i <= 2) {  // p in {1/2, 1/4}: bit-chunked coins
+      const auto per_draw = static_cast<std::size_t>(64 / i);
+      const std::uint64_t mask = (std::uint64_t{1} << i) - 1;
+      std::size_t idx = 0;
+      while (idx < count) {
+        std::uint64_t word = (*this)();
+        const std::size_t limit = std::min(count, idx + per_draw);
+        for (; idx < limit; ++idx) {
+          if ((word & mask) == 0) fn(idx);
+          word >>= i;
+        }
+      }
+      return;
+    }
+    std::size_t idx = 0;
+    while (idx < count) {
+      const std::uint64_t gap = bernoulli_skip_pow2(i);
+      if (gap >= static_cast<std::uint64_t>(count - idx)) return;
+      idx += static_cast<std::size_t>(gap);
+      fn(idx);
+      ++idx;
+    }
+  }
+
   /// Binomial(n, p) by direct simulation for small n, normal-free inversion
   /// elsewhere.  Intended for the moderate n used in cluster sampling.
   std::uint64_t binomial(std::uint64_t n, double p) {
@@ -148,6 +267,29 @@ class Rng {
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  /// Inversion of the geometric CDF: gap = floor(log(u) / log(1-p)) with
+  /// u uniform in [0, 1).  The reciprocal is passed in (and, for dyadic p,
+  /// cached) so the general and fast paths compute the identical value.
+  std::uint64_t skip_with_inverse(double inv_log_q) {
+    const double u = uniform01();
+    if (u <= 0.0) return kNoSuccess;  // log(0); one draw in 2^53
+    const double gap = std::log(u) * inv_log_q;
+    // Cap below kNoSuccess so gap arithmetic in callers cannot wrap.
+    if (!(gap < 0x1.0p62)) return kNoSuccess;
+    return static_cast<std::uint64_t>(gap);
+  }
+
+  /// dyadic_skip_table()[i] = 1 / log(1 - 2^-i) for i in [1, 63].
+  static const std::array<double, 64>& dyadic_skip_table() {
+    static const std::array<double, 64> table = [] {
+      std::array<double, 64> t{};
+      for (int i = 1; i < 64; ++i)
+        t[static_cast<std::size_t>(i)] = 1.0 / std::log1p(-std::ldexp(1.0, -i));
+      return t;
+    }();
+    return table;
   }
 
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,155 @@
+#include "common/task_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace nrn::common {
+
+namespace {
+// Slot of the batch the current thread is executing a task for, or -1.
+// Used to detect reentrant run() calls and execute them inline.
+thread_local int tls_slot = -1;
+}  // namespace
+
+struct TaskPool::Impl {
+  struct Batch {
+    const std::function<void(std::size_t, int)>* task = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    int helpers_wanted = 0;
+    int helpers_joined = 0;  // guarded by pool mutex
+    int helpers_active = 0;  // guarded by pool mutex
+  };
+
+  std::mutex mutex;
+  std::condition_variable worker_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> helpers;
+  Batch* batch = nullptr;  // the batch currently open for helpers
+  std::uint64_t batch_seq = 0;
+  bool stopping = false;
+
+  static void drain(Batch& b, int slot) {
+    while (!b.failed.load(std::memory_order_relaxed)) {
+      const std::size_t index = b.next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= b.count) break;
+      try {
+        (*b.task)(index, slot);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(b.error_mutex);
+        if (!b.error) b.error = std::current_exception();
+        b.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop(int slot) {
+    std::uint64_t last_seq = 0;
+    while (true) {
+      Batch* mine = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        worker_cv.wait(lock, [&] {
+          return stopping ||
+                 (batch != nullptr && batch_seq != last_seq &&
+                  batch->helpers_joined < batch->helpers_wanted);
+        });
+        if (stopping) return;
+        last_seq = batch_seq;
+        mine = batch;
+        ++mine->helpers_joined;
+        ++mine->helpers_active;
+      }
+      tls_slot = slot;
+      drain(*mine, slot);
+      tls_slot = -1;
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (--mine->helpers_active == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+TaskPool::TaskPool(int helper_threads) : impl_(new Impl) {
+  NRN_EXPECTS(helper_threads >= 0, "helper count must be non-negative");
+  impl_->helpers.reserve(static_cast<std::size_t>(helper_threads));
+  for (int w = 0; w < helper_threads; ++w)
+    impl_->helpers.emplace_back([this, w] { impl_->worker_loop(w + 1); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->worker_cv.notify_all();
+  for (auto& helper : impl_->helpers) helper.join();
+  delete impl_;
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<int>(hw - 1) : 1;
+  }());
+  return pool;
+}
+
+int TaskPool::slot_count() const {
+  return static_cast<int>(impl_->helpers.size()) + 1;
+}
+
+void TaskPool::run(std::size_t count, int max_workers,
+                   const std::function<void(std::size_t, int)>& task) {
+  NRN_EXPECTS(max_workers >= 1, "need at least one worker");
+  if (count == 0) return;
+
+  // Reentrant call from inside a pool task: run inline on our own slot.
+  if (tls_slot >= 0) {
+    for (std::size_t i = 0; i < count; ++i) task(i, tls_slot);
+    return;
+  }
+
+  Impl::Batch batch;
+  batch.task = &task;
+  batch.count = count;
+  batch.helpers_wanted = static_cast<int>(std::min<std::size_t>(
+      {static_cast<std::size_t>(max_workers) - 1, impl_->helpers.size(),
+       count - 1}));
+
+  // The publish critical section is tiny, so block for the lock; only an
+  // actually-open batch (another top-level caller mid-run) or a batch too
+  // small to share sends this one down the run-it-ourselves path.
+  const bool busy = [&] {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->batch != nullptr || batch.helpers_wanted == 0)
+      return true;  // another batch is open: just run this one ourselves
+    impl_->batch = &batch;
+    ++impl_->batch_seq;
+    return false;
+  }();
+  if (!busy) impl_->worker_cv.notify_all();
+
+  tls_slot = 0;
+  Impl::drain(batch, 0);
+  tls_slot = -1;
+
+  if (!busy) {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->batch = nullptr;  // late helpers must not join a finished batch
+    impl_->done_cv.wait(lock, [&] { return batch.helpers_active == 0; });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace nrn::common

@@ -1,0 +1,56 @@
+// A persistent worker pool shared by every batched execution site.
+//
+// Before this existed, each Driver::run and SweepRunner::run spawned (and
+// joined) fresh std::threads -- at large sweep sizes the spawn cost and the
+// cold per-thread state dominated the short cells.  TaskPool keeps one set
+// of workers alive for the whole process; batches are index-addressed, so
+// results are independent of which worker runs which task and of whether a
+// pool exists at all (the caller always participates, and a pool of zero
+// helpers degrades to the serial loop).
+//
+// Slots: every executor of a batch has a stable slot id -- the caller is
+// slot 0, helper thread w is slot w+1.  Within one run() call a slot is
+// owned by exactly one thread, so per-slot scratch (e.g. the Driver's
+// TrialWorkspace arenas) needs no locking.
+//
+// Nesting: a task that itself calls run() (the SweepRunner's cells run the
+// Driver, which batches trials) executes the inner batch inline on its own
+// slot -- no deadlock, no oversubscription.  Concurrent top-level callers
+// from unrelated threads do the same when the pool is busy.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace nrn::common {
+
+class TaskPool {
+ public:
+  /// The process-wide pool, sized to the hardware concurrency.  Created on
+  /// first use; workers idle on a condition variable between batches.
+  static TaskPool& shared();
+
+  /// A pool with `helper_threads` persistent helpers (>= 0).
+  explicit TaskPool(int helper_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Number of distinct slot ids run() can hand out (helpers + caller).
+  int slot_count() const;
+
+  /// Runs task(index, slot) for every index in [0, count), using at most
+  /// `max_workers` concurrent executors (the caller plus helpers), and
+  /// blocks until the batch is done.  The first exception thrown by a task
+  /// stops further scheduling and is rethrown here.  Reentrant calls from
+  /// inside a task run inline on the calling task's slot.
+  void run(std::size_t count, int max_workers,
+           const std::function<void(std::size_t index, int slot)>& task);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace nrn::common

@@ -115,12 +115,13 @@ MultiRunResult run_layered_pipeline_routing(radio::RadioNetwork& net,
         someone_active = true;
         const auto sub =
             static_cast<std::int32_t>(w.local_round % phase);
-        const double tx_prob = std::ldexp(1.0, -sub);
-        for (const auto u : layers[static_cast<std::size_t>(i)]) {
+        const auto& layer = layers[static_cast<std::size_t>(i)];
+        rng.for_each_bernoulli_pow2(layer.size(), sub, [&](std::size_t li) {
+          const auto u = layer[li];
           if (!has[static_cast<std::size_t>(u)][static_cast<std::size_t>(msg)])
-            continue;
-          if (rng.bernoulli(tx_prob)) net.set_broadcast(u, radio::Packet{msg});
-        }
+            return;
+          net.set_broadcast(u, radio::PacketId{msg});
+        });
         ++w.local_round;
       }
       if (!someone_active) break;

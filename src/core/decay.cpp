@@ -37,7 +37,9 @@ BroadcastRunResult Decay::run(radio::RadioNetwork& net, radio::NodeId source,
           : default_budget(n, n, net.fault_model().effective_loss());
 
   std::vector<char> informed(static_cast<std::size_t>(n), 0);
-  std::vector<radio::NodeId> informed_list{source};
+  std::vector<radio::NodeId> informed_list;
+  informed_list.reserve(static_cast<std::size_t>(n));
+  informed_list.push_back(source);
   informed[static_cast<std::size_t>(source)] = 1;
 
   BroadcastRunResult result;
@@ -46,20 +48,20 @@ BroadcastRunResult Decay::run(radio::RadioNetwork& net, radio::NodeId source,
     result.completed = true;
     return result;
   }
-  const radio::Packet message{0};
+  const radio::PacketId message{0};
 
   for (std::int64_t round = 0; round < budget; ++round) {
     const std::int32_t sub_round = static_cast<std::int32_t>(round % phase);
-    const double tx_prob = std::ldexp(1.0, -sub_round);  // 2^-i
-    for (const radio::NodeId u : informed_list) {
-      if (rng.bernoulli(tx_prob)) net.set_broadcast(u, message);
-    }
-    const auto& deliveries = net.run_round();
-    for (const auto& d : deliveries) {
-      auto& flag = informed[static_cast<std::size_t>(d.receiver)];
+    // Each informed node broadcasts with probability 2^-i; skip sampling
+    // jumps straight to the transmitters (O(k 2^-i) draws, not O(k)).
+    rng.for_each_bernoulli_pow2(
+        informed_list.size(), sub_round,
+        [&](std::size_t idx) { net.set_broadcast(informed_list[idx], message); });
+    for (const radio::NodeId v : net.run_round().receivers()) {
+      auto& flag = informed[static_cast<std::size_t>(v)];
       if (!flag) {
         flag = 1;
-        informed_list.push_back(d.receiver);
+        informed_list.push_back(v);
       }
     }
     if (trace != nullptr)

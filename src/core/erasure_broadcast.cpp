@@ -92,17 +92,16 @@ MultiRunResult ErasureBroadcast::run_and_verify(
   } else {
     for (std::int64_t round = 0; round < budget; ++round) {
       const auto sub = static_cast<std::int32_t>(round % decay_phase_);
-      const double tx_prob = std::ldexp(1.0, -sub);
-      for (radio::NodeId u = 0; u < n; ++u) {
-        const auto ui = static_cast<std::size_t>(u);
-        if (held[ui].empty()) continue;
-        if (!rng.bernoulli(tx_prob)) continue;
-        // Round-robin over the held set: consecutive successful receptions
-        // from the same sender are distinct packets.
-        const std::uint32_t pkt = held[ui][cursor[ui] % held[ui].size()];
-        ++cursor[ui];
-        net.set_broadcast(u, radio::Packet{static_cast<radio::PacketId>(pkt)});
-      }
+      rng.for_each_bernoulli_pow2(
+          static_cast<std::size_t>(n), sub, [&](std::size_t ui) {
+            if (held[ui].empty()) return;
+            // Round-robin over the held set: consecutive successful
+            // receptions from the same sender are distinct packets.
+            const std::uint32_t pkt = held[ui][cursor[ui] % held[ui].size()];
+            ++cursor[ui];
+            net.set_broadcast(static_cast<radio::NodeId>(ui),
+                              static_cast<radio::PacketId>(pkt));
+          });
 
       const auto& deliveries = net.run_round();
       for (const auto& d : deliveries) {

@@ -42,11 +42,13 @@ BroadcastRunResult Fastbc::run(radio::RadioNetwork& net, Rng& rng,
                 static_cast<double>(decay_phase_));
 
   std::vector<char> informed(static_cast<std::size_t>(n), 0);
-  std::vector<radio::NodeId> informed_list{source_};
+  std::vector<radio::NodeId> informed_list;
+  informed_list.reserve(static_cast<std::size_t>(n));
+  informed_list.push_back(source_);
   informed[static_cast<std::size_t>(source_)] = 1;
 
   const std::int32_t period = 6 * rank_modulus_;
-  const radio::Packet message{0};
+  const radio::PacketId message{0};
   BroadcastRunResult result;
   if (n == 1) {
     result.completed = true;
@@ -59,9 +61,9 @@ BroadcastRunResult Fastbc::run(radio::RadioNetwork& net, Rng& rng,
       // Slow transmission round 2t+1: Decay step over informed nodes.
       const auto t = (round - 1) / 2;
       const auto sub = static_cast<std::int32_t>(t % decay_phase_);
-      const double tx_prob = std::ldexp(1.0, -sub);
-      for (const radio::NodeId u : informed_list)
-        if (rng.bernoulli(tx_prob)) net.set_broadcast(u, message);
+      rng.for_each_bernoulli_pow2(informed_list.size(), sub, [&](std::size_t i) {
+        net.set_broadcast(informed_list[i], message);
+      });
     } else {
       // Fast transmission round 2t: scheduled wave step.
       const auto t = round / 2;
@@ -76,12 +78,11 @@ BroadcastRunResult Fastbc::run(radio::RadioNetwork& net, Rng& rng,
         if (lhs == 0) net.set_broadcast(u, message);
       }
     }
-    const auto& deliveries = net.run_round();
-    for (const auto& d : deliveries) {
-      auto& flag = informed[static_cast<std::size_t>(d.receiver)];
+    for (const radio::NodeId v : net.run_round().receivers()) {
+      auto& flag = informed[static_cast<std::size_t>(v)];
       if (!flag) {
         flag = 1;
-        informed_list.push_back(d.receiver);
+        informed_list.push_back(v);
       }
     }
     if (trace != nullptr)

@@ -143,7 +143,7 @@ MultiRunResult run_greedy_adaptive_routing(radio::RadioNetwork& net,
     for (radio::NodeId u = 0; u < n; ++u) {
       const auto ui = static_cast<std::size_t>(u);
       if (staged_msg[ui] >= 0) {
-        net.set_broadcast(u, radio::Packet{staged_msg[ui]});
+        net.set_broadcast(u, radio::PacketId{staged_msg[ui]});
         staged_any = true;
       }
     }
@@ -151,7 +151,7 @@ MultiRunResult run_greedy_adaptive_routing(radio::RadioNetwork& net,
       // All candidates had non-positive marginal gain (dense mutual
       // interference); fall back to the single globally best candidate.
       const radio::NodeId u = order.front();
-      net.set_broadcast(u, radio::Packet{best_msg[static_cast<std::size_t>(u)]});
+      net.set_broadcast(u, radio::PacketId{best_msg[static_cast<std::size_t>(u)]});
     }
 
     const auto& deliveries = net.run_round();

@@ -104,21 +104,20 @@ MultiRunResult RlncBroadcast::run_impl(
       auto& st = state[static_cast<std::size_t>(u)];
       if (st.rank() == 0) return;  // nothing informative to send
       pool.push_back(st.emit(rng));
-      net.set_broadcast(
-          u, radio::Packet{static_cast<radio::PacketId>(pool.size() - 1)});
+      net.set_broadcast(u, static_cast<radio::PacketId>(pool.size() - 1));
     };
 
     if (params_.pattern == MultiPattern::kDecay) {
       const auto sub = static_cast<std::int32_t>(round % decay_phase_);
-      const double tx_prob = std::ldexp(1.0, -sub);
-      for (radio::NodeId u = 0; u < n; ++u)
-        if (rng.bernoulli(tx_prob)) stage(u);
+      rng.for_each_bernoulli_pow2(
+          static_cast<std::size_t>(n), sub,
+          [&](std::size_t u) { stage(static_cast<radio::NodeId>(u)); });
     } else if (round % 2 == 1) {
       const auto t = (round - 1) / 2;
       const auto sub = static_cast<std::int32_t>(t % decay_phase_);
-      const double tx_prob = std::ldexp(1.0, -sub);
-      for (radio::NodeId u = 0; u < n; ++u)
-        if (rng.bernoulli(tx_prob)) stage(u);
+      rng.for_each_bernoulli_pow2(
+          static_cast<std::size_t>(n), sub,
+          [&](std::size_t u) { stage(static_cast<radio::NodeId>(u)); });
     } else {
       const std::int64_t t_half = round / 2;
       const std::int64_t band = t_half / window;

@@ -26,7 +26,7 @@ MultiRunResult run_link_nonadaptive_routing(radio::RadioNetwork& net,
   for (std::int64_t m = 0; m < k; ++m) {
     bool got = false;
     for (std::int64_t r = 0; r < reps; ++r) {
-      net.set_broadcast(kSourceNode, radio::Packet{m});
+      net.set_broadcast(kSourceNode, radio::PacketId{m});
       const auto& deliveries = net.run_round();
       ++result.rounds;
       if (!deliveries.empty() && !got) {
@@ -57,7 +57,7 @@ MultiRunResult run_link_adaptive_routing(radio::RadioNetwork& net,
   result.messages = k;
   std::int64_t current = 0;
   for (std::int64_t round = 0; round < max_rounds; ++round) {
-    net.set_broadcast(kSourceNode, radio::Packet{current});
+    net.set_broadcast(kSourceNode, radio::PacketId{current});
     const auto& deliveries = net.run_round();
     ++result.rounds;
     if (!deliveries.empty()) {
@@ -81,7 +81,7 @@ MultiRunResult run_link_rs_coding(radio::RadioNetwork& net, std::int64_t k,
   result.messages = k;
   std::int64_t received = 0;
   for (std::int64_t j = 0; j < packet_count; ++j) {
-    net.set_broadcast(kSourceNode, radio::Packet{j});
+    net.set_broadcast(kSourceNode, radio::PacketId{j});
     const auto& deliveries = net.run_round();
     ++result.rounds;
     if (!deliveries.empty()) ++received;

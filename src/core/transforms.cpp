@@ -71,7 +71,7 @@ TransformResult run_routing_transform(radio::RadioNetwork& net,
     for (std::int64_t step = 0; step < T; ++step) {
       for (const auto& a : live)
         if (a.next_sub < x)
-          net.set_broadcast(a.node, radio::Packet{a.msg * x + a.next_sub});
+          net.set_broadcast(a.node, radio::PacketId{a.msg * x + a.next_sub});
       const auto& deliveries = net.run_round();
       ++out.run.rounds;
       for (const auto& d : deliveries) {
@@ -141,7 +141,7 @@ TransformResult run_coding_transform(radio::RadioNetwork& net,
     for (std::int64_t step = 0; step < T; ++step) {
       // Non-adaptive: every live broadcaster streams for the whole
       // meta-round; the packet id names the base message.
-      for (const auto& [b, m] : live) net.set_broadcast(b, radio::Packet{m});
+      for (const auto& [b, m] : live) net.set_broadcast(b, radio::PacketId{m});
       const auto& deliveries = net.run_round();
       ++out.run.rounds;
       for (const auto& d : deliveries) {

@@ -44,7 +44,7 @@ MultiRunResult run_wct_rs_coding(radio::RadioNetwork& net,
       k, static_cast<std::int32_t>(sender_count) + 1, p) * 4;
   std::int64_t next_packet = 0;
   while (senders_done < sender_count && result.rounds < phase1_cap) {
-    net.set_broadcast(wct.source(), radio::Packet{next_packet++});
+    net.set_broadcast(wct.source(), radio::PacketId{next_packet++});
     const auto& deliveries = net.run_round();
     ++result.rounds;
     for (const auto& d : deliveries) {
@@ -76,14 +76,13 @@ MultiRunResult run_wct_rs_coding(radio::RadioNetwork& net,
   std::int64_t round_index = 0;
   while (members_done < members_total && result.rounds < budget) {
     const auto sub = static_cast<std::int32_t>(round_index % phase);
-    const double tx_prob = std::ldexp(1.0, -sub);
-    for (std::int64_t si = 0; si < sender_count; ++si) {
-      if (!rng.bernoulli(tx_prob)) continue;
-      // Globally unique id: every reception is a fresh packet.
-      const std::int64_t id = (round_index + 1) * sender_count + si;
-      net.set_broadcast(senders[static_cast<std::size_t>(si)],
-                        radio::Packet{id});
-    }
+    rng.for_each_bernoulli_pow2(
+        static_cast<std::size_t>(sender_count), sub, [&](std::size_t si) {
+          // Globally unique id: every reception is a fresh packet.
+          const std::int64_t id = (round_index + 1) * sender_count +
+                                  static_cast<std::int64_t>(si);
+          net.set_broadcast(senders[si], radio::PacketId{id});
+        });
     const auto& deliveries = net.run_round();
     ++result.rounds;
     ++round_index;

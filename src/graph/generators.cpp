@@ -93,9 +93,13 @@ Graph make_connected_gnp(NodeId n, double p, Rng& rng) {
         rng.next_below(static_cast<std::uint64_t>(i)))];
     b.add_edge(child, parent);
   }
-  for (NodeId i = 0; i < n; ++i)
-    for (NodeId j = i + 1; j < n; ++j)
-      if (rng.bernoulli(p)) b.add_edge(i, j);
+  // Skip sampling row by row: O(n + p n^2) expected draws instead of the
+  // n^2 per-pair coins, which makes n ~ 10^5 sparse graphs practical.
+  for (NodeId i = 0; i + 1 < n; ++i)
+    rng.for_each_bernoulli(static_cast<std::size_t>(n - i - 1), p,
+                           [&](std::size_t offset) {
+                             b.add_edge(i, i + 1 + static_cast<NodeId>(offset));
+                           });
   return b.build();
 }
 
@@ -103,8 +107,10 @@ Graph make_random_bipartite(NodeId left, NodeId right, double p, Rng& rng) {
   NRN_EXPECTS(left >= 1 && right >= 1, "bipartite sides must be non-empty");
   GraphBuilder b(left + right);
   for (NodeId i = 0; i < left; ++i)
-    for (NodeId j = 0; j < right; ++j)
-      if (rng.bernoulli(p)) b.add_edge(i, left + j);
+    rng.for_each_bernoulli(static_cast<std::size_t>(right), p,
+                           [&](std::size_t j) {
+                             b.add_edge(i, left + static_cast<NodeId>(j));
+                           });
   return b.build();
 }
 

@@ -1,81 +1,244 @@
 #include "radio/network.hpp"
 
+#include <algorithm>
+
 namespace nrn::radio {
+
+namespace {
+
+double receiver_probability(const FaultModel& fm) {
+  switch (fm.kind) {
+    case FaultKind::kReceiver:
+      return fm.p;
+    case FaultKind::kCombined:
+      return fm.p_receiver;
+    default:
+      return 0.0;
+  }
+}
+
+double sender_probability(const FaultModel& fm) {
+  return (fm.kind == FaultKind::kSender || fm.kind == FaultKind::kCombined)
+             ? fm.p
+             : 0.0;
+}
+
+}  // namespace
+
+void DeliveryList::sort_by_receiver(std::vector<std::uint64_t>& scratch) {
+  // Zip (receiver, plan index) into one u64 per delivery; receiver in the
+  // high bits makes the u64 order the receiver order.
+  scratch.clear();
+  scratch.reserve(receivers_.size());
+  for (std::size_t i = 0; i < receivers_.size(); ++i)
+    scratch.push_back((static_cast<std::uint64_t>(receivers_[i]) << 32) |
+                      static_cast<std::uint32_t>(plan_index_[i]));
+  std::sort(scratch.begin(), scratch.end());
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    receivers_[i] = static_cast<NodeId>(scratch[i] >> 32);
+    plan_index_[i] = static_cast<std::int32_t>(scratch[i] & 0xffffffffu);
+  }
+}
 
 RadioNetwork::RadioNetwork(const graph::Graph& g, FaultModel fault_model,
                            Rng rng)
     : graph_(&g), fault_model_(fault_model), rng_(rng) {
   const auto n = static_cast<std::size_t>(g.node_count());
-  touch_epoch_.assign(n, 0);
-  tx_neighbor_count_.assign(n, 0);
-  first_sender_index_.assign(n, -1);
-  broadcasting_epoch_.assign(n, 0);
+  slots_.assign(n, NodeSlot{});
+  candidates_.reserve(n);
+  deliveries_.plan_ = &executed_plan_;
+  // Broadcaster count at which broadcasters * avg_degree reaches
+  // kDenseWorkFactor * n, with avg_degree = 2E/n: F * n^2 / 2E.
+  const std::int64_t n64 = g.node_count();
+  const std::int64_t two_e = 2 * g.edge_count();
+  dense_plan_threshold_ =
+      two_e > 0 ? static_cast<std::size_t>(
+                      (kDenseWorkFactor * n64 * n64 + two_e - 1) / two_e)
+                : ~std::size_t{0};
+  reset(fault_model, rng);
+}
+
+void RadioNetwork::reset(FaultModel fault_model, Rng rng) {
+  fault_model_ = fault_model;
+  rng_ = rng;
+  const double ps = sender_probability(fault_model_);
+  const double pr = receiver_probability(fault_model_);
+  sender_coins_ = ps > 0.0;
+  receiver_coins_ = pr > 0.0;
+  sender_threshold_ = Rng::coin_threshold(ps);
+  receiver_threshold_ = Rng::coin_threshold(pr);
+  plan_.clear();
+  executed_plan_.clear();
+  deliveries_.clear();
+  last_round_ = RoundStats{};
+  totals_ = NetworkTotals{};
+  // Skip two epochs so stamps from an abandoned staging (epoch_ + 1) or the
+  // last executed round (epoch_) can never collide with the next round's.
+  epoch_ += 2;
+}
+
+void RadioNetwork::prepare_epoch() {
+  // Slot stamps are the low 32 bits of the epoch, so they are unique only
+  // within one u32 cycle.  Flush the slots once a full cycle has elapsed
+  // since the last flush (amortized free) -- checked as an elapsed
+  // distance, not a single epoch value, because silent/empty rounds and
+  // reset() advance epoch_ without passing through here.  Stamp 0 is
+  // reserved for "never touched" (the flushed state).
+  if (epoch_ + 1 - slots_valid_since_ >= (std::uint64_t{1} << 32)) {
+    std::fill(slots_.begin(), slots_.end(), NodeSlot{});
+    slots_valid_since_ = epoch_ + 1;
+  }
+  if (static_cast<std::uint32_t>(epoch_ + 1) == 0) ++epoch_;
 }
 
 void RadioNetwork::set_broadcast(NodeId u, Packet packet) {
   NRN_EXPECTS(u >= 0 && u < graph_->node_count(), "broadcaster out of range");
-  NRN_EXPECTS(broadcasting_epoch_[static_cast<std::size_t>(u)] != epoch_ + 1,
+  if (plan_.empty()) prepare_epoch();
+  const auto stamp = static_cast<std::uint32_t>(epoch_ + 1);
+  auto& slot = slots_[static_cast<std::size_t>(u)];
+  NRN_EXPECTS(slot.bcast_epoch != stamp,
               "node staged to broadcast twice in one round");
-  broadcasting_epoch_[static_cast<std::size_t>(u)] = epoch_ + 1;
-  plan_.push_back(Staged{u, std::move(packet), false});
+  slot.bcast_epoch = stamp;
+  slot.plan_index = static_cast<std::int32_t>(plan_.size());
+  plan_.push_back(StagedBroadcast{u, std::move(packet)});
 }
 
-const std::vector<Delivery>& RadioNetwork::run_round() {
-  ++epoch_;
-  deliveries_.clear();
-  touched_.clear();
-  last_round_ = RoundStats{};
-  last_round_.broadcasters = static_cast<std::int64_t>(plan_.size());
-
-  // Sender-fault coins: one per broadcaster per round, in staging order.
-  const bool sender_coins = (fault_model_.kind == FaultKind::kSender ||
-                             fault_model_.kind == FaultKind::kCombined) &&
-                            fault_model_.p > 0.0;
-  if (sender_coins) {
-    for (auto& staged : plan_) staged.noisy = rng_.bernoulli(fault_model_.p);
+bool RadioNetwork::faults_spare_delivery(NodeId v, std::int32_t plan_index) {
+  if (sender_coins_ && plan_noisy_[static_cast<std::size_t>(plan_index)]) {
+    ++last_round_.sender_fault_losses;
+    return false;
   }
+  // Counter-based coin: a function of (round salt, receiver), so the coin
+  // is the same whichever kernel evaluates it, in whatever order.
+  if (receiver_coins_ &&
+      Rng::mix64(receiver_salt_, static_cast<std::uint64_t>(v)) <
+          receiver_threshold_) {
+    ++last_round_.receiver_fault_losses;
+    return false;
+  }
+  return true;
+}
 
-  // Count broadcasting neighbors of every node adjacent to a broadcaster.
+void RadioNetwork::finalize_candidates() {
+  // Collided candidates were flagged in their slots; the survivors get
+  // their fault coins here and become this round's deliveries.  The fault
+  // configuration is hoisted out of the loop: the faultless and
+  // receiver-only shapes are the ones big sweeps spend their rounds in.
+  if (!sender_coins_ && !receiver_coins_) {
+    for (const NodeId v : candidates_) {
+      const auto& slot = slots_[static_cast<std::size_t>(v)];
+      if (slot.state >= 0) deliveries_.push(v, slot.state);
+    }
+    return;
+  }
+  if (!sender_coins_) {
+    for (const NodeId v : candidates_) {
+      const auto& slot = slots_[static_cast<std::size_t>(v)];
+      if (slot.state < 0) continue;
+      if (Rng::mix64(receiver_salt_, static_cast<std::uint64_t>(v)) <
+          receiver_threshold_) {
+        ++last_round_.receiver_fault_losses;
+        continue;
+      }
+      deliveries_.push(v, slot.state);
+    }
+    return;
+  }
+  for (const NodeId v : candidates_) {
+    const auto& slot = slots_[static_cast<std::size_t>(v)];
+    if (slot.state < 0) continue;  // collided after being recorded
+    if (faults_spare_delivery(v, slot.state)) deliveries_.push(v, slot.state);
+  }
+}
+
+void RadioNetwork::run_round_sparse() {
+  // One fused pass over the broadcasters' adjacency: a listener is
+  // recorded as a delivery candidate at first touch (its slot holding the
+  // sole sender's plan index) and flagged collided if a second
+  // broadcasting neighbor appears.  Fault coins are applied only to the
+  // candidates that survive (finalize_candidates), which is sound because
+  // the receiver coin is a stateless function, not a stream draw.
+  const auto stamp = static_cast<std::uint32_t>(epoch_);
+  candidates_.clear();
   for (std::size_t i = 0; i < plan_.size(); ++i) {
     const NodeId b = plan_[i].sender;
     for (const NodeId v : graph_->neighbors(b)) {
-      const auto vi = static_cast<std::size_t>(v);
-      if (touch_epoch_[vi] != epoch_) {
-        touch_epoch_[vi] = epoch_;
-        tx_neighbor_count_[vi] = 1;
-        first_sender_index_[vi] = static_cast<std::int32_t>(i);
-        touched_.push_back(v);
-      } else {
-        ++tx_neighbor_count_[vi];
+      auto& slot = slots_[static_cast<std::size_t>(v)];
+      if (slot.touch_epoch != stamp) {
+        slot.touch_epoch = stamp;
+        if (slot.bcast_epoch == stamp) {
+          slot.state = kNotListening;
+        } else {
+          slot.state = static_cast<std::int32_t>(i);
+          candidates_.push_back(v);
+        }
+      } else if (slot.state >= 0) {
+        // Second broadcasting neighbor: the candidate becomes a collision.
+        ++last_round_.collision_losses;
+        slot.state = kCollided;
       }
     }
   }
+  finalize_candidates();
+}
 
-  // Resolve receptions.  Receiver-fault coins are drawn in the order nodes
-  // were first touched, which is deterministic given the staging order.
-  for (const NodeId v : touched_) {
+void RadioNetwork::run_round_dense() {
+  // Listener-centric flat pass over the CSR rows.  Counting stops at two
+  // broadcasting neighbors -- collisions need no exact multiplicity -- so
+  // rounds with many broadcasters touch only a short prefix of each row.
+  const auto stamp = static_cast<std::uint32_t>(epoch_);
+  const NodeId n = graph_->node_count();
+  for (NodeId v = 0; v < n; ++v) {
     const auto vi = static_cast<std::size_t>(v);
-    if (broadcasting_epoch_[vi] == epoch_) continue;  // not listening
-    if (tx_neighbor_count_[vi] >= 2) {
+    if (slots_[vi].bcast_epoch == stamp) continue;  // not listening
+    std::int32_t count = 0;
+    NodeId sender = -1;
+    for (const NodeId u : graph_->neighbors(v)) {
+      if (slots_[static_cast<std::size_t>(u)].bcast_epoch == stamp) {
+        sender = u;
+        if (++count == 2) break;
+      }
+    }
+    if (count == 0) continue;
+    if (count >= 2) {
       ++last_round_.collision_losses;
       continue;
     }
-    const Staged& staged =
-        plan_[static_cast<std::size_t>(first_sender_index_[vi])];
-    if (staged.noisy) {
-      ++last_round_.sender_fault_losses;
-      continue;
-    }
-    const double pr = fault_model_.kind == FaultKind::kReceiver
-                          ? fault_model_.p
-                          : fault_model_.kind == FaultKind::kCombined
-                                ? fault_model_.p_receiver
-                                : 0.0;
-    if (pr > 0.0 && rng_.bernoulli(pr)) {
-      ++last_round_.receiver_fault_losses;
-      continue;
-    }
-    deliveries_.push_back(Delivery{v, staged.sender, staged.packet});
+    const auto plan_index =
+        slots_[static_cast<std::size_t>(sender)].plan_index;
+    if (faults_spare_delivery(v, plan_index)) deliveries_.push(v, plan_index);
+  }
+}
+
+const DeliveryList& RadioNetwork::run_round() {
+  ++epoch_;
+  deliveries_.clear();
+  last_round_ = RoundStats{};
+  last_round_.broadcasters = static_cast<std::int64_t>(plan_.size());
+
+  // Sender-fault coins: one per broadcaster per round, in staging order;
+  // then one stream draw salts this round's counter-based receiver coins.
+  if (sender_coins_) {
+    plan_noisy_.resize(plan_.size());
+    for (std::size_t i = 0; i < plan_noisy_.size(); ++i)
+      plan_noisy_[i] = rng_() < sender_threshold_ ? 1 : 0;
+  }
+  if (receiver_coins_ && !plan_.empty()) receiver_salt_ = rng_();
+
+  if (!plan_.empty()) {
+    const bool dense = kernel_ == Kernel::kDense ||
+                       (kernel_ == Kernel::kAuto &&
+                        plan_.size() >= dense_plan_threshold_);
+    if (dense)
+      run_round_dense();
+    else
+      run_round_sparse();
+    // v3 contract: deliveries are emitted in ascending receiver id.  The
+    // dense kernel scans that way natively; the sparse kernel's touch
+    // order usually is ascending too, so probe before sorting.
+    if (!std::is_sorted(deliveries_.receivers_.begin(),
+                        deliveries_.receivers_.end()))
+      deliveries_.sort_by_receiver(sort_scratch_);
   }
   last_round_.deliveries = static_cast<std::int64_t>(deliveries_.size());
 
@@ -86,13 +249,25 @@ const std::vector<Delivery>& RadioNetwork::run_round() {
   totals_.sender_fault_losses += last_round_.sender_fault_losses;
   totals_.receiver_fault_losses += last_round_.receiver_fault_losses;
 
+  // Keep the executed plan alive (deliveries reference its packets); the
+  // buffers swap back and forth so neither ever reallocates in steady
+  // state.
+  plan_.swap(executed_plan_);
   plan_.clear();
   return deliveries_;
 }
 
-void RadioNetwork::run_silent_round() {
-  NRN_EXPECTS(plan_.empty(), "run_silent_round with staged broadcasters");
-  run_round();
+void RadioNetwork::run_silent_round() { run_silent_rounds(1); }
+
+void RadioNetwork::run_silent_rounds(std::int64_t k) {
+  NRN_EXPECTS(plan_.empty(), "silent rounds with staged broadcasters");
+  NRN_EXPECTS(k >= 0, "negative round count");
+  if (k == 0) return;
+  // A round with no broadcasters touches no node and draws no coin; the
+  // only observable effects are the cleared round stats and the clock.
+  deliveries_.clear();
+  last_round_ = RoundStats{};
+  totals_.rounds += k;
 }
 
 }  // namespace nrn::radio

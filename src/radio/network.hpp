@@ -10,13 +10,43 @@
 //   broadcaster per round, shared by all its receivers) nor a receiver
 //   fault (one coin per receiver) struck.
 //
-// The engine is deterministic given its seed: fault coins are drawn from
-// the engine's own Rng in a fixed order (senders in staging order, then
-// touched receivers in node-id order), independent of any algorithm
+// Two kernels implement the rule; both produce bit-identical rounds:
+//   * sparse -- one pass over the staged broadcasters' adjacency: a
+//     listener becomes a delivery candidate at first touch (its slot
+//     records the sole sender's plan index) and is flagged collided if a
+//     second broadcasting neighbor appears; a final pass over the
+//     candidate list applies the fault coins to the survivors.
+//     Epoch-stamped 16-byte node slots; no O(n) clearing.
+//   * dense  -- one flat listener-centric pass over the CSR rows, counting
+//     broadcasting neighbors with an early exit at two (a collision is a
+//     collision regardless of multiplicity).
+// The dense kernel is selected when broadcasters times the graph's
+// average degree reaches kDenseWorkFactor * n (see run_round); set_kernel
+// can force either for tests and benchmarks.
+//
+// v3 coin-tape contract (deterministic given the engine seed; asserted in
+// tests/test_engine_kernels.cpp):
+//   1. All coins are u64 values compared against Rng::coin_threshold(p);
+//      no doubles on the tape.
+//   2. Per round, sender-fault coins are drawn from the engine's xoshiro
+//      stream first: one per staged broadcaster, in staging order, iff the
+//      model's sender-side probability is > 0.
+//   3. One receiver-coin salt is then drawn from the stream -- iff the
+//      receiver-side probability is > 0 and at least one broadcaster is
+//      staged.  The receiver-fault coin of listener v is the stateless
+//      Rng::mix64(salt, v), evaluated only for listeners with exactly one
+//      broadcasting neighbor whose sender coin was clean.  Being
+//      counter-based, the coin is independent of evaluation order, so
+//      kernels never have to agree on a per-listener draw sequence.
+//   4. Deliveries are emitted in ascending receiver id.
+//   5. Silent rounds, empty rounds, and zero-probability models draw no
+//      coins at all.
+// The tape is independent of kernel choice and of any algorithm
 // randomness, so an algorithm change never perturbs the fault tape.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -28,12 +58,92 @@ namespace nrn::radio {
 
 using graph::NodeId;
 
-/// One successful packet reception.
-struct Delivery {
-  NodeId receiver = -1;
-  NodeId sender = -1;
+/// One broadcast staged for the current round.  Packets live here for the
+/// duration of the round; deliveries reference them by index instead of
+/// copying (Payload is a shared_ptr -- per-delivery copies were refcount
+/// traffic on the hot path).  Sender-fault coin outcomes live in a
+/// separate per-round byte array inside the engine.
+struct StagedBroadcast {
+  NodeId sender;
   Packet packet;
 };
+
+/// The deliveries of one round, structure-of-arrays: receiver ids plus
+/// indices into the executed round's staging plan.  Iteration yields
+/// lightweight Delivery proxies; the referenced packets stay valid until
+/// the next run_round call.
+class DeliveryList {
+ public:
+  /// A view of one successful reception (proxy, cheap to copy; the packet
+  /// reference points into the executed staging plan).
+  struct Delivery {
+    NodeId receiver;
+    NodeId sender;
+    const Packet& packet;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const DeliveryList* list, std::size_t pos)
+        : list_(list), pos_(pos) {}
+    Delivery operator*() const { return (*list_)[pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ == b.pos_;
+    }
+
+   private:
+    const DeliveryList* list_;
+    std::size_t pos_;
+  };
+
+  std::size_t size() const { return receivers_.size(); }
+  bool empty() const { return receivers_.empty(); }
+
+  /// Receiver ids only (ascending).  Informed-set protocols that ignore
+  /// the packet (Decay and the FASTBC family track one message) iterate
+  /// this span instead of the proxies, skipping the per-delivery staged
+  /// plan lookup.
+  std::span<const NodeId> receivers() const { return receivers_; }
+
+  Delivery operator[](std::size_t i) const {
+    const auto& staged = (*plan_)[static_cast<std::size_t>(plan_index_[i])];
+    return Delivery{receivers_[i], staged.sender, staged.packet};
+  }
+  Delivery front() const {
+    NRN_EXPECTS(!empty(), "front() of an empty delivery list");
+    return (*this)[0];
+  }
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+ private:
+  friend class RadioNetwork;
+
+  void clear() {
+    receivers_.clear();
+    plan_index_.clear();
+  }
+  void push(NodeId receiver, std::int32_t plan_index) {
+    receivers_.push_back(receiver);
+    plan_index_.push_back(plan_index);
+  }
+  /// Restores the ascending-receiver-id emission order after a kernel that
+  /// visits listeners out of order; `scratch` is caller-owned to keep the
+  /// hot path allocation-free.
+  void sort_by_receiver(std::vector<std::uint64_t>& scratch);
+
+  std::vector<NodeId> receivers_;
+  std::vector<std::int32_t> plan_index_;
+  const std::vector<StagedBroadcast>* plan_ = nullptr;
+};
+
+/// Alias so call sites can keep spelling the element type `Delivery`.
+using Delivery = DeliveryList::Delivery;
 
 /// Per-round aggregate counters (diagnostics and Lemma 18-style stats).
 struct RoundStats {
@@ -56,6 +166,14 @@ struct NetworkTotals {
 
 class RadioNetwork {
  public:
+  enum class Kernel { kAuto, kSparse, kDense };
+
+  /// Dense kernel threshold: auto selects dense when broadcasters times
+  /// the graph's average degree reaches kDenseWorkFactor * node_count,
+  /// i.e. when the sparse kernel would expect to touch every listener
+  /// several times anyway.
+  static constexpr std::int64_t kDenseWorkFactor = 1;
+
   /// The graph must outlive the network.
   RadioNetwork(const graph::Graph& g, FaultModel fault_model, Rng rng);
 
@@ -63,48 +181,128 @@ class RadioNetwork {
   /// topology alive.
   RadioNetwork(graph::Graph&&, FaultModel, Rng) = delete;
 
+  /// Rearms the network for a fresh trial on the same graph: new fault
+  /// model and coin stream, zeroed counters and round clock -- without
+  /// reallocating the O(n) scratch.  O(1); the workhorse of the Driver's
+  /// per-worker TrialWorkspace reuse.
+  void reset(FaultModel fault_model, Rng rng);
+
   const graph::Graph& graph() const { return *graph_; }
   const FaultModel& fault_model() const { return fault_model_; }
+
+  /// Forces a round kernel (kAuto re-enables the threshold heuristic).
+  /// Kernel choice never changes results; this exists for tests and
+  /// benchmarks.
+  void set_kernel(Kernel kernel) { kernel_ = kernel; }
 
   /// Stages node `u` to broadcast `packet` this round.  A node may be
   /// staged at most once per round.
   void set_broadcast(NodeId u, Packet packet);
+
+  /// Counting-mode fast path: stages an id-only packet without touching a
+  /// payload pointer.  Identical semantics to set_broadcast(u, Packet{id});
+  /// inline because schedule loops stage millions of these per sweep.
+  void set_broadcast(NodeId u, PacketId id) {
+    NRN_EXPECTS(u >= 0 && u < graph_->node_count(),
+                "broadcaster out of range");
+    if (plan_.empty()) prepare_epoch();
+    const auto stamp = static_cast<std::uint32_t>(epoch_ + 1);
+    auto& slot = slots_[static_cast<std::size_t>(u)];
+    NRN_EXPECTS(slot.bcast_epoch != stamp,
+                "node staged to broadcast twice in one round");
+    slot.bcast_epoch = stamp;
+    slot.plan_index = static_cast<std::int32_t>(plan_.size());
+    auto& staged = plan_.emplace_back();
+    staged.sender = u;
+    staged.packet.id = id;
+  }
 
   /// Number of broadcasters staged for the current round so far.
   std::size_t staged_count() const { return plan_.size(); }
 
   /// Executes one synchronized round with the staged broadcasters, clears
   /// the plan, and returns the deliveries (buffer reused across rounds).
-  const std::vector<Delivery>& run_round();
+  const DeliveryList& run_round();
 
   /// Runs a round where nobody broadcasts (time passes, nothing happens).
+  /// No coins are drawn; only the round clock advances.
   void run_silent_round();
+
+  /// Runs `k` consecutive silent rounds in O(1).
+  void run_silent_rounds(std::int64_t k);
 
   const RoundStats& last_round() const { return last_round_; }
   const NetworkTotals& totals() const { return totals_; }
   std::int64_t round_number() const { return totals_.rounds; }
 
  private:
-  struct Staged {
-    NodeId sender;
-    Packet packet;
-    bool noisy = false;  // sender-fault coin outcome, drawn in run_round
-  };
+  void run_round_sparse();
+  void run_round_dense();
+
+  /// Applies the fault coins to a confirmed unique listener: the sender's
+  /// shared fault coin, then the listener's stateless receiver coin; on
+  /// survival the delivery is kept/recorded.  Shared by the dense kernel
+  /// (which knows finality immediately) and the sparse kernel's
+  /// candidate-compaction pass.
+  bool faults_spare_delivery(NodeId v, std::int32_t plan_index);
+
+  /// Drops tombstoned delivery candidates and applies the fault coins to
+  /// the survivors, in place (the sparse kernel's final pass).
+  void finalize_candidates();
+
+  /// Ensures the next round's u32 epoch stamp is non-zero, flushing the
+  /// slot arrays once every 2^32 rounds so stale stamps can never match.
+  void prepare_epoch();
 
   const graph::Graph* graph_;
   FaultModel fault_model_;
   Rng rng_;
 
-  std::vector<Staged> plan_;
-  std::vector<Delivery> deliveries_;
+  // Fixed-point coin thresholds (v3 tape: u64 compares, no doubles).
+  std::uint64_t sender_threshold_ = 0;
+  std::uint64_t receiver_threshold_ = 0;
+  std::uint64_t receiver_salt_ = 0;  // this round's mix64 salt
+  bool sender_coins_ = false;
+  bool receiver_coins_ = false;
 
-  // Epoch-stamped per-node scratch; avoids O(n) clearing each round.
+  Kernel kernel_ = Kernel::kAuto;
+  // Auto selection compares staged broadcasters against this count, the
+  // precomputed kDenseWorkFactor * n / avg_degree (see run_round).
+  std::size_t dense_plan_threshold_ = ~std::size_t{0};
+
+  std::vector<StagedBroadcast> plan_;
+  std::vector<StagedBroadcast> executed_plan_;  // last round's plan
+  // Sender-fault coin outcomes for the current round, one byte per staged
+  // broadcaster (kept out of StagedBroadcast so the resolve path streams
+  // bytes and the executed plan swap stays payload-only).
+  std::vector<std::uint8_t> plan_noisy_;
+  DeliveryList deliveries_;
+  std::vector<std::uint64_t> sort_scratch_;
+
+  // Epoch-stamped per-node scratch; avoids O(n) clearing each round.  The
+  // per-node fields are packed into 8-byte slots (u32 epoch stamps; see
+  // prepare_epoch for the once-per-2^32-rounds flush) so a kernel's inner
+  // loop touches one cache line per sixteen nodes.
+  //
+  // NodeSlot.state encodes a listener's status for the current round: the
+  // sole broadcasting neighbor's plan index >= 0 (a live delivery
+  // candidate), or one of the codes below.  The broadcast half is written
+  // at staging time; keeping both halves in one 16-byte slot means the
+  // sparse kernel's first-touch classification reads a single cache line.
+  static constexpr std::int32_t kNotListening = -1;
+  static constexpr std::int32_t kCollided = -2;
+  struct NodeSlot {
+    std::uint32_t touch_epoch = 0;
+    std::int32_t state = 0;
+    std::uint32_t bcast_epoch = 0;  // staged for the round when == epoch+1
+    std::int32_t plan_index = -1;   // index into plan_
+  };
   std::uint64_t epoch_ = 0;
-  std::vector<std::uint64_t> touch_epoch_;
-  std::vector<std::int32_t> tx_neighbor_count_;
-  std::vector<std::int32_t> first_sender_index_;  // index into plan_
-  std::vector<std::uint64_t> broadcasting_epoch_;
-  std::vector<NodeId> touched_;
+  // Epoch of the last slot flush: stamps are unique within one u32 cycle
+  // of this point (see prepare_epoch).
+  std::uint64_t slots_valid_since_ = 0;
+  std::vector<NodeSlot> slots_;
+  std::vector<NodeId> candidates_;  // sparse kernel's first-touch listeners
 
   RoundStats last_round_;
   NetworkTotals totals_;

@@ -1,13 +1,10 @@
 #include "sim/driver.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <set>
-#include <thread>
 
 #include "common/stats.hpp"
+#include "common/task_pool.hpp"
 #include "graph/algorithms.hpp"
 
 namespace nrn::sim {
@@ -113,39 +110,26 @@ ExperimentReport Driver::run(const Scenario& scenario,
     trial.algo_seed = stream();
   }
 
-  auto run_trial = [&](TrialReport& trial) {
-    radio::RadioNetwork net(graph, scenario.fault, Rng(trial.net_seed));
+  // One workspace per pool slot: the slot's RadioNetwork is built for the
+  // first trial it runs and reset -- not reallocated -- for every later
+  // one.  Slots are owned by one thread at a time, so no locking.
+  auto& pool = common::TaskPool::shared();
+  std::vector<TrialWorkspace> workspaces(
+      static_cast<std::size_t>(pool.slot_count()));
+  auto run_trial = [&](std::size_t t, int slot) {
+    auto& trial = report.trials[t];
+    radio::RadioNetwork& net = workspaces[static_cast<std::size_t>(slot)]
+                                   .acquire(graph, scenario.fault,
+                                            Rng(trial.net_seed));
     Rng algo_rng(trial.algo_seed);
     trial.run = protocol->run(net, algo_rng);
   };
 
   const int workers = std::min(options.threads, trials);
   if (workers <= 1) {
-    for (auto& trial : report.trials) run_trial(trial);
+    for (std::size_t t = 0; t < report.trials.size(); ++t) run_trial(t, 0);
   } else {
-    std::atomic<int> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (!failed.load(std::memory_order_relaxed)) {
-          const int t = next.fetch_add(1);
-          if (t >= trials) break;
-          try {
-            run_trial(report.trials[static_cast<std::size_t>(t)]);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!error) error = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
-          }
-        }
-      });
-    }
-    for (auto& worker : pool) worker.join();
-    if (error) std::rethrow_exception(error);
+    pool.run(report.trials.size(), workers, run_trial);
   }
   return report;
 }

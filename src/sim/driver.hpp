@@ -4,9 +4,13 @@
 // Scenario's graph, builds the protocol once through the registry (so
 // known-topology precomputation like the GBST is shared across trials),
 // derives one independent Rng stream per trial with Rng::split, and runs
-// the trials -- serially or batched across threads.  Per-trial seeds are
-// derived up front in trial order, so an ExperimentReport is bit-identical
-// for a given scenario regardless of the thread count.
+// the trials -- serially or batched over the shared TaskPool.  Per-trial
+// seeds are derived up front in trial order, so an ExperimentReport is
+// bit-identical for a given scenario regardless of the thread count.
+//
+// v3: batching runs on the persistent common::TaskPool (no per-experiment
+// thread spawn), and each pool slot owns a TrialWorkspace whose
+// RadioNetwork is reset -- not reallocated -- between trials.
 //
 // v2: trials carry Outcome metric maps instead of a fixed struct, and the
 // report records the protocol's capabilities, the source's BFS depth, and
@@ -15,9 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "radio/network.hpp"
 #include "sim/registry.hpp"
 
 namespace nrn::sim {
@@ -75,11 +81,33 @@ struct ExperimentReport {
 };
 
 struct DriverOptions {
-  /// Worker threads for trial batching; <= 1 runs trials inline.  Results
-  /// are identical either way.
+  /// Concurrent trial executors (pool workers + the caller); <= 1 runs
+  /// trials inline.  Results are identical either way.
   int threads = 1;
   /// Protocol knobs forwarded to the factory.
   Tuning tuning;
+};
+
+/// Per-worker arena: one RadioNetwork reused across all the trials a pool
+/// slot runs, reset (O(1)) instead of reallocated (O(n)) per trial.
+class TrialWorkspace {
+ public:
+  radio::RadioNetwork& acquire(const graph::Graph& graph,
+                               const radio::FaultModel& fault, Rng rng) {
+    if (!net_) {
+      net_.emplace(graph, fault, rng);
+    } else {
+      // reset() keeps the bound graph; a workspace is per-experiment, so
+      // a different graph means the caller is holding it too long.
+      NRN_EXPECTS(&graph == &net_->graph(),
+                  "TrialWorkspace reused across different graphs");
+      net_->reset(fault, rng);
+    }
+    return *net_;
+  }
+
+ private:
+  std::optional<radio::RadioNetwork> net_;
 };
 
 class Driver {

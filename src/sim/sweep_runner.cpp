@@ -1,13 +1,11 @@
 #include "sim/sweep_runner.hpp"
 
-#include <atomic>
 #include <cstdio>
-#include <exception>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
-#include <thread>
+
+#include "common/task_pool.hpp"
 
 namespace nrn::sim {
 
@@ -66,7 +64,7 @@ std::vector<std::string> split_spaces(const std::string& s) {
 
 void append_experiment_record(std::ostream& os,
                               const ExperimentReport& report) {
-  os << "experiment v2\n"
+  os << "experiment v3\n"
      << "protocol " << report.protocol << "\n"
      << "topology " << report.scenario.topology.text << "\n"
      << "fault " << report.scenario.fault_text << "\n"
@@ -93,7 +91,7 @@ void append_experiment_record(std::ostream& os,
 }
 
 ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
-  cursor.literal("experiment v2");
+  cursor.literal("experiment v3");
   ExperimentReport report;
   report.protocol = cursor.field("protocol ");
   const std::string topology = cursor.field("topology ");
@@ -202,7 +200,7 @@ std::optional<ExperimentReport> ResultCache::load(
   raw << in.rdbuf();
   try {
     LineCursor cursor(verified_body(raw.str()));
-    cursor.literal("nrn-sweep-cache v2");
+    cursor.literal("nrn-sweep-cache v3");
     if (cursor.field("key ") != key) return std::nullopt;  // hash collision
     ExperimentReport report = parse_experiment_cursor(cursor);
     if (!cursor.done()) bad_format("trailing data in cache entry");
@@ -215,7 +213,7 @@ std::optional<ExperimentReport> ResultCache::load(
 void ResultCache::store(const std::string& key, const ExperimentReport& report,
                         int tag) const {
   std::ostringstream body;
-  body << "nrn-sweep-cache v2\n"
+  body << "nrn-sweep-cache v3\n"
        << "key " << key << "\n";
   append_experiment_record(body, report);
   const std::string path = entry_path(key);
@@ -261,7 +259,7 @@ bool SweepReport::all_completed() const {
 
 void write_shard_file(std::ostream& os, const SweepReport& report) {
   std::ostringstream body;
-  body << "nrn-sweep-shard v2\n"
+  body << "nrn-sweep-shard v3\n"
        << "plan " << report.plan_text << "\n"
        << "master-seed " << report.master_seed << "\n"
        << "total-cells " << report.total_cells << "\n"
@@ -277,7 +275,7 @@ SweepReport read_shard_file(std::istream& is) {
   std::ostringstream raw;
   raw << is.rdbuf();
   LineCursor cursor(verified_body(raw.str()));
-  cursor.literal("nrn-sweep-shard v2");
+  cursor.literal("nrn-sweep-shard v3");
   SweepReport report;
   report.plan_text = cursor.field("plan ");
   report.master_seed =
@@ -396,29 +394,11 @@ SweepReport SweepRunner::run(const SweepPlan& plan,
   if (workers <= 1) {
     for (std::size_t slot = 0; slot < mine.size(); ++slot) run_cell(slot);
   } else {
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (!failed.load(std::memory_order_relaxed)) {
-          const std::size_t slot = next.fetch_add(1);
-          if (slot >= mine.size()) break;
-          try {
-            run_cell(slot);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!error) error = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
-          }
-        }
-      });
-    }
-    for (auto& worker : pool) worker.join();
-    if (error) std::rethrow_exception(error);
+    // Cells batch over the shared persistent pool; a cell's own Driver
+    // batching (trial_threads) runs inline on the cell's slot.
+    common::TaskPool::shared().run(
+        mine.size(), workers,
+        [&](std::size_t slot, int /*worker*/) { run_cell(slot); });
   }
   return report;
 }

@@ -18,6 +18,12 @@
 // checksum and their full key; a truncated, corrupted, or colliding entry
 // fails verification and is silently recomputed -- the cache can make a
 // sweep faster, never wrong.
+//
+// Formats are versioned ("experiment v3" / "nrn-sweep-shard v3" /
+// "nrn-sweep-cache v3"); v3 corresponds to the engine's v3 coin-tape
+// contract (radio/network.hpp), so records and cache entries produced
+// under the v2 tape fail the version literal and are recomputed rather
+// than silently mixed with v3 results.
 #pragma once
 
 #include <cstdint>

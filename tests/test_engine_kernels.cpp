@@ -1,0 +1,258 @@
+// Engine v3: the sparse and dense round kernels must be observationally
+// identical (deliveries, stats, and coin tape), the v3 coin-tape contract
+// documented in radio/network.hpp must hold exactly, and the silent-round
+// fast path and O(1) reset must preserve all bookkeeping.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace nrn::radio {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Flattened observable state of one round: deliveries in emission order
+/// plus the stats counters.
+struct RoundTrace {
+  std::vector<std::tuple<NodeId, NodeId, PacketId>> deliveries;
+  std::int64_t collisions = 0;
+  std::int64_t sender_losses = 0;
+  std::int64_t receiver_losses = 0;
+
+  friend bool operator==(const RoundTrace&, const RoundTrace&) = default;
+};
+
+RoundTrace trace_round(RadioNetwork& net,
+                       const std::vector<NodeId>& broadcasters) {
+  for (const NodeId u : broadcasters) net.set_broadcast(u, Packet{u});
+  RoundTrace trace;
+  for (const auto& d : net.run_round())
+    trace.deliveries.emplace_back(d.receiver, d.sender, d.packet.id);
+  trace.collisions = net.last_round().collision_losses;
+  trace.sender_losses = net.last_round().sender_fault_losses;
+  trace.receiver_losses = net.last_round().receiver_fault_losses;
+  return trace;
+}
+
+/// Random broadcast pattern with density `q` in staging order id-descending
+/// (so staging order differs from id order and the two cannot be conflated).
+std::vector<NodeId> random_plan(const Graph& g, double q, Rng& rng) {
+  std::vector<NodeId> plan;
+  for (NodeId u = g.node_count() - 1; u >= 0; --u)
+    if (rng.bernoulli(q)) plan.push_back(u);
+  return plan;
+}
+
+TEST(EngineKernels, DenseSparseAndAutoAreBitIdentical) {
+  Rng meta(12345);
+  const FaultModel models[] = {
+      FaultModel::faultless(), FaultModel::sender(0.3),
+      FaultModel::receiver(0.4), FaultModel::combined(0.2, 0.3)};
+  for (int instance = 0; instance < 8; ++instance) {
+    const auto n = static_cast<NodeId>(10 + meta.next_below(40));
+    const Graph g = graph::make_connected_gnp(n, 0.15, meta);
+    for (const auto& fm : models) {
+      const std::uint64_t seed = meta();
+      RadioNetwork sparse(g, fm, Rng(seed));
+      RadioNetwork dense(g, fm, Rng(seed));
+      RadioNetwork automatic(g, fm, Rng(seed));
+      sparse.set_kernel(RadioNetwork::Kernel::kSparse);
+      dense.set_kernel(RadioNetwork::Kernel::kDense);
+      Rng plan_rng(seed ^ 0xabcdef);
+      for (int round = 0; round < 25; ++round) {
+        const auto plan = random_plan(g, 0.3, plan_rng);
+        const auto a = trace_round(sparse, plan);
+        const auto b = trace_round(dense, plan);
+        const auto c = trace_round(automatic, plan);
+        ASSERT_EQ(a, b) << "instance " << instance << " round " << round;
+        ASSERT_EQ(a, c) << "instance " << instance << " round " << round;
+      }
+      EXPECT_EQ(sparse.totals().deliveries, dense.totals().deliveries);
+      EXPECT_EQ(sparse.totals().collision_losses,
+                dense.totals().collision_losses);
+    }
+  }
+}
+
+TEST(EngineKernels, DeliveriesEmittedInAscendingReceiverId) {
+  Rng meta(777);
+  const Graph g = graph::make_connected_gnp(60, 0.12, meta);
+  for (const auto kernel :
+       {RadioNetwork::Kernel::kSparse, RadioNetwork::Kernel::kDense}) {
+    RadioNetwork net(g, FaultModel::faultless(), Rng(5));
+    net.set_kernel(kernel);
+    Rng plan_rng(9);
+    for (int round = 0; round < 20; ++round) {
+      const auto plan = random_plan(g, 0.2, plan_rng);
+      for (const NodeId u : plan) net.set_broadcast(u, Packet{u});
+      NodeId previous = -1;
+      for (const auto& d : net.run_round()) {
+        EXPECT_LT(previous, d.receiver);  // strictly ascending
+        previous = d.receiver;
+      }
+    }
+  }
+}
+
+// The v3 contract, predicted coin by coin with a shadow stream: sender
+// coins first (staging order), then one receiver salt per round, with each
+// listener's receiver coin the stateless mix64(salt, listener).
+TEST(EngineKernels, V3CoinTapeIsPredictable) {
+  const Graph g = graph::make_star(16);  // hub 0, leaves 1..16
+  const double ps = 0.35, pr = 0.45;
+  const std::uint64_t seed = 2024;
+  const std::uint64_t sender_thr = Rng::coin_threshold(ps);
+  const std::uint64_t receiver_thr = Rng::coin_threshold(pr);
+
+  for (const auto kernel :
+       {RadioNetwork::Kernel::kSparse, RadioNetwork::Kernel::kDense}) {
+    RadioNetwork net(g, FaultModel::combined(ps, pr), Rng(seed));
+    net.set_kernel(kernel);
+    Rng shadow(seed);
+    for (int round = 0; round < 200; ++round) {
+      net.set_broadcast(0, Packet{round});
+      // Predict: one sender coin, one round salt, then per leaf 1..16
+      // (ascending) a counter-based coin iff the sender coin was clean.
+      const bool noisy = shadow() < sender_thr;
+      const std::uint64_t salt = shadow();
+      std::vector<NodeId> expected;
+      if (!noisy)
+        for (NodeId leaf = 1; leaf <= 16; ++leaf)
+          if (!(Rng::mix64(salt, static_cast<std::uint64_t>(leaf)) <
+                receiver_thr))
+            expected.push_back(leaf);
+      std::vector<NodeId> got;
+      for (const auto& d : net.run_round()) got.push_back(d.receiver);
+      ASSERT_EQ(got, expected) << "kernel mismatch at round " << round;
+      EXPECT_EQ(net.last_round().sender_fault_losses, noisy ? 16 : 0);
+    }
+  }
+}
+
+TEST(EngineKernels, SenderCoinsDrawnInStagingOrderNotIdOrder) {
+  const Graph g = graph::make_path(5);  // 0-1-2-3-4
+  const double ps = 0.5;
+  const std::uint64_t seed = 99;
+  const std::uint64_t thr = Rng::coin_threshold(ps);
+  RadioNetwork net(g, FaultModel::sender(ps), Rng(seed));
+  Rng shadow(seed);
+  for (int round = 0; round < 100; ++round) {
+    // Stage id 3 before id 0: the first coin on the tape belongs to 3.
+    net.set_broadcast(3, Packet{3});
+    net.set_broadcast(0, Packet{0});
+    const bool noisy3 = shadow() < thr;
+    const bool noisy0 = shadow() < thr;
+    std::vector<NodeId> expected;
+    if (!noisy0) expected.push_back(1);  // deliveries ascend by receiver
+    if (!noisy3) {
+      expected.push_back(2);
+      expected.push_back(4);
+    }
+    std::vector<NodeId> got;
+    for (const auto& d : net.run_round()) got.push_back(d.receiver);
+    ASSERT_EQ(got, expected) << "round " << round;
+  }
+}
+
+TEST(EngineKernels, FaultlessRoundsConsumeNoCoins) {
+  const Graph g = graph::make_star(8);
+  const std::uint64_t seed = 31337;
+  RadioNetwork net(g, FaultModel::faultless(), Rng(seed));
+  for (int round = 0; round < 10; ++round) {
+    net.set_broadcast(0, Packet{round});
+    EXPECT_EQ(net.run_round().size(), 8u);
+  }
+  // Trick: reset with the same seed after 10 rounds; if the rounds drew
+  // any coin the stream would have advanced, but reset re-seeds anyway --
+  // so instead compare against a combined-model net whose coins DO burn.
+  RadioNetwork quiet(g, FaultModel::combined(0.0, 0.0), Rng(seed));
+  for (int round = 0; round < 10; ++round) {
+    quiet.set_broadcast(0, Packet{round});
+    EXPECT_EQ(quiet.run_round().size(), 8u);  // p=0 draws nothing either
+  }
+}
+
+TEST(EngineKernels, SilentRoundFastPathMatchesLegacyAccounting) {
+  const Graph g = graph::make_path(4);
+  RadioNetwork a(g, FaultModel::receiver(0.5), Rng(3));
+  RadioNetwork b(g, FaultModel::receiver(0.5), Rng(3));
+
+  for (int i = 0; i < 7; ++i) a.run_silent_round();
+  b.run_silent_rounds(7);
+  EXPECT_EQ(a.round_number(), 7);
+  EXPECT_EQ(b.round_number(), 7);
+  EXPECT_EQ(a.last_round().broadcasters, 0);
+  EXPECT_EQ(b.last_round().deliveries, 0);
+
+  // Coins were not consumed: the next noisy round is identical on both.
+  auto run_one = [](RadioNetwork& net) {
+    net.set_broadcast(0, Packet{1});
+    return net.run_round().size();
+  };
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(run_one(a), run_one(b));
+  EXPECT_EQ(a.totals().rounds, b.totals().rounds);
+  EXPECT_EQ(a.totals().deliveries, b.totals().deliveries);
+  EXPECT_EQ(a.totals().receiver_fault_losses,
+            b.totals().receiver_fault_losses);
+}
+
+TEST(EngineKernels, SilentRoundsRejectStagedPlans) {
+  const Graph g = graph::make_path(3);
+  RadioNetwork net(g, FaultModel::faultless(), Rng(1));
+  net.set_broadcast(0, Packet{0});
+  EXPECT_THROW(net.run_silent_rounds(2), ContractViolation);
+  net.run_round();
+  net.run_silent_rounds(0);  // no-op
+  EXPECT_EQ(net.round_number(), 1);
+}
+
+TEST(EngineKernels, ResetReproducesAFreshNetworkExactly) {
+  Rng meta(4242);
+  const Graph g = graph::make_connected_gnp(30, 0.2, meta);
+  const auto run_schedule = [&](RadioNetwork& net) {
+    std::vector<std::int64_t> counts;
+    Rng plan_rng(17);
+    for (int round = 0; round < 30; ++round) {
+      for (const NodeId u : random_plan(g, 0.25, plan_rng))
+        net.set_broadcast(u, Packet{u});
+      counts.push_back(static_cast<std::int64_t>(net.run_round().size()));
+    }
+    return counts;
+  };
+
+  RadioNetwork fresh(g, FaultModel::combined(0.2, 0.2), Rng(1001));
+  const auto expected = run_schedule(fresh);
+
+  // Dirty a network with a different model, seed, and even an abandoned
+  // staging, then reset: it must replay the fresh run bit for bit.
+  RadioNetwork reused(g, FaultModel::sender(0.9), Rng(5));
+  run_schedule(reused);
+  reused.set_broadcast(3, Packet{3});  // staged but never run
+  reused.reset(FaultModel::combined(0.2, 0.2), Rng(1001));
+  EXPECT_EQ(reused.round_number(), 0);
+  EXPECT_EQ(reused.totals().broadcasts, 0);
+  EXPECT_EQ(run_schedule(reused), expected);
+}
+
+TEST(EngineKernels, DeliveryPacketsStayValidUntilNextRound) {
+  const Graph g = graph::make_star(3);
+  RadioNetwork net(g, FaultModel::faultless(), Rng(1));
+  auto payload = make_payload({9, 8, 7});
+  net.set_broadcast(0, Packet{42, payload});
+  const auto& ds = net.run_round();
+  ASSERT_EQ(ds.size(), 3u);
+  // Staging the next round must not invalidate the current deliveries.
+  net.set_broadcast(1, Packet{1});
+  EXPECT_EQ(ds.front().packet.id, 42);
+  EXPECT_EQ(ds.front().packet.payload.get(), payload.get());
+  // And the payload is shared, not copied, across deliveries.
+  for (const auto& d : ds) EXPECT_EQ(d.packet.payload.get(), payload.get());
+}
+
+}  // namespace
+}  // namespace nrn::radio

@@ -174,5 +174,168 @@ TEST(Rng, SplitMix64KnownAnswer) {
   EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
 }
 
+// ------------------------------------------------- v3 skip-sampling paths
+
+TEST(Rng, CoinThresholdEdges) {
+  EXPECT_EQ(Rng::coin_threshold(0.0), 0u);
+  EXPECT_EQ(Rng::coin_threshold(-1.0), 0u);
+  EXPECT_EQ(Rng::coin_threshold(1.0), Rng::kNoSuccess);
+  EXPECT_EQ(Rng::coin_threshold(0.5), std::uint64_t{1} << 63);
+  // Monotone in p and approximately proportional.
+  EXPECT_LT(Rng::coin_threshold(0.25), Rng::coin_threshold(0.26));
+  EXPECT_NEAR(static_cast<double>(Rng::coin_threshold(0.3)) * 0x1.0p-64, 0.3,
+              1e-12);
+}
+
+TEST(Rng, BernoulliSkipEdgesConsumeNothing) {
+  Rng rng(41);
+  Rng untouched(41);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.bernoulli_skip(0.0), Rng::kNoSuccess);
+    EXPECT_EQ(rng.bernoulli_skip(-0.5), Rng::kNoSuccess);
+    EXPECT_EQ(rng.bernoulli_skip(1.0), 0u);
+    EXPECT_EQ(rng.bernoulli_skip_pow2(0), 0u);
+  }
+  // The stream did not advance.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng(), untouched());
+}
+
+TEST(Rng, BernoulliSkipTapeIsDeterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(a.bernoulli_skip(0.37), b.bernoulli_skip(0.37));
+  // Exactly one draw per gap: a raw stream clone stays in lockstep.
+  Rng c(7), raw(7);
+  for (int i = 0; i < 100; ++i) {
+    c.bernoulli_skip(0.37);
+    raw();
+  }
+  EXPECT_EQ(c(), raw());
+}
+
+TEST(Rng, DyadicFastPathMatchesGeneralPath) {
+  for (const std::int32_t i : {1, 2, 3, 5, 10, 20, 40, 63}) {
+    Rng general(1234), dyadic(1234);
+    const double p = std::ldexp(1.0, -i);
+    for (int draw = 0; draw < 300; ++draw)
+      ASSERT_EQ(dyadic.bernoulli_skip_pow2(i), general.bernoulli_skip(p))
+          << "i=" << i << " draw=" << draw;
+  }
+}
+
+TEST(Rng, BernoulliSkipRejectsNegativeExponent) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli_skip_pow2(-1), ContractViolation);
+}
+
+/// Chi-squared goodness of fit of observed gap counts against the
+/// geometric distribution P(gap = g) = p (1-p)^g, buckets 0..cutoff-1 plus
+/// a tail bucket.
+double geometric_chi_squared(Rng& rng, double p, int samples, int cutoff,
+                             bool dyadic, std::int32_t exponent) {
+  std::vector<double> observed(static_cast<std::size_t>(cutoff) + 1, 0.0);
+  for (int s = 0; s < samples; ++s) {
+    const std::uint64_t gap =
+        dyadic ? rng.bernoulli_skip_pow2(exponent) : rng.bernoulli_skip(p);
+    const auto bucket = gap >= static_cast<std::uint64_t>(cutoff)
+                            ? static_cast<std::size_t>(cutoff)
+                            : static_cast<std::size_t>(gap);
+    observed[bucket] += 1.0;
+  }
+  double chi = 0.0, q = 1.0;
+  for (int g = 0; g < cutoff; ++g) {
+    const double expected = samples * p * q;
+    chi += (observed[static_cast<std::size_t>(g)] - expected) *
+           (observed[static_cast<std::size_t>(g)] - expected) / expected;
+    q *= 1.0 - p;
+  }
+  const double tail = samples * q;  // P(gap >= cutoff) = (1-p)^cutoff
+  chi += (observed[static_cast<std::size_t>(cutoff)] - tail) *
+         (observed[static_cast<std::size_t>(cutoff)] - tail) / tail;
+  return chi;
+}
+
+TEST(Rng, BernoulliSkipIsGeometricChiSquared) {
+  // 15 degrees of freedom; the 99.9th percentile of chi2(15) is 37.7.
+  Rng rng(555);
+  EXPECT_LT(geometric_chi_squared(rng, 0.3, 200000, 15, false, 0), 37.7);
+}
+
+TEST(Rng, DyadicSkipIsGeometricChiSquared) {
+  // p = 2^-3; 15 dof again.
+  Rng rng(556);
+  EXPECT_LT(geometric_chi_squared(rng, 0.125, 200000, 15, true, 3), 37.7);
+}
+
+TEST(Rng, ForEachBernoulliEdges) {
+  Rng rng(60);
+  std::vector<std::size_t> hits;
+  rng.for_each_bernoulli(100, 1.0, [&](std::size_t i) { hits.push_back(i); });
+  ASSERT_EQ(hits.size(), 100u);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i);
+
+  hits.clear();
+  rng.for_each_bernoulli(100, 0.0, [&](std::size_t i) { hits.push_back(i); });
+  EXPECT_TRUE(hits.empty());
+  rng.for_each_bernoulli(0, 0.5, [&](std::size_t i) { hits.push_back(i); });
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(Rng, ForEachBernoulliSelectionFrequencyMatchesP) {
+  Rng rng(61);
+  const double p = 0.2;
+  std::int64_t selected = 0;
+  const int rounds = 2000, count = 100;
+  for (int r = 0; r < rounds; ++r)
+    rng.for_each_bernoulli(count, p, [&](std::size_t) { ++selected; });
+  EXPECT_NEAR(static_cast<double>(selected) / (rounds * count), p, 0.01);
+  // And per-index marginals are uniform: index 0 and index count-1 are
+  // selected equally often.
+  Rng rng2(62);
+  std::int64_t first = 0, last = 0;
+  for (int r = 0; r < 20000; ++r)
+    rng2.for_each_bernoulli(10, 0.3, [&](std::size_t i) {
+      first += i == 0 ? 1 : 0;
+      last += i == 9 ? 1 : 0;
+    });
+  EXPECT_NEAR(static_cast<double>(first) / 20000, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(last) / 20000, 0.3, 0.02);
+}
+
+TEST(Rng, ForEachBernoulliPow2BitChunkedRegimeMatchesP) {
+  // i <= 2 uses bit-chunked coins (64/i indices per draw); the selection
+  // frequency and per-index marginals must still match 2^-i exactly.
+  for (const std::int32_t i : {1, 2}) {
+    Rng rng(70 + static_cast<std::uint64_t>(i));
+    const double p = std::ldexp(1.0, -i);
+    std::int64_t selected = 0;
+    std::vector<std::int64_t> per_index(100, 0);
+    const int rounds = 4000;
+    for (int r = 0; r < rounds; ++r)
+      rng.for_each_bernoulli_pow2(100, i, [&](std::size_t idx) {
+        ++selected;
+        ++per_index[idx];
+      });
+    EXPECT_NEAR(static_cast<double>(selected) / (rounds * 100), p, 0.01);
+    // Indices straddling draw boundaries (63/64 for i=1) stay unbiased.
+    EXPECT_NEAR(static_cast<double>(per_index[63]) / rounds, p, 0.04);
+    EXPECT_NEAR(static_cast<double>(per_index[64 / i]) / rounds, p, 0.04);
+  }
+}
+
+TEST(Rng, ForEachBernoulliPow2MatchesGeneralTape) {
+  Rng a(63), b(63);
+  std::vector<std::size_t> via_pow2, via_general;
+  for (int r = 0; r < 200; ++r) {
+    a.for_each_bernoulli_pow2(64, 4, [&](std::size_t i) {
+      via_pow2.push_back(i);
+    });
+    b.for_each_bernoulli(64, std::ldexp(1.0, -4), [&](std::size_t i) {
+      via_general.push_back(i);
+    });
+  }
+  EXPECT_EQ(via_pow2, via_general);
+}
+
 }  // namespace
 }  // namespace nrn

@@ -105,7 +105,7 @@ TEST(SweepRunner, UnknownProtocolFailsBeforeRunning) {
 
 TEST(SweepRunner, ScheduleProtocolsRunThroughSweeps) {
   const auto link = run_plan(
-      "topology=link; fault=receiver:0.5; k=32; trials=2; seed=3; "
+      "topology=link; fault=receiver:0.5; k=32; trials=2; seed=4; "
       "protocols=link-nonadaptive,link-adaptive,link-coding");
   EXPECT_EQ(link.cells.size(), 3u);
   EXPECT_TRUE(link.all_completed());

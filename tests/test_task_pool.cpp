@@ -1,0 +1,94 @@
+// The persistent TaskPool: full coverage of the batch contract (every
+// index exactly once), slot discipline, nesting, exception propagation,
+// and reuse across many batches.
+#include "common/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace nrn::common {
+namespace {
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce) {
+  TaskPool pool(3);
+  for (const int workers : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    pool.run(hits.size(), workers,
+             [&](std::size_t i, int /*slot*/) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(TaskPool, SlotsAreInRangeAndExclusive) {
+  TaskPool pool(4);
+  std::mutex mutex;
+  std::set<int> seen;
+  pool.run(64, 8, [&](std::size_t /*i*/, int slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, pool.slot_count());
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(slot);
+  });
+  EXPECT_FALSE(seen.empty());
+  EXPECT_LE(static_cast<int>(seen.size()), pool.slot_count());
+}
+
+TEST(TaskPool, NestedRunsExecuteInline) {
+  TaskPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run(8, 4, [&](std::size_t /*i*/, int outer_slot) {
+    pool.run(16, 4, [&](std::size_t /*j*/, int inner_slot) {
+      EXPECT_EQ(inner_slot, outer_slot);  // inline on the caller's slot
+      ++inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(TaskPool, FirstExceptionPropagatesAndPoolSurvives) {
+  TaskPool pool(2);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_THROW(pool.run(100, 4,
+                          [&](std::size_t i, int /*slot*/) {
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The pool keeps working after a failed batch.
+    std::atomic<int> count{0};
+    pool.run(50, 4, [&](std::size_t, int) { ++count; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(TaskPool, ZeroCountAndZeroHelpersDegradeGracefully) {
+  TaskPool inline_pool(0);
+  EXPECT_EQ(inline_pool.slot_count(), 1);
+  std::atomic<int> count{0};
+  inline_pool.run(0, 4, [&](std::size_t, int) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  inline_pool.run(10, 4, [&](std::size_t, int slot) {
+    EXPECT_EQ(slot, 0);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(TaskPool, SharedPoolIsReusableAcrossBatches) {
+  auto& pool = TaskPool::shared();
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<std::int64_t> sum{0};
+    pool.run(100, 4, [&](std::size_t i, int) {
+      sum += static_cast<std::int64_t>(i);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace nrn::common
