@@ -221,14 +221,31 @@ class Rng {
     }
   }
 
+  /// n below which binomial() flips coins directly: a BINV walk costs about
+  /// n*p pmf-recurrence steps plus a uniform draw, so it only wins once the
+  /// coin loop is longer than a handful of draws.
+  static constexpr std::uint64_t kBinomialDirectCutoff = 16;
+
   /// Binomial(n, p) by direct simulation for small n, normal-free inversion
-  /// elsewhere.  Intended for the moderate n used in cluster sampling.
+  /// elsewhere: the BINV CDF walk (one uniform draw, O(1 + n*p) expected
+  /// pmf-recurrence steps), with p > 1/2 reflected to its complement and n
+  /// halved recursively whenever q^n would leave the normal double range.
   std::uint64_t binomial(std::uint64_t n, double p) {
     if (p <= 0.0 || n == 0) return 0;
     if (p >= 1.0) return n;
-    std::uint64_t successes = 0;
-    for (std::uint64_t i = 0; i < n; ++i) successes += bernoulli(p) ? 1 : 0;
-    return successes;
+    if (p > 0.5) return n - binomial(n, 1.0 - p);  // keep the walk short
+    if (n <= kBinomialDirectCutoff) {
+      std::uint64_t successes = 0;
+      for (std::uint64_t i = 0; i < n; ++i) successes += bernoulli(p) ? 1 : 0;
+      return successes;
+    }
+    // BINV starts from pmf(0) = q^n; split n until that stays a normal
+    // double (exp(-700) ~ 1e-304).  Binomial(n, p) is the sum of binomials
+    // over any partition of n, so the split changes cost, not distribution.
+    const double log_q = std::log1p(-p);
+    if (static_cast<double>(n) * log_q < -700.0)
+      return binomial(n / 2, p) + binomial(n - n / 2, p);
+    return binomial_inversion(n, p);
   }
 
   /// Geometric: number of Bernoulli(p) trials up to and including the first
@@ -267,6 +284,26 @@ class Rng {
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  /// BINV: inverts the Binomial(n, p) CDF by walking x upward from 0 with
+  /// the pmf ratio pmf(x+1)/pmf(x) = ((n+1)/(x+1) - 1) * p/q.  Requires
+  /// p <= 1/2 and q^n normal (binomial() guarantees both).
+  std::uint64_t binomial_inversion(std::uint64_t n, double p) {
+    const double q = 1.0 - p;
+    const double s = p / q;
+    const double a = static_cast<double>(n + 1) * s;
+    while (true) {
+      double r = std::exp(static_cast<double>(n) * std::log1p(-p));  // q^n
+      double u = uniform01();
+      for (std::uint64_t x = 0; x <= n; ++x) {
+        if (u <= r) return x;
+        u -= r;
+        r *= a / static_cast<double>(x + 1) - s;
+      }
+      // Accumulated rounding pushed u past the total mass (u was within
+      // ulps of 1); redraw rather than return a biased tail value.
+    }
   }
 
   /// Inversion of the geometric CDF: gap = floor(log(u) / log(1-p)) with

@@ -1,6 +1,8 @@
 #include "sim/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <limits>
 #include <ostream>
 #include <set>
 
@@ -65,10 +67,37 @@ std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   for (const char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // RFC 8259: every control character below 0x20 must be escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
+}
+
+/// JSON rendering of a double at max_digits10, so real-valued fields
+/// (theory bounds, gaps, real metrics) round-trip exactly through a
+/// conforming parser instead of truncating at stream precision.
+std::string json_real(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buf;
 }
 
 /// The body of one experiment's JSON object (no surrounding braces); each
@@ -93,8 +122,9 @@ void write_experiment_fields(std::ostream& os, const ExperimentReport& report,
      << indent << "\"capabilities\": \""
      << capability_names(report.capabilities) << "\",\n";
   if (report.has_theory_bound())
-    os << indent << "\"theory_bound\": " << report.theory_bound << ",\n"
-       << indent << "\"gap\": " << report.gap() << ",\n";
+    os << indent << "\"theory_bound\": " << json_real(report.theory_bound)
+       << ",\n"
+       << indent << "\"gap\": " << json_real(report.gap()) << ",\n";
   os << indent << "\"trials\": [\n";
   for (std::size_t i = 0; i < report.trials.size(); ++i) {
     const auto& trial = report.trials[i];
@@ -109,14 +139,15 @@ void write_experiment_fields(std::ostream& os, const ExperimentReport& report,
       first = false;
       os << "\"" << key << "\": ";
       if (value.is_int()) os << value.as_int();
-      else os << value.as_real();
+      else os << json_real(value.as_real());
     }
     os << "}, \"net_seed\": \"" << trial.net_seed
        << "\", \"algo_seed\": \"" << trial.algo_seed << "\"}"
        << (i + 1 < report.trials.size() ? "," : "") << "\n";
   }
   os << indent << "],\n"
-     << indent << "\"median_rounds\": " << report.median_rounds() << ",\n"
+     << indent << "\"median_rounds\": " << json_real(report.median_rounds())
+     << ",\n"
      << indent << "\"all_completed\": "
      << (report.all_completed() ? "true" : "false") << "\n";
 }
@@ -191,6 +222,10 @@ void write_sweep_table(std::ostream& os, const SweepReport& report) {
                  (report.complete() ? "" : " (shard subset)"));
   table.add_note("cache hits: " + std::to_string(report.cache_hits()) + "/" +
                  std::to_string(report.cells.size()));
+  if (report.fleet.active)
+    table.add_note("fleet: claimed " + std::to_string(report.fleet.claimed) +
+                   ", stolen " + std::to_string(report.fleet.stolen) +
+                   ", cache-skipped " + std::to_string(report.fleet.skipped));
   table.add_note("gap = median rounds / registered theory bound "
                  "(Theta-constants dropped)");
   for (const auto& cell : report.cells) {
@@ -214,8 +249,14 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
   const auto metric_keys = sweep_metric_keys(report);
   os << "# sweep: " << report.plan_text << "\n"
      << "# master_seed = " << report.master_seed << ", cells = "
-     << report.cells.size() << " of " << report.total_cells << "\n"
-     << "cell,topology,fault,source,k,protocol,trials,seed,nodes,edges,"
+     << report.cells.size() << " of " << report.total_cells << "\n";
+  // Fleet provenance rides in a comment so fleet and static runs of the
+  // same plan emit identical data rows.
+  if (report.fleet.active)
+    os << "# fleet: claimed=" << report.fleet.claimed
+       << ", stolen=" << report.fleet.stolen
+       << ", skipped=" << report.fleet.skipped << "\n";
+  os << "cell,topology,fault,source,k,protocol,trials,seed,nodes,edges,"
         "depth,completed_trials,median_rounds,mean_rounds,median_rpm,"
         "theory_bound,gap";
   for (const auto& key : metric_keys) os << ",mean_" << key;
@@ -244,8 +285,12 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
      << "  \"plan\": \"" << json_escape(report.plan_text) << "\",\n"
      << "  \"master_seed\": \"" << report.master_seed << "\",\n"
      << "  \"total_cells\": " << report.total_cells << ",\n"
-     << "  \"cell_count\": " << report.cells.size() << ",\n"
-     << "  \"all_completed\": "
+     << "  \"cell_count\": " << report.cells.size() << ",\n";
+  if (report.fleet.active)
+    os << "  \"fleet\": {\"claimed\": " << report.fleet.claimed
+       << ", \"stolen\": " << report.fleet.stolen
+       << ", \"skipped\": " << report.fleet.skipped << "},\n";
+  os << "  \"all_completed\": "
      << (report.all_completed() ? "true" : "false") << ",\n"
      << "  \"cells\": [\n";
   for (std::size_t i = 0; i < report.cells.size(); ++i) {

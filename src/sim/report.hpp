@@ -4,8 +4,10 @@
 // JSON carry the same rows plus the scenario/plan headers, so external
 // plotting, the golden-file regression tests, and the CI smoke checks
 // share one source of truth.  Emitter output is deterministic in the
-// report alone (cache provenance is surfaced only in the human table), so
-// a merged sharded sweep emits byte-identical CSV/JSON to the serial run.
+// report alone; provenance (per-cell cache hits in the human table, fleet
+// claimed/stolen/skipped counters as a CSV comment / JSON "fleet" object,
+// emitted only when a fleet ran) never touches the data rows, so a merged
+// sharded or fleet sweep emits byte-identical data to the serial run.
 #pragma once
 
 #include <iosfwd>

@@ -1,9 +1,19 @@
 #include "sim/sweep_runner.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "common/task_pool.hpp"
 
@@ -210,14 +220,30 @@ std::optional<ExperimentReport> ResultCache::load(
   }
 }
 
-void ResultCache::store(const std::string& key, const ExperimentReport& report,
-                        int tag) const {
+namespace {
+
+/// Temp/steal suffix unique across cooperating processes AND threads: the
+/// pid separates processes sharing a cache directory, the atomic counter
+/// separates threads within one process.  (The old cell-index tag collided
+/// when two processes wrote the same cell, interleaving their temp writes
+/// into an entry that failed verification on every later load -- the cell
+/// silently recomputed forever.)
+std::string unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return std::to_string(static_cast<long long>(::getpid())) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void ResultCache::store(const std::string& key,
+                        const ExperimentReport& report) const {
   std::ostringstream body;
   body << "nrn-sweep-cache v3\n"
        << "key " << key << "\n";
   append_experiment_record(body, report);
   const std::string path = entry_path(key);
-  const std::string tmp = path + ".tmp" + std::to_string(tag);
+  const std::string tmp = path + ".tmp." + unique_suffix();
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;  // unwritable cache never fails the sweep
@@ -226,6 +252,59 @@ void ResultCache::store(const std::string& key, const ExperimentReport& report,
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) std::filesystem::remove(tmp, ec);
+}
+
+std::string ResultCache::claim_path(const std::string& key) const {
+  return (std::filesystem::path(dir_) / (hex64(fnv1a64(key)) + ".claim"))
+      .string();
+}
+
+bool ResultCache::try_claim(const std::string& key) const {
+  // O_EXCL is the one primitive here that is atomic across processes on
+  // every POSIX filesystem; exactly one creator wins.
+  const std::string path = claim_path(key);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    // Only EEXIST means "a peer holds it".  Anything else (EACCES on a
+    // mis-permissioned shared mount, ENOENT on a vanished directory)
+    // would make the fleet's poll loop spin forever with no diagnostic:
+    // fail loudly instead.
+    if (errno != EEXIST)
+      throw SpecError("fleet: cannot create claim file '" + path +
+                      "': " + std::strerror(errno));
+    return false;
+  }
+  const std::string owner = unique_suffix() + "\n";
+  // The content is diagnostic only; claims are judged by existence + mtime.
+  [[maybe_unused]] const auto written =
+      ::write(fd, owner.data(), owner.size());
+  ::close(fd);
+  return true;
+}
+
+bool ResultCache::steal_stale_claim(const std::string& key,
+                                    double ttl_seconds) const {
+  namespace fs = std::filesystem;
+  const fs::path claim = claim_path(key);
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(claim, ec);
+  if (ec) return false;  // already gone: claimant finished or was stolen
+  const auto age = std::chrono::duration_cast<std::chrono::duration<double>>(
+      fs::file_time_type::clock::now() - mtime);
+  if (age.count() < ttl_seconds) return false;
+  // Rename-away makes the steal atomic: when several workers observe the
+  // same stale claim, the one whose rename succeeds owns the removal and
+  // the others keep waiting.
+  const fs::path away = claim.string() + ".stale." + unique_suffix();
+  fs::rename(claim, away, ec);
+  if (ec) return false;
+  fs::remove(away, ec);
+  return true;
+}
+
+void ResultCache::release_claim(const std::string& key) const {
+  std::error_code ec;
+  std::filesystem::remove(claim_path(key), ec);
 }
 
 std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning) {
@@ -321,9 +400,14 @@ SweepReport merge_sweep_reports(const std::vector<SweepReport>& shards) {
         bad_format("merge: cell index " + std::to_string(cell.cell_index) +
                    " outside the plan");
       auto& slot = slots[static_cast<std::size_t>(cell.cell_index)];
-      if (slot != nullptr)
-        bad_format("merge: cell " + std::to_string(cell.cell_index) +
-                   " appears in more than one shard");
+      if (slot != nullptr) {
+        // Fleet shards overlap; a duplicate is legal iff bit-identical
+        // (deterministic cells recomputed by different workers are).
+        if (!(*slot == cell))
+          bad_format("merge: cell " + std::to_string(cell.cell_index) +
+                     " differs between shards");
+        continue;
+      }
       slot = &cell;
     }
   }
@@ -349,6 +433,13 @@ SweepReport SweepRunner::run(const SweepPlan& plan,
   for (const auto& protocol : plan.protocols)
     if (!registry_->contains(protocol))
       throw SpecError("sweep plan names unknown protocol '" + protocol + "'");
+  if (options.assignment != SweepAssignment::kStatic) {
+    NRN_EXPECTS(!options.cache_dir.empty(),
+                "fleet/resume modes need a cache directory");
+    NRN_EXPECTS(options.shard_count == 1,
+                "fleet/resume modes replace static sharding");
+    return run_fleet(plan, options);
+  }
 
   SweepReport report;
   report.plan_text = plan.text;
@@ -382,7 +473,7 @@ SweepReport SweepRunner::run(const SweepPlan& plan,
       }
       out.experiment =
           driver.run(cell.scenario, cell.protocol, cell.trials, driver_options);
-      cache->store(key, out.experiment, cell.index);
+      cache->store(key, out.experiment);
     } else {
       out.experiment =
           driver.run(cell.scenario, cell.protocol, cell.trials, driver_options);
@@ -400,6 +491,135 @@ SweepReport SweepRunner::run(const SweepPlan& plan,
         mine.size(), workers,
         [&](std::size_t slot, int /*worker*/) { run_cell(slot); });
   }
+  return report;
+}
+
+SweepReport SweepRunner::run_fleet(const SweepPlan& plan,
+                                   const SweepOptions& options) const {
+  SweepReport report;
+  report.plan_text = plan.text;
+  report.master_seed = plan.master_seed;
+  report.total_cells = static_cast<int>(plan.cells.size());
+  report.cells.resize(plan.cells.size());
+  report.fleet.active = true;
+
+  const ResultCache cache(options.cache_dir);
+  std::vector<std::string> keys;
+  keys.reserve(plan.cells.size());
+  for (const auto& cell : plan.cells)
+    keys.push_back(sweep_cache_key(cell, options.tuning));
+
+  if (options.assignment == SweepAssignment::kResume) {
+    int missing = 0;
+    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+      auto& out = report.cells[i];
+      out.cell_index = plan.cells[i].index;
+      if (auto cached = cache.load(keys[i])) {
+        out.experiment = std::move(*cached);
+        out.from_cache = true;
+      } else {
+        ++missing;
+      }
+    }
+    if (missing > 0)
+      throw SpecError("resume: " + std::to_string(missing) + " of " +
+                      std::to_string(plan.cells.size()) +
+                      " cells are missing from the cache; run the sweep "
+                      "with --fleet first");
+    report.fleet.skipped = static_cast<int>(plan.cells.size());
+    return report;
+  }
+
+  const Driver driver(*registry_);
+  DriverOptions driver_options;
+  driver_options.threads = options.trial_threads;
+  driver_options.tuning = options.tuning;
+
+  std::atomic<int> claimed{0}, stolen{0}, skipped{0};
+
+  // Resolves one cell, returning false when a live peer holds its claim
+  // (the caller revisits it on a later pass).
+  auto resolve = [&](std::size_t idx) -> bool {
+    const SweepCell& cell = plan.cells[idx];
+    const std::string& key = keys[idx];
+    auto& out = report.cells[idx];
+    out.cell_index = cell.index;
+    if (auto cached = cache.load(key)) {
+      out.experiment = std::move(*cached);
+      out.from_cache = true;
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    bool stole = false;
+    if (!cache.try_claim(key)) {
+      if (!cache.steal_stale_claim(key, options.claim_ttl_seconds))
+        return false;  // fresh foreign claim: let the peer finish
+      if (!cache.try_claim(key)) return false;  // lost the post-steal race
+      stole = true;
+    }
+    // Claim held.  Recheck the cache: the previous holder may have stored
+    // the entry and died between store and release.
+    if (auto cached = cache.load(key)) {
+      cache.release_claim(key);
+      out.experiment = std::move(*cached);
+      out.from_cache = true;
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    try {
+      out.experiment = driver.run(cell.scenario, cell.protocol, cell.trials,
+                                  driver_options);
+    } catch (...) {
+      // Don't leave peers waiting out the TTL on a cell that will only
+      // fail again; the error still aborts this runner.
+      cache.release_claim(key);
+      throw;
+    }
+    cache.store(key, out.experiment);
+    cache.release_claim(key);
+    (stole ? stolen : claimed).fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  std::vector<std::size_t> pending(plan.cells.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  // Start each process at a different point of the grid so cooperating
+  // fleets fan out instead of racing for the same first claims.  Purely a
+  // contention hint: results are position-independent.
+  if (!pending.empty())
+    std::rotate(pending.begin(),
+                pending.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(::getpid()) %
+                                      pending.size()),
+                pending.end());
+
+  while (!pending.empty()) {
+    std::vector<std::uint8_t> done(pending.size(), 0);
+    const int workers = std::min<int>(options.cell_threads,
+                                      static_cast<int>(pending.size()));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < pending.size(); ++i)
+        done[i] = resolve(pending[i]) ? 1 : 0;
+    } else {
+      common::TaskPool::shared().run(
+          pending.size(), workers, [&](std::size_t i, int /*worker*/) {
+            done[i] = resolve(pending[i]) ? 1 : 0;
+          });
+    }
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < pending.size(); ++i)
+      if (!done[i]) next.push_back(pending[i]);
+    // No progress means every remaining cell is claimed by a live peer:
+    // wait for their entries to land (or their claims to go stale).
+    if (next.size() == pending.size())
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.fleet_poll_ms));
+    pending = std::move(next);
+  }
+
+  report.fleet.claimed = claimed.load();
+  report.fleet.stolen = stolen.load();
+  report.fleet.skipped = skipped.load();
   return report;
 }
 

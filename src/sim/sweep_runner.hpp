@@ -12,6 +12,16 @@
 // the shard-file round trip both preserve every integer field exactly; no
 // floating-point state is serialized).
 //
+// Fleet mode: instead of a static partition, cooperating processes share
+// one cache directory and claim cells dynamically -- probe the cache (skip
+// finished cells), take a per-cell `<hash>.claim` marker with an exclusive
+// create, and steal claims whose mtime exceeds a TTL (dead workers).
+// Heterogeneous cells are thus work-stolen, a killed run is resumable by
+// re-invoking it, and every surviving runner emits a complete report;
+// overlapping fleet shards merge as long as duplicates are bit-identical,
+// which deterministic cells guarantee.  kResume rebuilds a report purely
+// from a warm cache without computing anything.
+//
 // Caching: with a cache directory set, each finished cell is stored under a
 // content-addressed key (cell spec + derived seed + tuning).  Re-runs load
 // completed cells instead of recomputing them.  Entries carry an FNV-1a
@@ -60,10 +70,34 @@ class ResultCache {
   /// failure (bad checksum, truncation, key mismatch, malformed record).
   std::optional<ExperimentReport> load(const std::string& key) const;
 
-  /// Atomically (write + rename) stores `report` under `key`.  `tag` keeps
-  /// concurrent writers of duplicate cells off each other's temp files.
-  void store(const std::string& key, const ExperimentReport& report,
-             int tag = 0) const;
+  /// Atomically (write + rename) stores `report` under `key`.  The temp
+  /// file carries a pid + per-process-counter suffix, so cooperating
+  /// processes (and threads) writing the same cell never interleave.
+  void store(const std::string& key, const ExperimentReport& report) const;
+
+  // Claim markers: the fleet mode's cooperative cell locks.  A claim is a
+  // plain file (`<hash>.claim`) created with O_EXCL, so exactly one worker
+  // across all cooperating processes wins a cell.  Claims are advisory --
+  // correctness always comes from atomic stores plus verified loads; a
+  // stolen-then-recomputed cell merely duplicates bit-identical work.
+
+  /// Path of the claim marker for `key` (exposed for tests).
+  std::string claim_path(const std::string& key) const;
+
+  /// Atomically creates the claim marker for `key`; false when another
+  /// worker already holds it.  Any other failure (unwritable or vanished
+  /// directory) throws SpecError -- a fleet that cannot claim would
+  /// otherwise poll forever in silence.
+  bool try_claim(const std::string& key) const;
+
+  /// Steals a claim older than `ttl_seconds` (by mtime): the marker is
+  /// renamed to a unique name first, so exactly one stealer wins even when
+  /// several observe the same stale claim.  Returns true for the winner,
+  /// who must then try_claim() the now-free slot.
+  bool steal_stale_claim(const std::string& key, double ttl_seconds) const;
+
+  /// Removes the claim marker (after the entry is stored).
+  void release_claim(const std::string& key) const;
 
  private:
   std::string dir_;
@@ -73,6 +107,13 @@ class ResultCache {
 /// (tuning changes protocol behavior, so it must invalidate entries).
 std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning);
 
+/// How a runner decides which cells to execute.
+enum class SweepAssignment {
+  kStatic,  ///< cell.index % shard_count == shard_index (the default)
+  kFleet,   ///< cache-probing + claim files: dynamic work stealing
+  kResume,  ///< load every cell from the cache; compute nothing
+};
+
 struct SweepOptions {
   int shard_index = 0;  ///< 0-based, in [0, shard_count)
   int shard_count = 1;
@@ -80,6 +121,14 @@ struct SweepOptions {
   int trial_threads = 1;  ///< Driver threads inside each cell
   std::string cache_dir;  ///< empty disables the result cache
   Tuning tuning;          ///< forwarded to every cell's Driver
+
+  /// kFleet/kResume require cache_dir and shard_count == 1: cooperating
+  /// fleet processes share the cache directory instead of a static
+  /// partition, and every runner's report covers the whole plan.
+  SweepAssignment assignment = SweepAssignment::kStatic;
+  double claim_ttl_seconds = 900.0;  ///< fleet: steal claims older than this
+  int fleet_poll_ms = 20;  ///< fleet: sleep between probe passes when every
+                           ///< remaining cell is claimed by a live peer
 };
 
 /// One executed cell.  `from_cache` records provenance for operators; it is
@@ -95,6 +144,16 @@ struct SweepCellReport {
   }
 };
 
+/// Fleet-mode progress counters.  Like `from_cache` these are provenance,
+/// not payload: equality and the shard serialization exclude them, so a
+/// fleet run's report compares equal to the serial run's.
+struct FleetStats {
+  bool active = false;  ///< ran under kFleet or kResume
+  int claimed = 0;      ///< cells this worker claimed fresh and computed
+  int stolen = 0;       ///< cells recomputed after stealing a stale claim
+  int skipped = 0;      ///< cells resolved from the shared cache
+};
+
 /// The outcome of one sweep run (possibly one shard of a plan).  `cells`
 /// is sorted by cell_index and covers exactly this shard's slice of the
 /// plan's `total_cells`.
@@ -103,6 +162,7 @@ struct SweepReport {
   std::uint64_t master_seed = 1;
   int total_cells = 0;
   std::vector<SweepCellReport> cells;
+  FleetStats fleet;
 
   /// True when every cell of the plan is present (serial run or merge).
   bool complete() const {
@@ -123,9 +183,12 @@ struct SweepReport {
 void write_shard_file(std::ostream& os, const SweepReport& report);
 SweepReport read_shard_file(std::istream& is);
 
-/// Merges disjoint shard reports of the same plan into the full report.
-/// Throws SpecError when plans disagree, a cell index repeats, or cells
-/// are missing.  The result is bit-identical to the serial run.
+/// Merges shard reports of the same plan into the full report.  Static
+/// shards are disjoint; fleet shards overlap, so a cell appearing in
+/// several shards is legal iff every copy is bit-identical (deterministic
+/// cells recomputed by different workers always are).  Throws SpecError
+/// when plans disagree, duplicate cells differ, or cells are missing.
+/// The result is bit-identical to the serial run.
 SweepReport merge_sweep_reports(const std::vector<SweepReport>& shards);
 
 class SweepRunner {
@@ -134,12 +197,16 @@ class SweepRunner {
       const ProtocolRegistry& registry = ProtocolRegistry::global())
       : registry_(&registry) {}
 
-  /// Runs this shard's cells of `plan`.  Throws SpecError for unknown
-  /// protocols (before running anything) and propagates protocol errors.
+  /// Runs this shard's cells of `plan` (all cells under kFleet/kResume).
+  /// Throws SpecError for unknown protocols (before running anything), for
+  /// a kResume cache missing cells, and propagates protocol errors.
   SweepReport run(const SweepPlan& plan,
                   const SweepOptions& options = {}) const;
 
  private:
+  SweepReport run_fleet(const SweepPlan& plan,
+                        const SweepOptions& options) const;
+
   const ProtocolRegistry* registry_;
 };
 

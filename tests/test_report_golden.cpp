@@ -69,6 +69,43 @@ TEST(GoldenFiles, SweepJson) {
   check_golden("sweep_small.json", testutil::sweep_json_of(fixed_sweep()));
 }
 
+/// A report whose string fields are deliberately hostile to JSON: quotes,
+/// backslashes, newlines, tabs, and raw control bytes -- everything the
+/// old escaper (quotes and backslashes only) passed through verbatim,
+/// producing unparseable output.  Built by hand because the spec parsers
+/// rightly reject such strings; the emitters still must never emit
+/// invalid JSON for any in-memory report.
+ExperimentReport hostile_experiment() {
+  auto report = Driver().run(
+      Scenario::parse("path:4", "none", 0, 1, 7), "decay", 1);
+  report.protocol = "decay\n\"quoted\"\\back\x01slash";
+  report.scenario.topology.text = "path:4\twith\ttabs\x1f";
+  report.scenario.fault_text = "none\r\n\x07" "bell";  // 0x07: BEL
+  // A real-valued metric that needs all 17 significant digits.
+  report.trials.at(0).run.metrics.emplace("fraction",
+                                          MetricValue(1.0 / 3.0));
+  return report;
+}
+
+TEST(GoldenFiles, HostileStringsEmitValidJson) {
+  const auto report = hostile_experiment();
+  const auto json = testutil::json_of(report);
+  check_golden("experiment_hostile.json", json);
+  // No raw control byte may survive into the emitted document: inside
+  // strings it is illegal JSON, and the emitter writes none elsewhere
+  // except its own structural newlines.
+  for (const char c : json)
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte 0x" << std::hex
+        << static_cast<int>(static_cast<unsigned char>(c));
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  // max_digits10 reals round-trip: 1/3 keeps all 17 digits.
+  EXPECT_NE(json.find("0.33333333333333331"), std::string::npos);
+}
+
 TEST(GoldenFiles, ShardFileFormat) {
   // The shard/merge hand-off format is an interchange format too: sharded
   // production runs from different build timestamps must stay mergeable.

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "sim_test_util.hpp"
 
@@ -152,7 +154,7 @@ TEST(ShardFile, RoundTripsAndRejectsDamage) {
   EXPECT_THROW(read_shard_file(empty), SpecError);
 }
 
-TEST(MergeSweepReports, RejectsOverlapGapsAndForeignShards) {
+TEST(MergeSweepReports, RejectsGapsForeignShardsAndDivergentDuplicates) {
   const auto serial = run_plan(kPlanA);
   SweepOptions s0, s1;
   s0.shard_count = s1.shard_count = 2;
@@ -163,11 +165,18 @@ TEST(MergeSweepReports, RejectsOverlapGapsAndForeignShards) {
 
   EXPECT_THROW(merge_sweep_reports({}), SpecError);
   EXPECT_THROW(merge_sweep_reports({shard0}), SpecError);           // gap
-  EXPECT_THROW(merge_sweep_reports({shard0, shard0}), SpecError);   // overlap
-  EXPECT_THROW(merge_sweep_reports({shard0, shard1, shard1}), SpecError);
+  EXPECT_THROW(merge_sweep_reports({shard0, shard0}), SpecError);   // still gap
   const auto other = run_plan(kPlanB);
   EXPECT_THROW(merge_sweep_reports({shard0, other}), SpecError);    // foreign
   EXPECT_EQ(merge_sweep_reports({shard1, shard0}), serial);  // order-free
+
+  // Fleet shards overlap: bit-identical duplicates merge cleanly...
+  EXPECT_EQ(merge_sweep_reports({shard0, shard1, shard1}), serial);
+  EXPECT_EQ(merge_sweep_reports({serial, serial}), serial);
+  // ...but a duplicate whose payload diverges is corruption, not overlap.
+  auto tampered = shard1;
+  tampered.cells.front().experiment.depth += 1;
+  EXPECT_THROW(merge_sweep_reports({serial, tampered}), SpecError);
 }
 
 TEST(ResultCache, WarmRunsReproduceColdRunsExactly) {
@@ -265,6 +274,54 @@ TEST(ResultCache, KeysSeparateSpecProtocolTuningAndSeed) {
                           "protocols=decay; trials=2; seed=4"),
                 {}),
             base);
+}
+
+TEST(ResultCache, ConcurrentWritersOfOneCellNeverCorruptTheEntry) {
+  // Regression for the cross-process tmp-file race: store() used to build
+  // its temp path from the cell index, so two workers writing the same
+  // cell interleaved in ONE temp file and renamed garbage into place --
+  // an entry that failed verification (and recomputed) forever after.
+  // With per-writer unique temp names, a reader must see either a miss or
+  // a fully verified entry at every instant, and the final entry loads.
+  const auto dir = scratch_dir("cache_race");
+  const ResultCache cache(dir);
+  const auto plan = SweepPlan::parse(
+      "topology=path:8; protocols=decay; trials=2; seed=11");
+  const std::string key = sweep_cache_key(plan.cells.at(0), {});
+  const auto report =
+      Driver(extended_registry())
+          .run(plan.cells[0].scenario, plan.cells[0].protocol,
+               plan.cells[0].trials);
+
+  constexpr int kWriters = 4;
+  constexpr int kStoresPerWriter = 50;
+  std::atomic<int> verified_loads{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kStoresPerWriter; ++i) cache.store(key, report);
+    });
+  threads.emplace_back([&] {  // concurrent reader
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (const auto loaded = cache.load(key)) {
+        EXPECT_EQ(*loaded, report);
+        verified_loads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true);
+  threads.back().join();
+
+  EXPECT_GT(verified_loads.load(), 0);  // the reader raced real stores
+  const auto final_load = cache.load(key);
+  ASSERT_TRUE(final_load.has_value());
+  EXPECT_EQ(*final_load, report);
+  // No temp litter: every store either renamed or removed its temp file.
+  for (const auto& entry : fs::directory_iterator(dir))
+    EXPECT_EQ(entry.path().extension(), ".nrnc") << entry.path();
 }
 
 TEST(ResultCache, CachedCellsSkipRecomputation) {

@@ -56,6 +56,7 @@ struct Options {
                "capabilities)\n"
             << "       nrn_sim sweep --plan=PLAN [--shard=I/K] "
                "[--cache-dir=DIR]\n"
+            << "               [--fleet | --resume] [--claim-ttl=SECONDS]\n"
             << "               [--cell-threads=N] [--threads=N] [--out=FILE]\n"
             << "               [--csv] [--json]\n"
             << "       nrn_sim sweep --merge=FILE[,FILE...] [--out=FILE] "
@@ -75,7 +76,15 @@ struct Options {
                "{a,b}, {lo..hi*f}, {lo..hi+d})\n"
             << "sharding:   --shard=I/K runs cells with index mod K == I "
                "(0-based); --out\n"
-            << "            writes a mergeable shard file\n";
+            << "            writes a mergeable shard file\n"
+            << "fleet:      --fleet claims cells dynamically over a shared "
+               "--cache-dir\n"
+            << "            (work stealing, resumable: re-invoke to finish "
+               "a killed run);\n"
+            << "            --resume rebuilds the report from a warm cache "
+               "without\n"
+            << "            computing; --claim-ttl=SECONDS expires dead "
+               "workers' claims\n";
   std::exit(2);
 }
 
@@ -180,6 +189,18 @@ SweepCliOptions parse_sweep_args(int argc, char** argv) {
     } else if (key == "--cache-dir") {
       if (value.empty()) usage("--cache-dir needs a directory");
       opt.run.cache_dir = value;
+    } else if (key == "--fleet") {
+      if (opt.run.assignment == sim::SweepAssignment::kResume)
+        usage("--fleet and --resume are mutually exclusive");
+      opt.run.assignment = sim::SweepAssignment::kFleet;
+    } else if (key == "--resume") {
+      if (opt.run.assignment == sim::SweepAssignment::kFleet)
+        usage("--fleet and --resume are mutually exclusive");
+      opt.run.assignment = sim::SweepAssignment::kResume;
+    } else if (key == "--claim-ttl") {
+      const std::int64_t ttl = int_value(key, value);
+      if (ttl < 0) usage("--claim-ttl must be non-negative seconds");
+      opt.run.claim_ttl_seconds = static_cast<double>(ttl);
     } else if (key == "--cell-threads") {
       const std::int64_t threads = int_value(key, value);
       if (threads < 1 || threads > 4096)
@@ -206,8 +227,16 @@ SweepCliOptions parse_sweep_args(int argc, char** argv) {
   if (opt.plan.empty() == opt.merge_files.empty())
     usage("sweep wants exactly one of --plan or --merge");
   if (!opt.merge_files.empty() &&
-      (opt.run.shard_count != 1 || !opt.run.cache_dir.empty()))
-    usage("--merge does not combine with --shard or --cache-dir");
+      (opt.run.shard_count != 1 || !opt.run.cache_dir.empty() ||
+       opt.run.assignment != sim::SweepAssignment::kStatic))
+    usage("--merge does not combine with --shard, --cache-dir, --fleet, "
+          "or --resume");
+  if (opt.run.assignment != sim::SweepAssignment::kStatic) {
+    if (opt.run.cache_dir.empty())
+      usage("--fleet/--resume need --cache-dir (the shared fleet state)");
+    if (opt.run.shard_count != 1)
+      usage("--fleet/--resume replace static --shard partitioning");
+  }
   return opt;
 }
 
