@@ -1,7 +1,9 @@
 #include "common/task_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -16,6 +18,19 @@ namespace {
 // Used to detect reentrant run() calls and execute them inline.
 thread_local int tls_slot = -1;
 }  // namespace
+
+/// One open stream's shared state.  Everything is guarded by the pool
+/// mutex except idle_cv waits; the State outlives its Stream handle only
+/// within ~Stream, which removes it from the pool before deleting it.
+struct TaskPool::Stream::State {
+  std::deque<std::function<void(int)>> jobs;
+  int executors = 0;  ///< threads currently inside run_stream for this state
+  int active = 0;     ///< jobs executing right now
+  int max_workers = 1;
+  bool closing = false;
+  std::exception_ptr error;
+  std::condition_variable idle_cv;
+};
 
 struct TaskPool::Impl {
   struct Batch {
@@ -37,6 +52,40 @@ struct TaskPool::Impl {
   Batch* batch = nullptr;  // the batch currently open for helpers
   std::uint64_t batch_seq = 0;
   bool stopping = false;
+  std::vector<Stream::State*> streams;  // open streams, oldest first
+
+  using StreamState = Stream::State;
+
+  /// A stream with queued work and a free executor slot, or nullptr.
+  StreamState* pick_stream() {  // caller holds mutex
+    for (auto* s : streams)
+      if (!s->jobs.empty() && s->executors < s->max_workers) return s;
+    return nullptr;
+  }
+
+  /// Runs stream jobs on `slot` until the queue is empty.  The caller has
+  /// already incremented s.executors under `lock`.
+  void run_stream(StreamState& s, int slot, std::unique_lock<std::mutex>& lock) {
+    while (!s.jobs.empty()) {
+      auto job = std::move(s.jobs.front());
+      s.jobs.pop_front();
+      ++s.active;
+      lock.unlock();
+      const int outer_slot = tls_slot;
+      tls_slot = slot;
+      try {
+        job(slot);
+      } catch (...) {
+        const std::lock_guard<std::mutex> error_lock(mutex);
+        if (!s.error) s.error = std::current_exception();
+      }
+      tls_slot = outer_slot;
+      lock.lock();
+      --s.active;
+    }
+    --s.executors;
+    if (s.active == 0) s.idle_cv.notify_all();
+  }
 
   static void drain(Batch& b, int slot) {
     while (!b.failed.load(std::memory_order_relaxed)) {
@@ -61,13 +110,23 @@ struct TaskPool::Impl {
         worker_cv.wait(lock, [&] {
           return stopping ||
                  (batch != nullptr && batch_seq != last_seq &&
-                  batch->helpers_joined < batch->helpers_wanted);
+                  batch->helpers_joined < batch->helpers_wanted) ||
+                 pick_stream() != nullptr;
         });
         if (stopping) return;
-        last_seq = batch_seq;
-        mine = batch;
-        ++mine->helpers_joined;
-        ++mine->helpers_active;
+        if (batch != nullptr && batch_seq != last_seq &&
+            batch->helpers_joined < batch->helpers_wanted) {
+          last_seq = batch_seq;
+          mine = batch;
+          ++mine->helpers_joined;
+          ++mine->helpers_active;
+        } else if (StreamState* s = pick_stream()) {
+          ++s->executors;
+          run_stream(*s, slot, lock);
+          continue;
+        } else {
+          continue;  // woken for work someone else already took
+        }
       }
       tls_slot = slot;
       drain(*mine, slot);
@@ -150,6 +209,63 @@ void TaskPool::run(std::size_t count, int max_workers,
     impl_->done_cv.wait(lock, [&] { return batch.helpers_active == 0; });
   }
   if (batch.error) std::rethrow_exception(batch.error);
+}
+
+// --------------------------------------------------------------- streams
+
+std::unique_ptr<TaskPool::Stream> TaskPool::open_stream(int max_workers) {
+  NRN_EXPECTS(max_workers >= 1, "stream needs at least one worker");
+  auto* state = new Stream::State;
+  state->max_workers = max_workers;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->streams.push_back(state);
+  }
+  return std::unique_ptr<Stream>(new Stream(impl_, state));
+}
+
+void TaskPool::Stream::push(std::function<void(int slot)> job) {
+  {
+    const std::lock_guard<std::mutex> lock(pool_->mutex);
+    if (state_->closing) return;  // shutdown race: drop silently
+    state_->jobs.push_back(std::move(job));
+  }
+  pool_->worker_cv.notify_one();
+}
+
+std::size_t TaskPool::Stream::cancel() {
+  const std::lock_guard<std::mutex> lock(pool_->mutex);
+  const std::size_t dropped = state_->jobs.size();
+  state_->jobs.clear();
+  if (state_->active == 0) state_->idle_cv.notify_all();
+  return dropped;
+}
+
+void TaskPool::Stream::drain() {
+  std::unique_lock<std::mutex> lock(pool_->mutex);
+  // Participate: with zero (or busy) helpers the queue still empties.
+  ++state_->executors;
+  pool_->run_stream(*state_, /*slot=*/0, lock);
+  state_->idle_cv.wait(
+      lock, [&] { return state_->jobs.empty() && state_->active == 0; });
+  if (state_->error) {
+    std::exception_ptr error = state_->error;
+    state_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+TaskPool::Stream::~Stream() {
+  std::unique_lock<std::mutex> lock(pool_->mutex);
+  state_->closing = true;
+  state_->jobs.clear();
+  state_->idle_cv.wait(
+      lock, [&] { return state_->executors == 0 && state_->active == 0; });
+  auto& streams = pool_->streams;
+  streams.erase(std::find(streams.begin(), streams.end(), state_));
+  lock.unlock();
+  delete state_;
 }
 
 }  // namespace nrn::common

@@ -17,14 +17,26 @@
 // Driver, which batches trials) executes the inner batch inline on its own
 // slot -- no deadlock, no oversubscription.  Concurrent top-level callers
 // from unrelated threads do the same when the pool is busy.
+//
+// Streams: batches cover the closed-count case (run N tasks, block until
+// done), but a long-running service feeds jobs as clients submit them.  A
+// Stream is an externally-fed, cancellable job queue executing on the same
+// helpers: push() enqueues from any thread, cancel() drops jobs not yet
+// started, drain() blocks until the queue is empty and nothing is running
+// (participating itself, so a helper-less pool still completes).  Helpers
+// serve whichever of the open batch / open streams has work; a stream's
+// concurrency is capped by its own max_workers.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
 namespace nrn::common {
 
 class TaskPool {
+  struct Impl;
+
  public:
   /// The process-wide pool, sized to the hardware concurrency.  Created on
   /// first use; workers idle on a condition variable between batches.
@@ -48,8 +60,44 @@ class TaskPool {
   void run(std::size_t count, int max_workers,
            const std::function<void(std::size_t index, int slot)>& task);
 
+  /// An externally-fed job stream executing on the pool.  Jobs receive the
+  /// slot id of the thread running them (same contract as batch tasks, so
+  /// per-slot scratch works unchanged); a job that calls TaskPool::run
+  /// executes the nested batch inline on its own slot.  The first exception
+  /// a job throws is captured and rethrown by the next drain(); later jobs
+  /// keep running (a service must not die with its worst request).
+  class Stream {
+   public:
+    ~Stream();  ///< closes the stream: cancels queued jobs, waits for running ones
+
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    /// Enqueues a job (thread-safe).  Silently dropped once the stream is
+    /// closing -- shutdown races are the caller's normal case, not an error.
+    void push(std::function<void(int slot)> job);
+
+    /// Drops every job not yet started; running jobs finish.  Returns the
+    /// number dropped.
+    std::size_t cancel();
+
+    /// Blocks until the queue is empty and no job is running, executing
+    /// queued jobs itself (on slot 0) alongside the helpers.  Rethrows the
+    /// first captured job exception, if any.
+    void drain();
+
+   private:
+    friend class TaskPool;
+    struct State;
+    Stream(Impl* pool, State* state) : pool_(pool), state_(state) {}
+    Impl* pool_;
+    State* state_;
+  };
+
+  /// Opens a stream capped at `max_workers` concurrent executors.
+  std::unique_ptr<Stream> open_stream(int max_workers);
+
  private:
-  struct Impl;
   Impl* impl_;
 };
 

@@ -1,0 +1,462 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace nrn::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw sim::SpecError(what); }
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+}  // namespace
+
+struct SweepServer::Impl {
+  ServerOptions options;
+  std::unique_ptr<PlanScheduler> scheduler;  // created last, destroyed first
+
+  int unix_fd = -1;
+  bool unix_bound = false;  ///< only a bound path is ours to unlink
+  int tcp_fd = -1;
+  int bound_tcp_port = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+
+  struct Connection {
+    int fd = -1;
+    int id = 0;
+    std::string in;
+    std::string out;
+    bool discarding = false;  ///< dropping an oversized line up to its '\n'
+  };
+  std::map<int, Connection> connections;  ///< by client id
+  int next_client_id = 1;
+
+  // PlanEvents cross from worker threads to the loop through here; the
+  // wake pipe byte makes poll() return.  request_stop() uses the same pipe.
+  std::mutex event_mutex;
+  std::deque<PlanEvent> events;
+  std::atomic<bool> stop_requested{false};
+  bool stopping = false;
+
+  ~Impl() {
+    scheduler.reset();  // workers drain before the queue below dies
+    for (auto& [id, conn] : connections) ::close(conn.fd);
+    if (unix_fd >= 0) ::close(unix_fd);
+    if (tcp_fd >= 0) ::close(tcp_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+    if (unix_bound) ::unlink(options.socket_path.c_str());
+  }
+
+  // ------------------------------------------------------------ setup
+
+  void open_wake_pipe() {
+    int fds[2];
+    if (::pipe(fds) != 0) fail("serve: cannot create wake pipe");
+    wake_read = fds[0];
+    wake_write = fds[1];
+    set_nonblocking(wake_read);
+    set_nonblocking(wake_write);
+    set_cloexec(wake_read);
+    set_cloexec(wake_write);
+  }
+
+  void bind_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+      fail("serve: socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    unix_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd < 0) fail("serve: cannot create unix socket");
+    set_cloexec(unix_fd);
+    if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      if (errno != EADDRINUSE)
+        fail("serve: cannot bind " + path + ": " + std::strerror(errno));
+      // A socket file already exists.  If a daemon answers on it, refuse;
+      // if nobody does, it is a leftover from a dead daemon -- remove it
+      // and bind again.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 && ::connect(probe, reinterpret_cast<const sockaddr*>(
+                                             &addr),
+                                  sizeof addr) == 0;
+      if (probe >= 0) ::close(probe);
+      if (live) fail("serve: a daemon is already listening on " + path);
+      ::unlink(path.c_str());
+      if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof addr) != 0)
+        fail("serve: cannot bind " + path + ": " + std::strerror(errno));
+    }
+    unix_bound = true;
+    if (::listen(unix_fd, 64) != 0) fail("serve: cannot listen on " + path);
+    set_nonblocking(unix_fd);
+  }
+
+  void bind_tcp(int port) {
+    tcp_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd < 0) fail("serve: cannot create tcp socket");
+    set_cloexec(tcp_fd);
+    const int one = 1;
+    ::setsockopt(tcp_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a public port
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(tcp_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0)
+      fail("serve: cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+           std::strerror(errno));
+    if (::listen(tcp_fd, 64) != 0) fail("serve: cannot listen on tcp port");
+    set_nonblocking(tcp_fd);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      bound_tcp_port = ntohs(bound.sin_port);
+  }
+
+  // ------------------------------------------------------------ replies
+
+  void reply(Connection& conn, const Message& message) {
+    conn.out += message.serialize();
+    conn.out += '\n';
+  }
+
+  void reply_error(Connection& conn, const std::string& what) {
+    reply(conn, Message("error").set("error", what));
+  }
+
+  // ------------------------------------------------------------ events
+
+  void wake() {
+    const char byte = 1;
+    // EAGAIN means the pipe already holds wake bytes; that is enough.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
+  }
+
+  void sink(PlanEvent event) {
+    {
+      const std::lock_guard<std::mutex> lock(event_mutex);
+      events.push_back(std::move(event));
+    }
+    wake();
+  }
+
+  void drain_events() {
+    std::deque<PlanEvent> batch;
+    {
+      const std::lock_guard<std::mutex> lock(event_mutex);
+      batch.swap(events);
+    }
+    for (PlanEvent& event : batch) {
+      const auto it = connections.find(event.client_id);
+      if (it == connections.end()) continue;  // client already disconnected
+      Connection& conn = it->second;
+      switch (event.kind) {
+        case PlanEvent::Kind::kCellDone:
+          reply(conn, Message("cell_done")
+                          .set("plan", event.plan_id)
+                          .set("cell", event.cell_index)
+                          .set("resolution",
+                               event.cached ? "cached" : "computed")
+                          .set("hash", event.hash)
+                          .set("done", event.done)
+                          .set("total", event.total)
+                          .set("computed", event.computed)
+                          .set("cached", event.cached_cells));
+          break;
+        case PlanEvent::Kind::kPlanDone:
+          reply(conn, Message("plan_done")
+                          .set("plan", event.plan_id)
+                          .set("cells", event.total)
+                          .set("computed", event.computed)
+                          .set("cached", event.cached_cells)
+                          .set("report", event.report_text));
+          break;
+        case PlanEvent::Kind::kPlanFailed:
+          reply(conn, Message("plan_failed")
+                          .set("plan", event.plan_id)
+                          .set("error", event.error));
+          break;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ requests
+
+  void handle_message(Connection& conn, const Message& request) {
+    if (request.type() == "ping") {
+      reply(conn, Message("pong").set("protocol", kProtocolVersion));
+      return;
+    }
+    if (request.type() == "status") {
+      const SchedulerStats stats = scheduler->stats();
+      reply(conn, Message("status")
+                      .set("protocol", kProtocolVersion)
+                      .set("plans_active", stats.plans_active)
+                      .set("plans_done", stats.plans_done)
+                      .set("plans_failed", stats.plans_failed)
+                      .set("cells_pending", stats.cells_pending)
+                      .set("cells_running", stats.cells_running)
+                      .set("cells_computed", stats.cells_computed)
+                      .set("cells_cached", stats.cells_cached)
+                      .set("cache_dir", options.cache_dir));
+      return;
+    }
+    if (request.type() == "submit") {
+      const sim::SweepPlan plan = sim::SweepPlan::parse(request.str("plan"));
+      const SubmitResult result = scheduler->submit(plan, conn.id);
+      reply(conn, Message("accepted")
+                      .set("plan", result.plan_id)
+                      .set("cells", result.total_cells)
+                      .set("cached", result.cached)
+                      .set("done", result.done));
+      return;
+    }
+    if (request.type() == "query") {
+      const sim::SweepPlan plan = sim::SweepPlan::parse(request.str("plan"));
+      const QueryResult result = scheduler->query(plan);
+      Message message("query_result");
+      message.set("cells", result.total_cells)
+          .set("cached", result.cached)
+          .set("complete", result.complete);
+      if (result.complete) message.set("report", result.report_text);
+      reply(conn, message);
+      return;
+    }
+    if (request.type() == "shutdown") {
+      reply(conn, Message("bye"));
+      stopping = true;
+      return;
+    }
+    reply_error(conn, "unknown request type '" + request.type() + "'");
+  }
+
+  void handle_line(Connection& conn, std::string_view line) {
+    try {
+      handle_message(conn, Message::parse(line));
+    } catch (const WireError& e) {
+      reply_error(conn, e.what());
+    } catch (const sim::SpecError& e) {
+      reply_error(conn, e.what());
+    } catch (const std::exception& e) {
+      reply_error(conn, std::string("internal error: ") + e.what());
+    }
+  }
+
+  /// Splits buffered input into lines; enforces the inbound size cap with
+  /// an `error` reply plus discard-to-newline, never a disconnect.
+  void consume_input(Connection& conn) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t newline = conn.in.find('\n', start);
+      if (newline == std::string::npos) break;
+      if (conn.discarding) {
+        conn.discarding = false;  // the oversized line finally ended
+      } else {
+        std::string_view line(conn.in.data() + start, newline - start);
+        if (line.size() > options.max_line_bytes)
+          reply_error(conn, "request line exceeds " +
+                                std::to_string(options.max_line_bytes) +
+                                " bytes");
+        else
+          handle_line(conn, line);
+      }
+      start = newline + 1;
+    }
+    conn.in.erase(0, start);
+    if (conn.in.size() > options.max_line_bytes) {
+      if (!conn.discarding)
+        reply_error(conn, "request line exceeds " +
+                              std::to_string(options.max_line_bytes) +
+                              " bytes");
+      conn.discarding = true;
+      conn.in.clear();
+    }
+  }
+
+  // ------------------------------------------------------------ sockets
+
+  void accept_from(int listener) {
+    while (true) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN or a transient error; poll retries
+      set_nonblocking(fd);
+      set_cloexec(fd);
+      Connection conn;
+      conn.fd = fd;
+      conn.id = next_client_id++;
+      connections.emplace(conn.id, std::move(conn));
+    }
+  }
+
+  void disconnect(int client_id) {
+    const auto it = connections.find(client_id);
+    if (it == connections.end()) return;
+    ::close(it->second.fd);
+    connections.erase(it);
+    scheduler->detach_client(client_id);
+  }
+
+  /// Returns false when the connection died.
+  bool read_from(Connection& conn) {
+    char buf[65536];
+    while (true) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < sizeof buf) break;
+        continue;
+      }
+      if (n == 0) return false;  // orderly shutdown
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      return false;
+    }
+    consume_input(conn);
+    return true;
+  }
+
+  /// Returns false when the connection died.
+  bool write_to(Connection& conn) {
+    while (!conn.out.empty()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return true;
+      return false;
+    }
+    return true;
+  }
+
+  // ------------------------------------------------------------ the loop
+
+  void run() {
+    while (true) {
+      if (stop_requested.load(std::memory_order_relaxed)) stopping = true;
+      if (stopping && output_drained()) break;
+
+      std::vector<pollfd> fds;
+      std::vector<int> client_of;  // client id per pollfd past the fixed ones
+      fds.push_back({wake_read, POLLIN, 0});
+      if (unix_fd >= 0 && !stopping) fds.push_back({unix_fd, POLLIN, 0});
+      if (tcp_fd >= 0 && !stopping) fds.push_back({tcp_fd, POLLIN, 0});
+      const std::size_t first_client = fds.size();
+      for (const auto& [id, conn] : connections) {
+        short want = POLLIN;
+        if (!conn.out.empty()) want |= POLLOUT;
+        fds.push_back({conn.fd, want, 0});
+        client_of.push_back(id);
+      }
+
+      // While stopping we only flush; give slow clients a short poll so a
+      // dead one cannot wedge shutdown.
+      const int timeout_ms = stopping ? 100 : -1;
+      const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (ready < 0 && errno != EINTR)
+        fail("serve: poll failed: " + std::string(std::strerror(errno)));
+      if (stopping && ready == 0) break;  // grace expired; drop the rest
+
+      if (fds[0].revents & POLLIN) {
+        char buf[256];
+        while (::read(wake_read, buf, sizeof buf) > 0) {
+        }
+      }
+      for (std::size_t i = 1; i < first_client; ++i)
+        if (fds[i].revents & POLLIN) accept_from(fds[i].fd);
+
+      drain_events();
+
+      for (std::size_t i = first_client; i < fds.size(); ++i) {
+        const int id = client_of[i - first_client];
+        const auto it = connections.find(id);
+        if (it == connections.end()) continue;
+        Connection& conn = it->second;
+        bool alive = true;
+        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Flush what we can (a client may half-close after `shutdown`),
+          // then drop.
+          write_to(conn);
+          alive = false;
+        }
+        if (alive && (fds[i].revents & POLLIN)) alive = read_from(conn);
+        if (alive && (fds[i].revents & POLLOUT)) alive = write_to(conn);
+        if (alive && conn.out.size() > options.max_output_bytes) alive = false;
+        if (!alive) disconnect(id);
+      }
+    }
+  }
+
+  bool output_drained() const {
+    for (const auto& [id, conn] : connections)
+      if (!conn.out.empty()) return false;
+    return true;
+  }
+};
+
+SweepServer::SweepServer(const sim::ProtocolRegistry& registry,
+                         ServerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  if (options.cache_dir.empty()) fail("serve: --cache-dir is required");
+  if (options.socket_path.empty() && options.tcp_port < 0)
+    fail("serve: need a unix socket path or a tcp port");
+  impl_->options = std::move(options);
+  impl_->open_wake_pipe();
+  if (!impl_->options.socket_path.empty())
+    impl_->bind_unix(impl_->options.socket_path);
+  if (impl_->options.tcp_port >= 0) impl_->bind_tcp(impl_->options.tcp_port);
+  impl_->scheduler = std::make_unique<PlanScheduler>(
+      registry, impl_->options.cache_dir, impl_->options.scheduler,
+      [impl = impl_.get()](PlanEvent event) {
+        impl->sink(std::move(event));
+      });
+}
+
+SweepServer::~SweepServer() = default;
+
+void SweepServer::run() { impl_->run(); }
+
+void SweepServer::request_stop() {
+  impl_->stop_requested.store(true, std::memory_order_relaxed);
+  impl_->wake();
+}
+
+int SweepServer::tcp_port() const { return impl_->bound_tcp_port; }
+
+const std::string& SweepServer::socket_path() const {
+  return impl_->options.socket_path;
+}
+
+}  // namespace nrn::serve

@@ -1,0 +1,73 @@
+// The serve daemon: a line-JSON sweep service over the fleet cache.
+//
+// One SweepServer owns one PlanScheduler and one poll() event loop.  The
+// loop is single-threaded; all socket and wire work happens on it, while
+// cell computes run on the scheduler's TaskPool stream.  Worker threads
+// hand PlanEvents back through a queue plus a self-pipe byte, so the loop
+// wakes, converts them to wire messages, and streams them to the
+// submitting connection -- replies for one connection are totally ordered
+// (`accepted` always precedes its plan's `cell_done` events, because
+// submit()'s warm-cell events sit in the queue until the loop drains it).
+//
+// Listeners: a unix-domain socket (the default transport; filesystem
+// permissions are the access control) and optionally TCP on 127.0.0.1 for
+// environments without unix sockets (port 0 binds an ephemeral port,
+// reported by tcp_port()).  A stale socket file from a dead daemon is
+// detected by connecting to it and replaced; a live one refuses startup.
+//
+// Failure policy: a malformed, oversized, or unknown request gets a
+// structured `error` reply and the connection lives on; a disconnect
+// detaches the client's plans (running cells still finish into the cache);
+// the daemon itself never exits because of anything a client sent, except
+// an explicit `shutdown` request.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "serve/scheduler.hpp"
+#include "serve/wire.hpp"
+#include "sim/registry.hpp"
+
+namespace nrn::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< unix listener; empty disables
+  int tcp_port = -1;        ///< 127.0.0.1 listener; -1 disables, 0 ephemeral
+  std::string cache_dir;    ///< required; the shared fleet cache
+  SchedulerOptions scheduler;
+  std::size_t max_line_bytes = kMaxRequestBytes;  ///< inbound line cap
+  /// A connection whose unread reply backlog exceeds this is dropped (a
+  /// stuck client must not pin completed reports in memory forever).
+  std::size_t max_output_bytes = std::size_t{64} << 20;
+};
+
+class SweepServer {
+ public:
+  /// Binds the listeners and starts the scheduler.  Throws SpecError on
+  /// an unusable socket path / port or a live daemon on the same socket.
+  SweepServer(const sim::ProtocolRegistry& registry, ServerOptions options);
+  ~SweepServer();
+
+  SweepServer(const SweepServer&) = delete;
+  SweepServer& operator=(const SweepServer&) = delete;
+
+  /// The poll loop: serves until request_stop() or a `shutdown` request.
+  /// Pending replies are flushed (bounded grace) before returning.
+  void run();
+
+  /// Async-signal-safe stop: wakes the loop via the self-pipe.  Callable
+  /// from any thread or a signal handler, before or during run().
+  void request_stop();
+
+  /// The bound TCP port (useful with tcp_port = 0), or -1 without TCP.
+  int tcp_port() const;
+  const std::string& socket_path() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nrn::serve

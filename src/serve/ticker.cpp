@@ -1,0 +1,65 @@
+#include "serve/ticker.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace nrn::serve {
+
+namespace {
+
+std::string format_eta(double seconds) {
+  char buf[32];
+  if (seconds < 0) return "?";
+  if (seconds < 90) {
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  } else if (seconds < 90 * 60) {
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressTicker::ProgressTicker(std::ostream& os)
+    : os_(&os), start_(std::chrono::steady_clock::now()) {}
+
+void ProgressTicker::operator()(const sim::SweepProgressEvent& event) {
+  using Kind = sim::SweepProgressEvent::Kind;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  switch (event.kind) {
+    case Kind::kAccepted:
+      start_ = std::chrono::steady_clock::now();
+      *os_ << "sweep: 0/" << event.total << " cells\r" << std::flush;
+      line_open_ = true;
+      break;
+    case Kind::kCellDone: {
+      // ETA from the overall resolution rate so far; cached cells are
+      // nearly free, so a warm prefix makes the estimate optimistic until
+      // computed cells dominate -- good enough for a glanceable ticker.
+      const double rate = event.done > 0 ? elapsed / event.done : 0.0;
+      const double eta = rate * (event.total - event.done);
+      *os_ << "sweep: " << event.done << "/" << event.total << " cells ("
+           << event.cached_cells << " cached, " << event.computed
+           << " computed) eta " << format_eta(eta) << "   \r" << std::flush;
+      line_open_ = true;
+      break;
+    }
+    case Kind::kPlanDone: {
+      if (line_open_) *os_ << "\n";
+      line_open_ = false;
+      char secs[32];
+      std::snprintf(secs, sizeof secs, "%.1fs", elapsed);
+      *os_ << "sweep: " << event.done << "/" << event.total
+           << " cells done in " << secs << " (" << event.cached_cells
+           << " cached, " << event.computed << " computed)\n";
+      break;
+    }
+  }
+}
+
+}  // namespace nrn::serve

@@ -1,0 +1,32 @@
+// Live sweep progress rendering: one ticker for every event source.
+//
+// `nrn_sim sweep --progress` feeds it SweepRunner's local events and
+// `nrn_sim submit --progress` feeds it the daemon's streamed cell_done
+// events -- the structs are the same (sim/progress.hpp), so the rendering
+// is too: a carriage-return ticker line on stderr while cells resolve,
+// one summary line when the plan completes.  Progress never writes to
+// stdout, which stays reserved for the report emitters.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+
+#include "sim/progress.hpp"
+
+namespace nrn::serve {
+
+class ProgressTicker {
+ public:
+  /// Renders to `os` (conventionally std::cerr).
+  explicit ProgressTicker(std::ostream& os);
+
+  /// Usable directly as a sim::ProgressFn.
+  void operator()(const sim::SweepProgressEvent& event);
+
+ private:
+  std::ostream* os_;
+  std::chrono::steady_clock::time_point start_;
+  bool line_open_ = false;
+};
+
+}  // namespace nrn::serve

@@ -1,0 +1,42 @@
+// Sweep progress events: the one event vocabulary for live observers.
+//
+// SweepRunner::run emits these through SweepOptions::on_progress as cells
+// resolve; the serve daemon's scheduler emits the same shapes over the
+// wire (docs/serve_protocol.md), and `nrn_sim sweep --progress` and
+// `nrn_sim submit --progress` render both through the same ticker
+// (serve/ticker.hpp).  Events are observability only: they never feed back
+// into execution, so enabling them cannot perturb a report.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace nrn::sim {
+
+struct SweepProgressEvent {
+  enum class Kind {
+    kAccepted,  ///< the run's scope is known; `total` is set
+    kCellDone,  ///< one cell resolved (cached or computed)
+    kPlanDone,  ///< every cell in scope is resolved
+  };
+
+  Kind kind = Kind::kAccepted;
+  int total = 0;  ///< cells in scope (a shard's slice, or the whole plan)
+  int done = 0;   ///< cells resolved so far, including this event's
+
+  // kCellDone only:
+  int cell_index = 0;      ///< plan-wide cell index
+  bool cached = false;     ///< true: loaded from cache; false: computed
+  std::string cell_hash;   ///< cache entry stem (hex FNV-1a of the key)
+
+  // Running provenance split; final totals on kPlanDone.
+  int computed = 0;
+  int cached_cells = 0;
+};
+
+/// Progress sink.  SweepRunner serializes invocations (one event at a
+/// time, happens-before ordered), but they arrive on worker threads -- a
+/// sink must not touch the runner or assume the submitting thread.
+using ProgressFn = std::function<void(const SweepProgressEvent&)>;
+
+}  // namespace nrn::sim

@@ -1,6 +1,7 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace nrn::sim {
 
@@ -141,6 +142,13 @@ std::uint64_t fnv1a64(std::string_view text) {
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+std::string fnv1a64_hex(std::string_view text) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(text)));
+  return buf;
 }
 
 std::vector<std::string> expand_spec_list(const std::string& value) {

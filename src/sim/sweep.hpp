@@ -53,6 +53,10 @@ namespace nrn::sim {
 /// dependent.
 std::uint64_t fnv1a64(std::string_view text);
 
+/// fnv1a64 rendered as 16 lowercase hex digits -- the cache entry / claim
+/// file stem for a key, and the `hash` field of progress events.
+std::string fnv1a64_hex(std::string_view text);
+
 /// Expands one clause value into its ordered item list: depth-0 comma
 /// split, then brace/range expansion per item.  Throws SpecError on
 /// malformed braces or ranges, and on expansions beyond the per-axis cap.

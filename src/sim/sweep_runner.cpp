@@ -282,6 +282,12 @@ bool ResultCache::try_claim(const std::string& key) const {
   return true;
 }
 
+void ResultCache::refresh_claim(const std::string& key) const {
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      claim_path(key), std::filesystem::file_time_type::clock::now(), ec);
+}
+
 bool ResultCache::steal_stale_claim(const std::string& key,
                                     double ttl_seconds) const {
   namespace fs = std::filesystem;
@@ -420,6 +426,155 @@ SweepReport merge_sweep_reports(const std::vector<SweepReport>& shards) {
   return merged;
 }
 
+// ------------------------------------------------------------- heartbeat
+
+ClaimHeartbeat::ClaimHeartbeat(const ResultCache& cache, std::string key,
+                               double interval_seconds) {
+  NRN_EXPECTS(interval_seconds > 0.0, "heartbeat interval must be positive");
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  ticker_ = std::thread([this, &cache, key = std::move(key), interval] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+      lock.unlock();
+      cache.refresh_claim(key);
+      lock.lock();
+    }
+  });
+}
+
+ClaimHeartbeat::~ClaimHeartbeat() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  ticker_.join();
+}
+
+// -------------------------------------------------------------- executor
+
+namespace {
+
+/// Releases a held claim on every exit path.  (Before this guard existed,
+/// an exception between try_claim and store -- a protocol factory
+/// rejecting its scenario, a failing store -- stranded the marker until a
+/// peer's TTL expired.)
+class ClaimGuard {
+ public:
+  ClaimGuard(const ResultCache& cache, const std::string& key)
+      : cache_(&cache), key_(&key) {}
+  ~ClaimGuard() { cache_->release_claim(*key_); }
+
+  ClaimGuard(const ClaimGuard&) = delete;
+  ClaimGuard& operator=(const ClaimGuard&) = delete;
+
+ private:
+  const ResultCache* cache_;
+  const std::string* key_;
+};
+
+/// Serialized SweepProgressEvent emission with running counters.
+class ProgressEmitter {
+ public:
+  ProgressEmitter(const ProgressFn& fn, int total) : fn_(fn) {
+    event_.total = total;
+  }
+
+  void accepted() {
+    if (!fn_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event_.kind = SweepProgressEvent::Kind::kAccepted;
+    fn_(event_);
+  }
+
+  void cell_done(int cell_index, bool cached, std::string hash) {
+    if (!fn_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event_.kind = SweepProgressEvent::Kind::kCellDone;
+    ++event_.done;
+    (cached ? event_.cached_cells : event_.computed) += 1;
+    event_.cell_index = cell_index;
+    event_.cached = cached;
+    event_.cell_hash = std::move(hash);
+    fn_(event_);
+  }
+
+  void plan_done() {
+    if (!fn_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event_.kind = SweepProgressEvent::Kind::kPlanDone;
+    event_.cell_hash.clear();
+    fn_(event_);
+  }
+
+ private:
+  const ProgressFn& fn_;
+  std::mutex mutex_;
+  SweepProgressEvent event_;
+};
+
+}  // namespace
+
+CellExecutor::CellExecutor(const ProtocolRegistry& registry,
+                           const ResultCache* cache, Options options)
+    : registry_(&registry),
+      cache_(cache),
+      options_(std::move(options)),
+      driver_(registry) {
+  NRN_EXPECTS(options_.trial_threads >= 1, "trial threads must be positive");
+  NRN_EXPECTS(!options_.use_claims || cache_ != nullptr,
+              "claim markers need a result cache");
+  heartbeat_interval_ = options_.heartbeat_seconds;
+  if (heartbeat_interval_ == 0.0)
+    heartbeat_interval_ = std::max(options_.claim_ttl_seconds / 4.0, 0.05);
+  if (options_.claim_ttl_seconds <= 0.0) heartbeat_interval_ = -1.0;
+}
+
+std::string CellExecutor::key(const SweepCell& cell) const {
+  return sweep_cache_key(cell, options_.tuning);
+}
+
+CellExecutor::Result CellExecutor::resolve(const SweepCell& cell) const {
+  DriverOptions driver_options;
+  driver_options.threads = options_.trial_threads;
+  driver_options.tuning = options_.tuning;
+  const std::string cache_key = cache_ ? key(cell) : std::string();
+
+  if (cache_) {
+    if (auto cached = cache_->load(cache_key))
+      return {Resolution::kCached, std::move(*cached)};
+  }
+  if (cache_ == nullptr || !options_.use_claims) {
+    Result result{Resolution::kComputed,
+                  driver_.run(cell.scenario, cell.protocol, cell.trials,
+                              driver_options)};
+    if (cache_) cache_->store(cache_key, result.experiment);
+    return result;
+  }
+
+  bool stole = false;
+  if (!cache_->try_claim(cache_key)) {
+    if (!cache_->steal_stale_claim(cache_key, options_.claim_ttl_seconds))
+      return {Resolution::kBusy, {}};  // fresh foreign claim: retry later
+    if (!cache_->try_claim(cache_key))
+      return {Resolution::kBusy, {}};  // lost the post-steal race
+    stole = true;
+  }
+  const ClaimGuard guard(*cache_, cache_key);
+  // Claim held.  Recheck the cache: the previous holder may have stored
+  // the entry and died between store and release.
+  if (auto cached = cache_->load(cache_key))
+    return {Resolution::kCached, std::move(*cached)};
+  std::optional<ClaimHeartbeat> heartbeat;  // destroyed before the guard
+  if (heartbeat_interval_ > 0.0)
+    heartbeat.emplace(*cache_, cache_key, heartbeat_interval_);
+  Result result{stole ? Resolution::kStolen : Resolution::kComputed,
+                driver_.run(cell.scenario, cell.protocol, cell.trials,
+                            driver_options)};
+  cache_->store(cache_key, result.experiment);
+  return result;
+}
+
 // ---------------------------------------------------------------- runner
 
 SweepReport SweepRunner::run(const SweepPlan& plan,
@@ -455,29 +610,24 @@ SweepReport SweepRunner::run(const SweepPlan& plan,
   std::optional<ResultCache> cache;
   if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
 
-  const Driver driver(*registry_);
-  DriverOptions driver_options;
-  driver_options.threads = options.trial_threads;
-  driver_options.tuning = options.tuning;
+  CellExecutor::Options exec_options;
+  exec_options.trial_threads = options.trial_threads;
+  exec_options.tuning = options.tuning;
+  const CellExecutor executor(*registry_, cache ? &*cache : nullptr,
+                              exec_options);
+  ProgressEmitter progress(options.on_progress,
+                           static_cast<int>(mine.size()));
+  progress.accepted();
 
   auto run_cell = [&](std::size_t slot) {
     const SweepCell& cell = *mine[slot];
     auto& out = report.cells[slot];
     out.cell_index = cell.index;
-    if (cache) {
-      const std::string key = sweep_cache_key(cell, options.tuning);
-      if (auto cached = cache->load(key)) {
-        out.experiment = std::move(*cached);
-        out.from_cache = true;
-        return;
-      }
-      out.experiment =
-          driver.run(cell.scenario, cell.protocol, cell.trials, driver_options);
-      cache->store(key, out.experiment);
-    } else {
-      out.experiment =
-          driver.run(cell.scenario, cell.protocol, cell.trials, driver_options);
-    }
+    auto result = executor.resolve(cell);
+    out.experiment = std::move(result.experiment);
+    out.from_cache = result.resolution == CellExecutor::Resolution::kCached;
+    progress.cell_done(cell.index, out.from_cache,
+                       fnv1a64_hex(executor.key(cell)));
   };
 
   const int workers =
@@ -491,6 +641,7 @@ SweepReport SweepRunner::run(const SweepPlan& plan,
         mine.size(), workers,
         [&](std::size_t slot, int /*worker*/) { run_cell(slot); });
   }
+  progress.plan_done();
   return report;
 }
 
@@ -509,6 +660,10 @@ SweepReport SweepRunner::run_fleet(const SweepPlan& plan,
   for (const auto& cell : plan.cells)
     keys.push_back(sweep_cache_key(cell, options.tuning));
 
+  ProgressEmitter progress(options.on_progress,
+                           static_cast<int>(plan.cells.size()));
+  progress.accepted();
+
   if (options.assignment == SweepAssignment::kResume) {
     int missing = 0;
     for (std::size_t i = 0; i < plan.cells.size(); ++i) {
@@ -517,6 +672,7 @@ SweepReport SweepRunner::run_fleet(const SweepPlan& plan,
       if (auto cached = cache.load(keys[i])) {
         out.experiment = std::move(*cached);
         out.from_cache = true;
+        progress.cell_done(out.cell_index, true, fnv1a64_hex(keys[i]));
       } else {
         ++missing;
       }
@@ -527,13 +683,17 @@ SweepReport SweepRunner::run_fleet(const SweepPlan& plan,
                       " cells are missing from the cache; run the sweep "
                       "with --fleet first");
     report.fleet.skipped = static_cast<int>(plan.cells.size());
+    progress.plan_done();
     return report;
   }
 
-  const Driver driver(*registry_);
-  DriverOptions driver_options;
-  driver_options.threads = options.trial_threads;
-  driver_options.tuning = options.tuning;
+  CellExecutor::Options exec_options;
+  exec_options.trial_threads = options.trial_threads;
+  exec_options.tuning = options.tuning;
+  exec_options.use_claims = true;
+  exec_options.claim_ttl_seconds = options.claim_ttl_seconds;
+  exec_options.heartbeat_seconds = options.heartbeat_seconds;
+  const CellExecutor executor(*registry_, &cache, exec_options);
 
   std::atomic<int> claimed{0}, stolen{0}, skipped{0};
 
@@ -541,43 +701,25 @@ SweepReport SweepRunner::run_fleet(const SweepPlan& plan,
   // (the caller revisits it on a later pass).
   auto resolve = [&](std::size_t idx) -> bool {
     const SweepCell& cell = plan.cells[idx];
-    const std::string& key = keys[idx];
     auto& out = report.cells[idx];
     out.cell_index = cell.index;
-    if (auto cached = cache.load(key)) {
-      out.experiment = std::move(*cached);
-      out.from_cache = true;
-      skipped.fetch_add(1, std::memory_order_relaxed);
-      return true;
+    auto result = executor.resolve(cell);
+    switch (result.resolution) {
+      case CellExecutor::Resolution::kBusy:
+        return false;  // live foreign claim: revisit on a later pass
+      case CellExecutor::Resolution::kCached:
+        out.from_cache = true;
+        skipped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CellExecutor::Resolution::kComputed:
+        claimed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CellExecutor::Resolution::kStolen:
+        stolen.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
-    bool stole = false;
-    if (!cache.try_claim(key)) {
-      if (!cache.steal_stale_claim(key, options.claim_ttl_seconds))
-        return false;  // fresh foreign claim: let the peer finish
-      if (!cache.try_claim(key)) return false;  // lost the post-steal race
-      stole = true;
-    }
-    // Claim held.  Recheck the cache: the previous holder may have stored
-    // the entry and died between store and release.
-    if (auto cached = cache.load(key)) {
-      cache.release_claim(key);
-      out.experiment = std::move(*cached);
-      out.from_cache = true;
-      skipped.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    }
-    try {
-      out.experiment = driver.run(cell.scenario, cell.protocol, cell.trials,
-                                  driver_options);
-    } catch (...) {
-      // Don't leave peers waiting out the TTL on a cell that will only
-      // fail again; the error still aborts this runner.
-      cache.release_claim(key);
-      throw;
-    }
-    cache.store(key, out.experiment);
-    cache.release_claim(key);
-    (stole ? stolen : claimed).fetch_add(1, std::memory_order_relaxed);
+    out.experiment = std::move(result.experiment);
+    progress.cell_done(cell.index, out.from_cache, fnv1a64_hex(keys[idx]));
     return true;
   };
 
@@ -620,6 +762,7 @@ SweepReport SweepRunner::run_fleet(const SweepPlan& plan,
   report.fleet.claimed = claimed.load();
   report.fleet.stolen = stolen.load();
   report.fleet.skipped = skipped.load();
+  progress.plan_done();
   return report;
 }
 

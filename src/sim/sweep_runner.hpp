@@ -20,7 +20,15 @@
 // re-invoking it, and every surviving runner emits a complete report;
 // overlapping fleet shards merge as long as duplicates are bit-identical,
 // which deterministic cells guarantee.  kResume rebuilds a report purely
-// from a warm cache without computing anything.
+// from a warm cache without computing anything.  While a cell computes,
+// its claim's mtime is refreshed by a heartbeat ticker, so TTL expiry only
+// ever steals from dead workers -- never from a slow cell's live owner.
+//
+// Cell execution itself lives in CellExecutor, callable outside the
+// blocking run() loop: the serve daemon (serve/scheduler.hpp) resolves
+// cells from many clients' plans through the same probe/claim/compute/
+// store path, which is why a daemon-computed report is bit-identical to a
+// serial sweep of the same plan.
 //
 // Caching: with a cache directory set, each finished cell is stored under a
 // content-addressed key (cell spec + derived seed + tuning).  Re-runs load
@@ -36,13 +44,17 @@
 // than silently mixed with v3 results.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/driver.hpp"
+#include "sim/progress.hpp"
 #include "sim/sweep.hpp"
 
 namespace nrn::sim {
@@ -96,6 +108,13 @@ class ResultCache {
   /// who must then try_claim() the now-free slot.
   bool steal_stale_claim(const std::string& key, double ttl_seconds) const;
 
+  /// Bumps the claim marker's mtime to now -- the fleet heartbeat.  A
+  /// worker mid-compute refreshes its claim so a long cell is never stolen
+  /// by TTL expiry while its owner is alive.  Errors are ignored: a
+  /// vanished marker means the claim was stolen, and the recompute that
+  /// follows is benign (duplicates are bit-identical).
+  void refresh_claim(const std::string& key) const;
+
   /// Removes the claim marker (after the entry is stored).
   void release_claim(const std::string& key) const;
 
@@ -106,6 +125,79 @@ class ResultCache {
 /// The cache key for a cell: the cell's own key plus the tuning knobs
 /// (tuning changes protocol behavior, so it must invalidate entries).
 std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning);
+
+/// RAII claim heartbeat: a background ticker that refresh_claim()s `key`
+/// every `interval_seconds` until destroyed.  Held across a cell's compute
+/// so `--claim-ttl` expiry only ever steals from dead workers, never from
+/// a slow cell's live owner.
+class ClaimHeartbeat {
+ public:
+  ClaimHeartbeat(const ResultCache& cache, std::string key,
+                 double interval_seconds);
+  ~ClaimHeartbeat();
+
+  ClaimHeartbeat(const ClaimHeartbeat&) = delete;
+  ClaimHeartbeat& operator=(const ClaimHeartbeat&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread ticker_;
+};
+
+/// Executes individual sweep cells outside the blocking SweepRunner::run
+/// loop: probe the cache, optionally take a cooperative claim (with a
+/// heartbeat while computing), compute through the Driver, store.  This is
+/// the one cell-resolution implementation -- the static and fleet paths of
+/// SweepRunner and the serve daemon's scheduler all run cells through it,
+/// so a daemon-computed cell is bit-identical to a serial one by
+/// construction.  Thread-safe: resolve() keeps all state on the stack.
+class CellExecutor {
+ public:
+  struct Options {
+    int trial_threads = 1;  ///< Driver threads inside the cell
+    Tuning tuning;
+    bool use_claims = false;  ///< claim markers around computes (fleet/serve)
+    double claim_ttl_seconds = 900.0;
+    /// Claim mtime refresh period while computing; 0 derives ttl/4
+    /// (clamped to >= 50ms), < 0 disables the heartbeat.  No heartbeat
+    /// runs when the ttl itself is <= 0 (claims are then already fair
+    /// game, e.g. `--claim-ttl=0` resumes over a dead fleet).
+    double heartbeat_seconds = 0.0;
+  };
+
+  enum class Resolution {
+    kCached,    ///< loaded from the cache (possibly stored by a peer)
+    kComputed,  ///< computed here under a fresh claim (or no claims)
+    kStolen,    ///< computed here after stealing a stale claim
+    kBusy,      ///< a live peer holds the claim; retry later
+  };
+
+  struct Result {
+    Resolution resolution = Resolution::kCached;
+    ExperimentReport experiment;  ///< empty when kBusy
+  };
+
+  /// `cache` may be null (pure compute); claims require a cache.
+  CellExecutor(const ProtocolRegistry& registry, const ResultCache* cache,
+               Options options);
+
+  /// The cell's cache key under this executor's tuning.
+  std::string key(const SweepCell& cell) const;
+
+  /// Resolves one cell.  kBusy is only possible with use_claims; every
+  /// exception path releases the claim (no leaked markers).  Throws what
+  /// the Driver throws.
+  Result resolve(const SweepCell& cell) const;
+
+ private:
+  const ProtocolRegistry* registry_;
+  const ResultCache* cache_;
+  Options options_;
+  Driver driver_;
+  double heartbeat_interval_;  ///< resolved; <= 0 disables
+};
 
 /// How a runner decides which cells to execute.
 enum class SweepAssignment {
@@ -129,6 +221,12 @@ struct SweepOptions {
   double claim_ttl_seconds = 900.0;  ///< fleet: steal claims older than this
   int fleet_poll_ms = 20;  ///< fleet: sleep between probe passes when every
                            ///< remaining cell is claimed by a live peer
+  double heartbeat_seconds = 0.0;  ///< fleet claim refresh; 0 = ttl/4
+                                   ///< (CellExecutor::Options semantics)
+
+  /// Live progress sink (sim/progress.hpp); null disables.  Invocations
+  /// are serialized by the runner but arrive on worker threads.
+  ProgressFn on_progress;
 };
 
 /// One executed cell.  `from_cache` records provenance for operators; it is

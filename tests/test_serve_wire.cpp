@@ -1,0 +1,129 @@
+// The serve wire protocol: strict line-JSON parsing (everything malformed
+// throws WireError, nothing crashes), escaping, typed field access, and
+// deterministic serialization round trips.
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nrn::serve {
+namespace {
+
+TEST(Wire, SerializeParseRoundTripPreservesTypedFields) {
+  Message out("submit");
+  out.set("plan", "topology=path:8; protocols=decay")
+      .set("cells", std::int64_t{42})
+      .set("warm", true)
+      .set("cold", false)
+      .set("negative", std::int64_t{-7});
+  const Message in = Message::parse(out.serialize());
+  EXPECT_EQ(in.type(), "submit");
+  EXPECT_EQ(in.str("plan"), "topology=path:8; protocols=decay");
+  EXPECT_EQ(in.integer("cells"), 42);
+  EXPECT_TRUE(in.boolean("warm"));
+  EXPECT_FALSE(in.boolean("cold"));
+  EXPECT_EQ(in.integer("negative"), -7);
+  // Round trip is byte-stable (insertion order preserved).
+  EXPECT_EQ(in.serialize(), out.serialize());
+}
+
+TEST(Wire, EscapingSurvivesHostilePayloads) {
+  const std::string hostile =
+      "quote\" backslash\\ newline\n tab\t cr\r bell\x07 null";
+  Message out("echo");
+  out.set("payload", hostile + std::string(1, '\0') + "after");
+  const Message in = Message::parse(out.serialize());
+  EXPECT_EQ(in.str("payload"), hostile + std::string(1, '\0') + "after");
+  // The serialized line itself never contains a raw newline -- framing is
+  // what the whole protocol hangs on.
+  EXPECT_EQ(out.serialize().find('\n'), std::string::npos);
+  EXPECT_EQ(out.serialize().find('\r'), std::string::npos);
+}
+
+TEST(Wire, UnicodeEscapesDecodeToUtf8) {
+  const Message in = Message::parse(
+      "{\"type\":\"t\",\"s\":\"A\\u00e9\\u20ac\"}");
+  EXPECT_EQ(in.str("s"), "A\xc3\xa9\xe2\x82\xac");  // A, e-acute, euro
+  // Surrogates and non-hex digits are rejected, not mangled.
+  EXPECT_THROW(Message::parse("{\"type\":\"t\",\"s\":\"\\ud800\"}"),
+               WireError);
+  EXPECT_THROW(Message::parse("{\"type\":\"t\",\"s\":\"\\uZZZZ\"}"),
+               WireError);
+}
+
+TEST(Wire, IntegerBoundsAndMalformedNumbers) {
+  EXPECT_EQ(Message::parse(R"({"type":"t","v":9223372036854775807})")
+                .integer("v"),
+            INT64_MAX);
+  EXPECT_EQ(Message::parse(R"({"type":"t","v":-9223372036854775808})")
+                .integer("v"),
+            INT64_MIN);
+  EXPECT_THROW(Message::parse(R"({"type":"t","v":9223372036854775808})"),
+               WireError);
+  EXPECT_THROW(Message::parse(R"({"type":"t","v":1.5})"), WireError);
+  EXPECT_THROW(Message::parse(R"({"type":"t","v":1e3})"), WireError);
+  EXPECT_THROW(Message::parse(R"({"type":"t","v":-})"), WireError);
+}
+
+TEST(Wire, MalformedLinesAllThrowWireError) {
+  const std::vector<std::string> bad = {
+      "",                                    // empty
+      "not json",                            // not an object
+      "{",                                   // truncated
+      R"({"type":"t")",                      // unterminated object
+      R"({"type":"t"} trailing)",            // trailing data
+      R"({"type":"t",})",                    // trailing comma
+      R"({"plan":"x"})",                     // no type
+      R"({"type":""})",                      // empty type
+      R"({"type":42})",                      // non-string type
+      R"({"type":"t","a":1,"a":2})",         // duplicate key
+      R"({"type":"t","type":"u"})",          // duplicate type
+      R"({"type":"t","v":null})",            // null not in protocol
+      R"({"type":"t","v":{"x":1}})",         // nested object
+      R"({"type":"t","v":[1,2]})",           // nested array
+      R"({"type":"t","v":"unterminated)",    // unterminated string
+      R"({"type":"t","v":"bad \q escape"})",  // unknown escape
+      R"({"type":"t","":1})",                // empty key
+      "{\"type\":\"t\",\"v\":\"raw\nnewline\"}",  // raw control char
+  };
+  for (const auto& line : bad)
+    EXPECT_THROW(Message::parse(line), WireError) << line;
+}
+
+TEST(Wire, WhitespaceTolerantBetweenTokens) {
+  const Message in = Message::parse(
+      "  { \"type\" : \"t\" , \"a\" : 1 , \"b\" : true }  ");
+  EXPECT_EQ(in.type(), "t");
+  EXPECT_EQ(in.integer("a"), 1);
+  EXPECT_TRUE(in.boolean("b"));
+}
+
+TEST(Wire, TypedAccessorsEnforcePresenceAndKind) {
+  const Message in =
+      Message::parse(R"({"type":"t","s":"text","n":5,"b":true})");
+  EXPECT_TRUE(in.has("s"));
+  EXPECT_FALSE(in.has("missing"));
+  EXPECT_THROW(in.str("missing"), WireError);
+  EXPECT_THROW(in.str("n"), WireError);      // wrong kind
+  EXPECT_THROW(in.integer("s"), WireError);  // wrong kind
+  EXPECT_THROW(in.boolean("n"), WireError);  // wrong kind
+  EXPECT_EQ(in.integer_or("n", 9), 5);
+  EXPECT_EQ(in.integer_or("missing", 9), 9);
+}
+
+TEST(Wire, ReportSizedPayloadRoundTrips) {
+  // A plan_done line carries a whole shard file; make sure a payload of
+  // that scale survives escape/parse intact.
+  std::string report;
+  for (int i = 0; i < 5000; ++i)
+    report += "cell " + std::to_string(i) + "\trounds=12\n";
+  Message out("plan_done");
+  out.set("report", report);
+  EXPECT_EQ(Message::parse(out.serialize()).str("report"), report);
+}
+
+}  // namespace
+}  // namespace nrn::serve

@@ -1,11 +1,14 @@
 // The persistent TaskPool: full coverage of the batch contract (every
 // index exactly once), slot discipline, nesting, exception propagation,
-// and reuse across many batches.
+// and reuse across many batches -- plus the externally-fed Stream API the
+// serve scheduler runs cells on (push/cancel/drain, error capture, and
+// coexistence with batches on the same helpers).
 #include "common/task_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -88,6 +91,115 @@ TEST(TaskPool, SharedPoolIsReusableAcrossBatches) {
     });
     EXPECT_EQ(sum.load(), 99 * 100 / 2);
   }
+}
+
+TEST(TaskPoolStream, RunsEveryPushedJob) {
+  TaskPool pool(3);
+  auto stream = pool.open_stream(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) stream->push([&](int) { ++count; });
+  stream->drain();
+  EXPECT_EQ(count.load(), 100);
+  // The stream is reusable after a drain.
+  for (int i = 0; i < 10; ++i) stream->push([&](int) { ++count; });
+  stream->drain();
+  EXPECT_EQ(count.load(), 110);
+}
+
+TEST(TaskPoolStream, CancelDropsQueuedJobsButNotTheRunningOne) {
+  TaskPool pool(1);
+  auto stream = pool.open_stream(1);  // at most one job at a time
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> ran{0};
+  std::promise<void> started;
+  stream->push([&](int) {
+    started.set_value();
+    gate.wait();
+    ++ran;
+  });
+  started.get_future().wait();  // the blocker is executing
+  for (int i = 0; i < 5; ++i) stream->push([&](int) { ++ran; });
+  EXPECT_EQ(stream->cancel(), 5u);  // queued jobs dropped, blocker kept
+  release.set_value();
+  stream->drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskPoolStream, FirstJobErrorRethrownOnDrainAndStreamSurvives) {
+  TaskPool pool(2);
+  auto stream = pool.open_stream(2);
+  stream->push([](int) { throw std::runtime_error("stream boom"); });
+  EXPECT_THROW(stream->drain(), std::runtime_error);
+  std::atomic<int> count{0};
+  stream->push([&](int) { ++count; });
+  stream->drain();  // the error was consumed by the previous drain
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskPoolStream, JobsMayNestBatchRunsInline) {
+  // A stream job occupies a slot, so a pool.run() from inside it must
+  // execute inline (this is the serve path: the scheduler's cell jobs run
+  // the Driver, which batches trials over the same pool).
+  TaskPool pool(2);
+  auto stream = pool.open_stream(2);
+  std::atomic<int> inner{0};
+  for (int i = 0; i < 8; ++i)
+    stream->push([&](int slot) {
+      pool.run(16, 4, [&](std::size_t, int inner_slot) {
+        EXPECT_EQ(inner_slot, slot);
+        ++inner;
+      });
+    });
+  stream->drain();
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(TaskPoolStream, StreamsAndBatchesShareHelpers) {
+  TaskPool pool(3);
+  auto stream = pool.open_stream(2);
+  std::atomic<int> stream_jobs{0};
+  std::atomic<std::int64_t> batch_sum{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) stream->push([&](int) { ++stream_jobs; });
+    pool.run(100, 4, [&](std::size_t i, int) {
+      batch_sum += static_cast<std::int64_t>(i);
+    });
+    stream->drain();
+  }
+  EXPECT_EQ(stream_jobs.load(), 100);
+  EXPECT_EQ(batch_sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(TaskPoolStream, TwoStreamsProgressIndependently) {
+  TaskPool pool(2);
+  auto a = pool.open_stream(1);
+  auto b = pool.open_stream(1);
+  std::atomic<int> count_a{0}, count_b{0};
+  for (int i = 0; i < 50; ++i) {
+    a->push([&](int) { ++count_a; });
+    b->push([&](int) { ++count_b; });
+  }
+  a->drain();
+  b->drain();
+  EXPECT_EQ(count_a.load(), 50);
+  EXPECT_EQ(count_b.load(), 50);
+}
+
+TEST(TaskPoolStream, DestructorWaitsForTheRunningJob) {
+  TaskPool pool(1);
+  std::atomic<bool> finished{false};
+  std::promise<void> started;
+  {
+    auto stream = pool.open_stream(1);
+    stream->push([&](int) {
+      started.set_value();
+      finished = true;
+    });
+    started.get_future().wait();
+    // ~Stream blocks until the in-flight job completes.
+  }
+  EXPECT_TRUE(finished.load());
 }
 
 }  // namespace

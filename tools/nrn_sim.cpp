@@ -15,9 +15,15 @@
 //   nrn_sim sweep --plan=... --shard=1/2 --out=shard1.nrns
 //   nrn_sim sweep --merge=shard0.nrns,shard1.nrns --out=merged.nrns --csv
 //
+//   nrn_sim serve --socket=/run/nrn.sock --cache-dir=cache --cell-threads=4
+//   nrn_sim submit --socket=/run/nrn.sock --plan=... --progress --csv
+//   nrn_sim status --socket=/run/nrn.sock
+//   nrn_sim shutdown --socket=/run/nrn.sock
+//
 // Exit status: 0 if every trial completed, 1 otherwise, 2 on usage errors
 // (unknown flags, malformed specs/plans, non-numeric values).
 #include <algorithm>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -25,6 +31,9 @@
 #include <string>
 #include <vector>
 
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/ticker.hpp"
 #include "sim/sim.hpp"
 
 namespace {
@@ -60,7 +69,16 @@ struct Options {
             << "               [--cell-threads=N] [--threads=N] [--out=FILE]\n"
             << "               [--csv] [--json]\n"
             << "       nrn_sim sweep --merge=FILE[,FILE...] [--out=FILE] "
-               "[--csv] [--json]\n\n"
+               "[--csv] [--json]\n"
+            << "       nrn_sim serve --socket=PATH --cache-dir=DIR "
+               "[--tcp-port=N]\n"
+            << "               [--cell-threads=N] [--threads=N] "
+               "[--claim-ttl=SECONDS]\n"
+            << "       nrn_sim submit (--socket=PATH | --tcp-port=N) "
+               "--plan=PLAN\n"
+            << "               [--progress] [--out=FILE] [--csv] [--json]\n"
+            << "       nrn_sim status (--socket=PATH | --tcp-port=N)\n"
+            << "       nrn_sim shutdown (--socket=PATH | --tcp-port=N)\n\n"
             << "topologies: path:n  cycle:n  star:leaves  complete:n  "
                "grid:RxC\n"
             << "            gnp:n:p  tree:n  binary-tree:n  hypercube:d\n"
@@ -84,7 +102,13 @@ struct Options {
             << "            --resume rebuilds the report from a warm cache "
                "without\n"
             << "            computing; --claim-ttl=SECONDS expires dead "
-               "workers' claims\n";
+               "workers' claims\n"
+            << "serving:    `serve` runs the sweep daemon over a shared "
+               "cache; `submit`\n"
+            << "            streams a plan's progress and report from it; "
+               "--progress\n"
+            << "            renders a live ticker on stderr (also for "
+               "`sweep`)\n";
   std::exit(2);
 }
 
@@ -218,6 +242,8 @@ SweepCliOptions parse_sweep_args(int argc, char** argv) {
       opt.format = Format::kCsv;
     } else if (key == "--json") {
       opt.format = Format::kJson;
+    } else if (key == "--progress") {
+      opt.run.on_progress = serve::ProgressTicker(std::cerr);
     } else if (key == "--help" || key == "-h") {
       usage("help requested");
     } else {
@@ -280,6 +306,276 @@ int sweep_main(int argc, char** argv) {
   }
 }
 
+// ------------------------------------------------------------------ serve
+
+serve::SweepServer* g_serve_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+int serve_main(int argc, char** argv) {
+  serve::ServerOptions opt;
+  auto int_value = [](const std::string& key, const std::string& value) {
+    try {
+      return sim::parse_spec_int(value, key);
+    } catch (const sim::SpecError& e) {
+      usage(e.what());
+    }
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--socket") {
+      if (value.empty()) usage("--socket needs a path");
+      opt.socket_path = value;
+    } else if (key == "--tcp-port") {
+      const std::int64_t port = int_value(key, value);
+      if (port < 0 || port > 65535) usage("--tcp-port must be in [0, 65535]");
+      opt.tcp_port = static_cast<int>(port);
+    } else if (key == "--cache-dir") {
+      if (value.empty()) usage("--cache-dir needs a directory");
+      opt.cache_dir = value;
+    } else if (key == "--cell-threads") {
+      const std::int64_t threads = int_value(key, value);
+      if (threads < 1 || threads > 4096)
+        usage("--cell-threads must be in [1, 4096]");
+      opt.scheduler.cell_threads = static_cast<int>(threads);
+    } else if (key == "--threads") {
+      const std::int64_t threads = int_value(key, value);
+      if (threads < 1 || threads > 4096)
+        usage("--threads must be in [1, 4096]");
+      opt.scheduler.trial_threads = static_cast<int>(threads);
+    } else if (key == "--claim-ttl") {
+      const std::int64_t ttl = int_value(key, value);
+      if (ttl < 0) usage("--claim-ttl must be non-negative seconds");
+      opt.scheduler.claim_ttl_seconds = static_cast<double>(ttl);
+    } else if (key == "--help" || key == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown serve flag '" + key + "'");
+    }
+  }
+  if (opt.cache_dir.empty()) usage("serve needs --cache-dir");
+  if (opt.socket_path.empty() && opt.tcp_port < 0)
+    usage("serve needs --socket and/or --tcp-port");
+  try {
+    serve::SweepServer server(sim::extended_registry(), opt);
+    g_serve_server = &server;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::cerr << "serve: listening";
+    if (!opt.socket_path.empty()) std::cerr << " on " << opt.socket_path;
+    if (server.tcp_port() >= 0)
+      std::cerr << " (tcp 127.0.0.1:" << server.tcp_port() << ")";
+    std::cerr << ", cache " << opt.cache_dir << "\n" << std::flush;
+    server.run();
+    g_serve_server = nullptr;
+    std::cerr << "serve: stopped\n";
+    return 0;
+  } catch (const sim::SpecError& e) {
+    usage(e.what());
+  }
+}
+
+// -------------------------------------------------- serve-client commands
+
+struct ClientCliOptions {
+  std::string socket_path;
+  int tcp_port = -1;
+  std::string plan;
+  std::string out_file;
+  Format format = Format::kTable;
+  bool progress = false;
+};
+
+ClientCliOptions parse_client_args(int argc, char** argv, bool wants_plan) {
+  ClientCliOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--socket") {
+      if (value.empty()) usage("--socket needs a path");
+      opt.socket_path = value;
+    } else if (key == "--tcp-port") {
+      try {
+        const std::int64_t port = sim::parse_spec_int(value, key);
+        if (port < 1 || port > 65535)
+          usage("--tcp-port must be in [1, 65535]");
+        opt.tcp_port = static_cast<int>(port);
+      } catch (const sim::SpecError& e) {
+        usage(e.what());
+      }
+    } else if (wants_plan && key == "--plan") {
+      opt.plan = value;
+    } else if (wants_plan && key == "--out") {
+      if (value.empty()) usage("--out needs a file name");
+      opt.out_file = value;
+    } else if (wants_plan && key == "--csv") {
+      opt.format = Format::kCsv;
+    } else if (wants_plan && key == "--json") {
+      opt.format = Format::kJson;
+    } else if (wants_plan && key == "--progress") {
+      opt.progress = true;
+    } else if (key == "--help" || key == "-h") {
+      usage("help requested");
+    } else {
+      usage("unknown flag '" + key + "' for this subcommand");
+    }
+  }
+  if (opt.socket_path.empty() && opt.tcp_port < 0)
+    usage("need --socket=PATH or --tcp-port=N to reach the daemon");
+  if (wants_plan && opt.plan.empty()) usage("submit needs --plan");
+  return opt;
+}
+
+serve::LineClient connect_client(const ClientCliOptions& opt) {
+  return opt.socket_path.empty()
+             ? serve::LineClient::connect_tcp(opt.tcp_port)
+             : serve::LineClient::connect_unix(opt.socket_path);
+}
+
+/// A reply the daemon must send; EOF or an `error` reply aborts with a
+/// usage-style diagnostic.
+serve::Message expect_reply(serve::LineClient& client) {
+  auto reply = client.recv();
+  if (!reply) usage("daemon closed the connection unexpectedly");
+  if (reply->type() == "error") usage("daemon: " + reply->str("error"));
+  return std::move(*reply);
+}
+
+int submit_main(int argc, char** argv) {
+  const ClientCliOptions opt = parse_client_args(argc, argv, true);
+  try {
+    serve::LineClient client = connect_client(opt);
+    client.send(serve::Message("submit").set("plan", opt.plan));
+    const serve::Message accepted = expect_reply(client);
+    if (accepted.type() != "accepted")
+      usage("daemon sent unexpected '" + accepted.type() + "'");
+    const int plan_id = static_cast<int>(accepted.integer("plan"));
+
+    serve::ProgressTicker ticker(std::cerr);
+    sim::SweepProgressEvent event;
+    event.total = static_cast<int>(accepted.integer("cells"));
+    if (opt.progress) {
+      event.kind = sim::SweepProgressEvent::Kind::kAccepted;
+      ticker(event);
+    }
+
+    std::string report_text;
+    int computed = 0, cached = 0;
+    while (report_text.empty()) {
+      const serve::Message reply = expect_reply(client);
+      if (reply.type() == "cell_done") {
+        if (static_cast<int>(reply.integer("plan")) != plan_id) continue;
+        if (opt.progress) {
+          event.kind = sim::SweepProgressEvent::Kind::kCellDone;
+          event.done = static_cast<int>(reply.integer("done"));
+          event.cell_index = static_cast<int>(reply.integer("cell"));
+          event.cached = reply.str("resolution") == "cached";
+          event.cell_hash = reply.str("hash");
+          event.computed = static_cast<int>(reply.integer("computed"));
+          event.cached_cells = static_cast<int>(reply.integer("cached"));
+          ticker(event);
+        }
+      } else if (reply.type() == "plan_done") {
+        if (static_cast<int>(reply.integer("plan")) != plan_id) continue;
+        report_text = reply.str("report");
+        computed = static_cast<int>(reply.integer("computed"));
+        cached = static_cast<int>(reply.integer("cached"));
+        if (opt.progress) {
+          event.kind = sim::SweepProgressEvent::Kind::kPlanDone;
+          event.done = event.total;
+          event.computed = computed;
+          event.cached_cells = cached;
+          ticker(event);
+        }
+      } else if (reply.type() == "plan_failed") {
+        usage("daemon: plan failed: " + reply.str("error"));
+      } else {
+        usage("daemon sent unexpected '" + reply.type() + "'");
+      }
+    }
+
+    std::istringstream in(report_text);
+    const sim::SweepReport report = sim::read_shard_file(in);
+    std::cerr << "# serve: plan=" << plan_id << " cells="
+              << report.total_cells << " cached=" << cached
+              << " computed=" << computed << "\n";
+    if (!opt.out_file.empty()) {
+      std::ofstream out(opt.out_file, std::ios::binary | std::ios::trunc);
+      if (!out) usage("cannot write '" + opt.out_file + "'");
+      sim::write_shard_file(out, report);
+    }
+    switch (opt.format) {
+      case Format::kTable:
+        sim::write_sweep_table(std::cout, report);
+        break;
+      case Format::kCsv:
+        sim::write_sweep_csv(std::cout, report);
+        break;
+      case Format::kJson:
+        sim::write_sweep_json(std::cout, report);
+        break;
+    }
+    return report.all_completed() ? 0 : 1;
+  } catch (const serve::WireError& e) {
+    usage(std::string("wire error: ") + e.what());
+  } catch (const sim::SpecError& e) {
+    usage(e.what());
+  }
+}
+
+int status_main(int argc, char** argv) {
+  const ClientCliOptions opt = parse_client_args(argc, argv, false);
+  try {
+    serve::LineClient client = connect_client(opt);
+    client.send(serve::Message("status"));
+    const serve::Message reply = expect_reply(client);
+    if (reply.type() != "status")
+      usage("daemon sent unexpected '" + reply.type() + "'");
+    for (const auto* key :
+         {"protocol", "cache_dir", "plans_active", "plans_done",
+          "plans_failed", "cells_pending", "cells_running", "cells_computed",
+          "cells_cached"}) {
+      if (!reply.has(key)) continue;
+      std::cout << key << "  ";
+      if (key == std::string("protocol") || key == std::string("cache_dir"))
+        std::cout << reply.str(key);
+      else
+        std::cout << reply.integer(key);
+      std::cout << "\n";
+    }
+    return 0;
+  } catch (const serve::WireError& e) {
+    usage(std::string("wire error: ") + e.what());
+  } catch (const sim::SpecError& e) {
+    usage(e.what());
+  }
+}
+
+int shutdown_main(int argc, char** argv) {
+  const ClientCliOptions opt = parse_client_args(argc, argv, false);
+  try {
+    serve::LineClient client = connect_client(opt);
+    client.send(serve::Message("shutdown"));
+    const serve::Message reply = expect_reply(client);
+    if (reply.type() != "bye")
+      usage("daemon sent unexpected '" + reply.type() + "'");
+    return 0;
+  } catch (const serve::WireError& e) {
+    usage(std::string("wire error: ") + e.what());
+  } catch (const sim::SpecError& e) {
+    usage(e.what());
+  }
+}
+
 // The `protocols` subcommand (and --list): every registered protocol with
 // its capability set, whether a theory bound is registered, and the
 // one-line description.
@@ -308,6 +604,14 @@ int protocols_main() {
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "sweep")
     return sweep_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "serve")
+    return serve_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "submit")
+    return submit_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "status")
+    return status_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "shutdown")
+    return shutdown_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "protocols") return protocols_main();
   const Options opt = parse_args(argc, argv);
   const auto& registry = sim::extended_registry();
