@@ -36,7 +36,6 @@ int main(int argc, char** argv) {
         "topology=star:{64..4096*2}; fault=receiver:0.5; k=256; "
         "protocols=star-adaptive,star-coding; trials=5; seed=" +
         std::to_string(seed));
-    std::vector<double> ns, routing_rpms, coding_rpms;
     for (const std::int64_t n : {64, 128, 256, 512, 1024, 2048, 4096}) {
       const std::string topology = "star:" + std::to_string(n);
       const auto& routing = bench::sweep_cell(report, topology,
@@ -50,22 +49,25 @@ int main(int argc, char** argv) {
       const double routing_rpm = bench::median_rpm_of(routing);
       const double coding_rpm = bench::median_rpm_of(coding);
       const double gap = routing_rpm / coding_rpm;
-      ns.push_back(static_cast<double>(n));
-      routing_rpms.push_back(routing_rpm);
-      coding_rpms.push_back(coding_rpm);
       t.add_row({fmt(n), fmt(std::log2(static_cast<double>(n)), 1),
                  fmt(routing_rpm, 2), fmt(coding_rpm, 2),
                  fmt(routing.gap(), 2), fmt(coding.gap(), 2), fmt(gap, 2),
                  fmt(gap / std::log2(static_cast<double>(n)), 3)});
     }
-    const auto routing_fit = fit_log_linear(ns, routing_rpms);
-    const auto coding_fit = fit_log_linear(ns, coding_rpms);
-    t.add_note("routing rpm ~ " + fmt(routing_fit.intercept, 2) + " + " +
-               fmt(routing_fit.slope, 2) + " * log2(n)  (r2 " +
-               fmt(routing_fit.r2, 3) + "; Lemma 15 predicts slope ~1)");
-    t.add_note("coding rpm ~ " + fmt(coding_fit.intercept, 2) + " + " +
-               fmt(coding_fit.slope, 2) + " * log2(n)  (Lemma 16 predicts "
-               "slope ~0)");
+    // The log-linear regression now lives in the report layer
+    // (sim::sweep_fits), so this table, the sweep CSV/JSON emitters, and
+    // any fleet or serve run of the same plan print identical
+    // coefficients.  The axis is log2(node count) = log2(leaves + 1).
+    for (const auto& fit : sim::sweep_fits(report)) {
+      if (fit.metric != "median_rpm") continue;
+      const std::string lemma =
+          fit.protocol == "star-adaptive"
+              ? "; Lemma 15 predicts slope ~1"
+              : "; Lemma 16 predicts slope ~0";
+      t.add_note(fit.protocol + " rpm ~ " + fmt(fit.fit.intercept, 2) +
+                 " + " + fmt(fit.fit.slope, 2) + " * log2(nodes)  (r2 " +
+                 fmt(fit.fit.r2, 3) + lemma + ")");
+    }
     t.print(std::cout);
   }
 

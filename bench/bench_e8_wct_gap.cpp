@@ -86,6 +86,15 @@ int main(int argc, char** argv) {
                  fmt(coding.gap(), 2), fmt(gap, 2),
                  fmt(gap / std::log2(n), 3)});
     }
+    // Report-layer regressions (sim::sweep_fits) over the three WCT sizes:
+    // coding should fit log2(nodes) cleanly (Lemma 23); the routing
+    // schedules grow like log^2 n, so their log-linear r2 is diagnostic.
+    for (const auto& fit : sim::sweep_fits(report)) {
+      if (fit.metric != "median_rpm") continue;
+      t.add_note("fit " + fit.protocol + " rpm ~ " +
+                 fmt(fit.fit.intercept, 2) + " + " + fmt(fit.fit.slope, 2) +
+                 " * log2(nodes)  (r2 " + fmt(fit.fit.r2, 3) + ")");
+    }
     t.print(std::cout);
   }
   return 0;

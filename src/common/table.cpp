@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <ostream>
 
 #include "common/contracts.hpp"
+#include "common/numio.hpp"
 
 namespace nrn {
 
@@ -65,9 +65,7 @@ void TableWriter::print_csv(std::ostream& os) const {
 
 std::string fmt(double value, int digits) {
   if (std::isnan(value)) return "nan";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
-  return buf;
+  return format_real_fixed(value, digits);
 }
 
 std::string fmt(std::int64_t value) { return std::to_string(value); }

@@ -1,24 +1,19 @@
 #include "serve/ticker.hpp"
 
-#include <cstdio>
 #include <ostream>
 #include <string>
+
+#include "common/numio.hpp"
 
 namespace nrn::serve {
 
 namespace {
 
 std::string format_eta(double seconds) {
-  char buf[32];
   if (seconds < 0) return "?";
-  if (seconds < 90) {
-    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
-  } else if (seconds < 90 * 60) {
-    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
-  } else {
-    std::snprintf(buf, sizeof buf, "%.1fh", seconds / 3600.0);
-  }
-  return buf;
+  if (seconds < 90) return format_real_fixed(seconds, 0) + "s";
+  if (seconds < 90 * 60) return format_real_fixed(seconds / 60.0, 1) + "m";
+  return format_real_fixed(seconds / 3600.0, 1) + "h";
 }
 
 }  // namespace
@@ -52,8 +47,7 @@ void ProgressTicker::operator()(const sim::SweepProgressEvent& event) {
     case Kind::kPlanDone: {
       if (line_open_) *os_ << "\n";
       line_open_ = false;
-      char secs[32];
-      std::snprintf(secs, sizeof secs, "%.1fs", elapsed);
+      const std::string secs = format_real_fixed(elapsed, 1) + "s";
       *os_ << "sweep: " << event.done << "/" << event.total
            << " cells done in " << secs << " (" << event.cached_cells
            << " cached, " << event.computed << " computed)\n";

@@ -1,6 +1,7 @@
 #include "sim/driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/stats.hpp"
@@ -48,6 +49,13 @@ std::vector<std::string> ExperimentReport::metric_keys() const {
   return {keys.begin(), keys.end()};
 }
 
+std::vector<std::string> ExperimentReport::series_keys() const {
+  std::set<std::string> keys;
+  for (const auto& trial : trials)
+    for (const auto& [key, unused] : trial.run.series) keys.insert(key);
+  return {keys.begin(), keys.end()};
+}
+
 std::vector<double> ExperimentReport::metric_values(
     const std::string& key) const {
   std::vector<double> out;
@@ -73,6 +81,41 @@ MetricSummary ExperimentReport::metric_summary(const std::string& key) const {
   if (s.count > 0) s.mean /= s.count;
   return s;
 }
+
+namespace {
+
+/// A trace progress value is conventionally a count (informed nodes); keep
+/// integral values exact so the series round-trips as integers.
+MetricValue progress_value(double p) {
+  constexpr double kExactIntLimit = 9.0e15;  // below 2^53: cast is exact
+  if (p == std::floor(p) && std::abs(p) < kExactIntLimit)
+    return MetricValue(static_cast<std::int64_t>(p));
+  return MetricValue(p);
+}
+
+/// Folds one trial's TraceRecorder into the outcome's series map.
+void fold_trace(Outcome& run, const radio::TraceRecorder& trace) {
+  const std::size_t rounds = trace.round_count();
+  if (rounds == 0) return;
+  std::vector<MetricValue> informed, deliveries, collisions, broadcasters;
+  informed.reserve(rounds);
+  deliveries.reserve(rounds);
+  collisions.reserve(rounds);
+  broadcasters.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const radio::RoundStats& s = trace.rounds()[i];
+    informed.push_back(progress_value(trace.progress()[i]));
+    deliveries.emplace_back(s.deliveries);
+    collisions.emplace_back(s.collision_losses);
+    broadcasters.emplace_back(s.broadcasters);
+  }
+  run.set_series("informed", std::move(informed));
+  run.set_series("deliveries", std::move(deliveries));
+  run.set_series("collisions", std::move(collisions));
+  run.set_series("broadcasters", std::move(broadcasters));
+}
+
+}  // namespace
 
 ExperimentReport Driver::run(const Scenario& scenario,
                              const std::string& protocol_name, int trials,
@@ -116,13 +159,21 @@ ExperimentReport Driver::run(const Scenario& scenario,
   auto& pool = common::TaskPool::shared();
   std::vector<TrialWorkspace> workspaces(
       static_cast<std::size_t>(pool.slot_count()));
+  const bool traced =
+      options.trace && (report.capabilities & kTraced) != 0u;
   auto run_trial = [&](std::size_t t, int slot) {
     auto& trial = report.trials[t];
     radio::RadioNetwork& net = workspaces[static_cast<std::size_t>(slot)]
                                    .acquire(graph, scenario.fault,
                                             Rng(trial.net_seed));
     Rng algo_rng(trial.algo_seed);
-    trial.run = protocol->run(net, algo_rng);
+    if (traced) {
+      radio::TraceRecorder recorder;
+      trial.run = protocol->run(net, algo_rng, &recorder);
+      fold_trace(trial.run, recorder);
+    } else {
+      trial.run = protocol->run(net, algo_rng);
+    }
   };
 
   const int workers = std::min(options.threads, trials);

@@ -72,6 +72,10 @@ struct ExperimentReport {
 
   /// Sorted union of the metric keys across all trials.
   std::vector<std::string> metric_keys() const;
+  /// Sorted union of the series keys across all trials (empty unless the
+  /// experiment ran with tracing on a kTraced protocol).
+  std::vector<std::string> series_keys() const;
+  bool has_series() const { return !series_keys().empty(); }
   /// Values of one metric (as reals) over the trials that carry it.
   std::vector<double> metric_values(const std::string& key) const;
   MetricSummary metric_summary(const std::string& key) const;
@@ -86,6 +90,13 @@ struct DriverOptions {
   int threads = 1;
   /// Protocol knobs forwarded to the factory.
   Tuning tuning;
+  /// Record per-round series into each trial's Outcome.  Only protocols
+  /// with the kTraced capability are traced (a TraceRecorder is attached
+  /// to every trial and folded into the "informed" / "deliveries" /
+  /// "collisions" / "broadcasters" series); for other protocols -- and
+  /// whenever this is false -- no recorder is allocated and outcomes are
+  /// bit-identical to an untraced run.
+  bool trace = false;
 };
 
 /// Per-worker arena: one RadioNetwork reused across all the trials a pool

@@ -26,8 +26,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/contracts.hpp"
+#include "common/numio.hpp"
 #include "common/rng.hpp"
 #include "core/run_result.hpp"
 #include "radio/network.hpp"
@@ -85,35 +87,37 @@ class MetricValue {
   }
 
   /// "i<decimal>" for integers, "r<hexfloat>" for reals; both round-trip
-  /// exactly through parse().
+  /// exactly through parse().  Rendering is locale-independent
+  /// (common/numio), so records written under any process locale are
+  /// byte-identical.
   std::string serialize() const {
-    char buf[40];
-    if (is_int())
-      std::snprintf(buf, sizeof buf, "i%lld",
-                    static_cast<long long>(int_));
-    else
-      std::snprintf(buf, sizeof buf, "r%a", real_);
-    return buf;
+    if (is_int()) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "i%lld", static_cast<long long>(int_));
+      return buf;
+    }
+    return "r" + format_real_hex(real_);
   }
 
   /// Inverse of serialize(); nullopt on any malformed input (trailing
-  /// junk, overflow, wrong kind tag).
+  /// junk, overflow, wrong kind tag).  Real values that underflow to a
+  /// subnormal or zero are accepted -- they are the closest representable
+  /// doubles, and serialized subnormals must round-trip.
   static std::optional<MetricValue> parse(std::string_view text) {
     if (text.size() < 2) return std::nullopt;
     const std::string body(text.substr(1));
-    char* end = nullptr;
-    errno = 0;
     if (text[0] == 'i') {
+      char* end = nullptr;
+      errno = 0;
       const long long v = std::strtoll(body.c_str(), &end, 10);
       if (end != body.c_str() + body.size() || errno == ERANGE)
         return std::nullopt;
       return MetricValue(static_cast<std::int64_t>(v));
     }
     if (text[0] == 'r') {
-      const double v = std::strtod(body.c_str(), &end);
-      if (end != body.c_str() + body.size() || errno == ERANGE)
-        return std::nullopt;
-      return MetricValue(v);
+      const ParseRealResult r = parse_real(body);
+      if (!r.ok()) return std::nullopt;
+      return MetricValue(r.value);
     }
     return std::nullopt;
   }
@@ -131,6 +135,10 @@ class MetricValue {
 /// enumerates metrics in one deterministic order.
 using Metrics = std::map<std::string, MetricValue>;
 
+/// Per-round series: key -> one value per recorded round, in round order.
+/// Same key grammar and ordering guarantees as Metrics.
+using MetricSeries = std::map<std::string, std::vector<MetricValue>>;
+
 /// True iff `key` is a legal metric name: nonempty, [a-z0-9_] only.  Keys
 /// appear as serialization tokens and CSV column names, so the grammar is
 /// deliberately narrow.
@@ -145,9 +153,17 @@ bool valid_metric_key(std::string_view key);
 ///   informed        informed nodes at the end, when tracked (absent
 ///                   otherwise -- never a -1 sentinel)
 ///   verified_bytes  payload bytes checked against the source payload
+///
+/// Tracing (Protocol v4): when the Driver runs a kTraced protocol with
+/// tracing enabled, the outcome additionally carries per-round *series* --
+/// one value per round under conventional keys ("informed", "deliveries",
+/// "collisions", "broadcasters").  Series are empty for untraced runs, so
+/// tracing costs nothing when disabled and untraced outcomes serialize
+/// exactly as before.
 struct Outcome {
   bool completed = false;
   Metrics metrics;
+  MetricSeries series;
 
   std::int64_t rounds() const { return int_metric("rounds", 0); }
   std::int64_t messages() const { return int_metric("messages", 1); }
@@ -167,6 +183,19 @@ struct Outcome {
     NRN_EXPECTS(valid_metric_key(key),
                 "invalid metric key '" + key + "'");
     metrics[key] = value;
+    return *this;
+  }
+
+  const std::vector<MetricValue>* find_series(const std::string& key) const {
+    const auto it = series.find(key);
+    return it == series.end() ? nullptr : &it->second;
+  }
+
+  Outcome& set_series(const std::string& key,
+                      std::vector<MetricValue> values) {
+    NRN_EXPECTS(valid_metric_key(key),
+                "invalid series key '" + key + "'");
+    series[key] = std::move(values);
     return *this;
   }
 

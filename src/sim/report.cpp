@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <map>
+#include <optional>
 #include <ostream>
 #include <set>
+#include <tuple>
 
+#include "common/numio.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -27,10 +31,46 @@ std::vector<std::string> extra_metric_keys(const ExperimentReport& report) {
   return keys;
 }
 
+/// 1-based round at which the "informed" series first reaches
+/// `frac * nodes`, or nullopt when the trial has no informed series or
+/// never got there.
+std::optional<std::int64_t> convergence_round(const Outcome& run, double frac,
+                                              std::int64_t nodes) {
+  const std::vector<MetricValue>* informed = run.find_series("informed");
+  if (informed == nullptr || nodes <= 0) return std::nullopt;
+  const double target = frac * static_cast<double>(nodes);
+  for (std::size_t i = 0; i < informed->size(); ++i)
+    if ((*informed)[i].as_real() >= target)
+      return static_cast<std::int64_t>(i) + 1;
+  return std::nullopt;
+}
+
+std::string convergence_cell(const Outcome& run, double frac,
+                             std::int64_t nodes) {
+  const auto round = convergence_round(run, frac, nodes);
+  return round ? fmt(*round) : "-";
+}
+
+/// True when any trial carries an "informed" series (the convergence
+/// columns' source).
+bool has_informed_series(const ExperimentReport& report) {
+  for (const auto& trial : report.trials)
+    if (trial.run.find_series("informed") != nullptr) return true;
+  return false;
+}
+
 TableWriter build_table(const ExperimentReport& report) {
   const auto extras = extra_metric_keys(report);
+  // Convergence columns appear only for traced experiments: the round at
+  // which the informed count first reached 50% / 90% / 100% of n.
+  const bool convergence = has_informed_series(report);
   std::vector<std::string> columns = {"trial", "rounds", "completed",
                                       "rounds/message"};
+  if (convergence) {
+    columns.push_back("r50");
+    columns.push_back("r90");
+    columns.push_back("r100");
+  }
   columns.insert(columns.end(), extras.begin(), extras.end());
   TableWriter table(report.protocol + " on " + report.scenario.topology.text +
                         " under " + to_string(report.scenario.fault),
@@ -46,6 +86,11 @@ TableWriter build_table(const ExperimentReport& report) {
     std::vector<std::string> row = {fmt(trial.index), fmt(trial.run.rounds()),
                                     verdict(trial.run.completed),
                                     fmt(trial.run.rounds_per_message(), 2)};
+    if (convergence) {
+      row.push_back(convergence_cell(trial.run, 0.5, report.node_count));
+      row.push_back(convergence_cell(trial.run, 0.9, report.node_count));
+      row.push_back(convergence_cell(trial.run, 1.0, report.node_count));
+    }
     for (const auto& key : extras) {
       const MetricValue* v = trial.run.find(key);
       row.push_back(v == nullptr ? "-" : metric_cell(*v));
@@ -57,6 +102,9 @@ TableWriter build_table(const ExperimentReport& report) {
     table.add_note("median rounds: " + fmt(s.median, 0) + ", mean " +
                    fmt(s.mean, 1) + " +/- " + fmt(ci95_halfwidth(s), 1));
   }
+  if (convergence)
+    table.add_note("r50/r90/r100: first round with informed >= that "
+                   "fraction of n (per-round trace)");
   if (report.has_theory_bound())
     table.add_note("theory bound: " + fmt(report.theory_bound, 1) +
                    " rounds; gap (median/bound): " + fmt(report.gap(), 2));
@@ -92,12 +140,17 @@ std::string json_escape(const std::string& text) {
 
 /// JSON rendering of a double at max_digits10, so real-valued fields
 /// (theory bounds, gaps, real metrics) round-trip exactly through a
-/// conforming parser instead of truncating at stream precision.
+/// conforming parser instead of truncating at stream precision.  Routed
+/// through common/numio so the decimal point is '.' under every process
+/// locale (JSON requires it, and goldens must not depend on LC_NUMERIC).
 std::string json_real(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.*g",
-                std::numeric_limits<double>::max_digits10, value);
-  return buf;
+  return format_real(value, std::numeric_limits<double>::max_digits10);
+}
+
+/// One series value in CSV/JSON: integers exact, reals at max_digits10.
+std::string series_value(const MetricValue& value) {
+  return value.is_int() ? std::to_string(value.as_int())
+                        : json_real(value.as_real());
 }
 
 /// The body of one experiment's JSON object (no surrounding braces); each
@@ -141,7 +194,23 @@ void write_experiment_fields(std::ostream& os, const ExperimentReport& report,
       if (value.is_int()) os << value.as_int();
       else os << json_real(value.as_real());
     }
-    os << "}, \"net_seed\": \"" << trial.net_seed
+    os << "}";
+    // Per-round series ride only on traced trials, so untraced reports
+    // emit the exact pre-v4 shape.
+    if (!trial.run.series.empty()) {
+      os << ", \"series\": {";
+      bool first_series = true;
+      for (const auto& [key, values] : trial.run.series) {
+        if (!first_series) os << ", ";
+        first_series = false;
+        os << "\"" << key << "\": [";
+        for (std::size_t v = 0; v < values.size(); ++v)
+          os << (v > 0 ? ", " : "") << series_value(values[v]);
+        os << "]";
+      }
+      os << "}";
+    }
+    os << ", \"net_seed\": \"" << trial.net_seed
        << "\", \"algo_seed\": \"" << trial.algo_seed << "\"}"
        << (i + 1 < report.trials.size() ? "," : "") << "\n";
   }
@@ -191,7 +260,92 @@ std::string metric_mean_cell(const ExperimentReport& exp,
   return s.count == 0 ? "-" : fmt(s.mean, 3);
 }
 
+bool sweep_has_informed_series(const SweepReport& report) {
+  for (const auto& cell : report.cells)
+    if (has_informed_series(cell.experiment)) return true;
+  return false;
+}
+
+/// Median across trials of the 90%-informed round; "-" when no trial's
+/// trace got there.
+std::string median_r90_cell(const ExperimentReport& exp) {
+  std::vector<double> rounds;
+  for (const auto& trial : exp.trials)
+    if (const auto r = convergence_round(trial.run, 0.9, exp.node_count))
+      rounds.push_back(static_cast<double>(*r));
+  return rounds.empty() ? "-" : fmt(quantile(rounds, 0.5), 1);
+}
+
+/// Long-format series rows appended to the CSV emitters, one row per
+/// (trial, round, series key).  `prefix` carries the sweep emitter's
+/// leading cell index (empty for a single experiment).
+void write_series_csv(std::ostream& os, const ExperimentReport& report,
+                      const std::string& prefix) {
+  for (const auto& trial : report.trials) {
+    for (const auto& [key, values] : trial.run.series) {
+      for (std::size_t round = 0; round < values.size(); ++round) {
+        os << prefix << trial.index << "," << round + 1 << "," << key << ","
+           << series_value(values[round]) << "\n";
+      }
+    }
+  }
+}
+
+bool report_has_series(const ExperimentReport& report) {
+  for (const auto& trial : report.trials)
+    if (!trial.run.series.empty()) return true;
+  return false;
+}
+
+std::string fit_shape(const SweepFit& f) {
+  return f.metric + " ~ " + fmt(f.fit.intercept, 3) + " + " +
+         fmt(f.fit.slope, 3) + " * log2(nodes)";
+}
+
 }  // namespace
+
+std::vector<SweepFit> sweep_fits(const SweepReport& report) {
+  // Group cells by everything but the size axis; regress each group's
+  // summary metrics against log2(node count).
+  using GroupKey = std::tuple<std::string, std::string, std::int64_t>;
+  std::map<GroupKey, std::vector<const ExperimentReport*>> groups;
+  for (const auto& cell : report.cells) {
+    const auto& exp = cell.experiment;
+    groups[GroupKey{exp.protocol, exp.scenario.fault_text, exp.scenario.k}]
+        .push_back(&exp);
+  }
+  std::vector<SweepFit> fits;
+  for (const auto& [key, cells] : groups) {
+    std::vector<double> xs;
+    std::set<std::int64_t> distinct;
+    bool valid = true;
+    for (const ExperimentReport* exp : cells) {
+      if (exp->node_count <= 0 || exp->trials.empty()) valid = false;
+      xs.push_back(static_cast<double>(exp->node_count));
+      distinct.insert(exp->node_count);
+    }
+    // A fit needs a real size axis: three distinct node counts, so a
+    // two-point "fit" (always r2 = 1) never poisons a report.
+    if (!valid || distinct.size() < 3) continue;
+    for (const char* metric : {"median_rounds", "median_rpm"}) {
+      std::vector<double> ys;
+      ys.reserve(cells.size());
+      for (const ExperimentReport* exp : cells)
+        ys.push_back(metric == std::string("median_rounds")
+                         ? exp->median_rounds()
+                         : median_rpm(*exp));
+      SweepFit fit;
+      fit.protocol = std::get<0>(key);
+      fit.fault = std::get<1>(key);
+      fit.k = std::get<2>(key);
+      fit.metric = metric;
+      fit.cells = static_cast<int>(cells.size());
+      fit.fit = fit_log_linear(xs, ys);
+      fits.push_back(std::move(fit));
+    }
+  }
+  return fits;
+}
 
 void write_table(std::ostream& os, const ExperimentReport& report) {
   build_table(report).print(os);
@@ -199,6 +353,10 @@ void write_table(std::ostream& os, const ExperimentReport& report) {
 
 void write_csv(std::ostream& os, const ExperimentReport& report) {
   build_table(report).print_csv(os);
+  if (report_has_series(report)) {
+    os << "# series long format: trial,round,metric,value\n";
+    write_series_csv(os, report, "");
+  }
 }
 
 void write_json(std::ostream& os, const ExperimentReport& report) {
@@ -209,10 +367,12 @@ void write_json(std::ostream& os, const ExperimentReport& report) {
 
 void write_sweep_table(std::ostream& os, const SweepReport& report) {
   const auto metric_keys = sweep_metric_keys(report);
+  const bool convergence = sweep_has_informed_series(report);
   std::vector<std::string> columns = {
       "cell",     "topology",      "fault",       "k",
       "protocol", "trials",        "nodes",       "completed",
       "median rounds", "mean rounds", "median rpm", "theory bound", "gap"};
+  if (convergence) columns.push_back("median r90");
   for (const auto& key : metric_keys) columns.push_back("mean " + key);
   columns.push_back("cache");
   TableWriter table("sweep: " + report.plan_text, columns);
@@ -228,6 +388,14 @@ void write_sweep_table(std::ostream& os, const SweepReport& report) {
                    ", cache-skipped " + std::to_string(report.fleet.skipped));
   table.add_note("gap = median rounds / registered theory bound "
                  "(Theta-constants dropped)");
+  if (convergence)
+    table.add_note("median r90: median across trials of the first round "
+                   "with informed >= 0.9 n");
+  for (const auto& fit : sweep_fits(report))
+    table.add_note("fit " + fit.protocol + " | " + fit.fault + " | k=" +
+                   std::to_string(fit.k) + ": " + fit_shape(fit) + "  (r2 " +
+                   fmt(fit.fit.r2, 3) + ", " + std::to_string(fit.cells) +
+                   " cells)");
   for (const auto& cell : report.cells) {
     const auto& exp = cell.experiment;
     std::vector<std::string> row = {
@@ -237,6 +405,7 @@ void write_sweep_table(std::ostream& os, const SweepReport& report) {
         fmt(exp.node_count), completed_cell(exp),
         fmt(exp.median_rounds(), 1), fmt(exp.mean_rounds(), 2),
         fmt(median_rpm(exp), 2), theory_bound_cell(exp), gap_cell(exp)};
+    if (convergence) row.push_back(median_r90_cell(exp));
     for (const auto& key : metric_keys)
       row.push_back(metric_mean_cell(exp, key));
     row.push_back(cell.from_cache ? "hit" : "-");
@@ -256,13 +425,28 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
     os << "# fleet: claimed=" << report.fleet.claimed
        << ", stolen=" << report.fleet.stolen
        << ", skipped=" << report.fleet.skipped << "\n";
+  const bool convergence = sweep_has_informed_series(report);
+  // Fits ride in comments like the fleet counters: the data rows of the
+  // same cells stay byte-identical whether or not the plan had a fittable
+  // size axis.  Coefficients print at max_digits10 so downstream tooling
+  // recovers the regression exactly.
+  for (const auto& fit : sweep_fits(report))
+    os << "# fit: protocol=" << fit.protocol << ",fault=" << fit.fault
+       << ",k=" << fit.k << ",metric=" << fit.metric
+       << ",axis=nodes,model=log2,cells=" << fit.cells
+       << ",slope=" << json_real(fit.fit.slope)
+       << ",intercept=" << json_real(fit.fit.intercept)
+       << ",r2=" << json_real(fit.fit.r2) << "\n";
   os << "cell,topology,fault,source,k,protocol,trials,seed,nodes,edges,"
         "depth,completed_trials,median_rounds,mean_rounds,median_rpm,"
         "theory_bound,gap";
+  if (convergence) os << ",median_r90";
   for (const auto& key : metric_keys) os << ",mean_" << key;
   os << "\n";
+  bool any_series = false;
   for (const auto& cell : report.cells) {
     const auto& exp = cell.experiment;
+    any_series = any_series || report_has_series(exp);
     os << cell.cell_index << "," << exp.scenario.topology.text << ","
        << exp.scenario.fault_text << "," << exp.scenario.source << ","
        << exp.scenario.k << "," << exp.protocol << "," << exp.trials.size()
@@ -272,11 +456,19 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
        << fmt(exp.mean_rounds(), 2) << "," << fmt(median_rpm(exp), 2) << ","
        << (exp.has_theory_bound() ? fmt(exp.theory_bound, 1) : "") << ","
        << (exp.has_theory_bound() ? fmt(exp.gap(), 2) : "");
+    if (convergence)
+      os << "," << (median_r90_cell(exp) == "-" ? "" : median_r90_cell(exp));
     for (const auto& key : metric_keys) {
       const auto s = exp.metric_summary(key);
       os << "," << (s.count == 0 ? "" : fmt(s.mean, 3));
     }
     os << "\n";
+  }
+  if (any_series) {
+    os << "# series long format: cell,trial,round,metric,value\n";
+    for (const auto& cell : report.cells)
+      write_series_csv(os, cell.experiment,
+                       std::to_string(cell.cell_index) + ",");
   }
 }
 
@@ -291,8 +483,24 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
        << ", \"stolen\": " << report.fleet.stolen
        << ", \"skipped\": " << report.fleet.skipped << "},\n";
   os << "  \"all_completed\": "
-     << (report.all_completed() ? "true" : "false") << ",\n"
-     << "  \"cells\": [\n";
+     << (report.all_completed() ? "true" : "false") << ",\n";
+  const auto fits = sweep_fits(report);
+  if (!fits.empty()) {
+    os << "  \"fits\": [\n";
+    for (std::size_t i = 0; i < fits.size(); ++i) {
+      const auto& f = fits[i];
+      os << "    {\"protocol\": \"" << json_escape(f.protocol)
+         << "\", \"fault\": \"" << json_escape(f.fault)
+         << "\", \"k\": " << f.k << ", \"metric\": \"" << f.metric
+         << "\", \"axis\": \"nodes\", \"model\": \"log2\", \"cells\": "
+         << f.cells << ", \"slope\": " << json_real(f.fit.slope)
+         << ", \"intercept\": " << json_real(f.fit.intercept)
+         << ", \"r2\": " << json_real(f.fit.r2) << "}"
+         << (i + 1 < fits.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+  }
+  os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const auto& cell = report.cells[i];
     os << "    {\n"

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/numio.hpp"
+
 #include "graph/generators.hpp"
 #include "topology/wct.hpp"
 
@@ -51,16 +53,17 @@ std::uint64_t parse_spec_uint(const std::string& text,
 }
 
 double parse_spec_real(const std::string& text, const std::string& what) {
-  if (text.empty()) bad_spec(what + ": empty number");
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size())
-    bad_spec(what + ": '" + text + "' is not a number");
-  if (errno == ERANGE) bad_spec(what + ": '" + text + "' is out of range");
-  if (!std::isfinite(value))
+  // Locale-independent strict parse (common/numio): the same spec string
+  // parses to the same double under every process locale, and the error
+  // names exactly what was wrong (empty / malformed / trailing garbage /
+  // overflow).  Underflow to a subnormal is accepted; non-finite values
+  // (inf/nan spellings) are rejected -- no scenario parameter admits them.
+  const ParseRealResult r = parse_real(text);
+  if (!r.ok())
+    bad_spec(what + ": '" + text + "' " + parse_real_error(r.status));
+  if (!std::isfinite(r.value))
     bad_spec(what + ": '" + text + "' is not a finite number");
-  return value;
+  return r.value;
 }
 
 namespace {

@@ -168,7 +168,8 @@ std::string SweepCell::key() const {
          scenario.fault_text + "|source=" + std::to_string(scenario.source) +
          "|k=" + std::to_string(scenario.k) +
          "|seed=" + std::to_string(scenario.seed) + "|protocol=" + protocol +
-         "|trials=" + std::to_string(trials);
+         "|trials=" + std::to_string(trials) +
+         (trace ? "|trace=1" : "");
 }
 
 SweepPlan SweepPlan::parse(const std::string& spec) {
@@ -224,6 +225,12 @@ SweepPlan SweepPlan::parse(const std::string& spec) {
     } else if (key == "seed") {
       once("seed");
       plan.master_seed = parse_spec_uint(value, "sweep seed");
+    } else if (key == "trace") {
+      once("trace");
+      const std::int64_t trace = parse_spec_int(value, "sweep trace");
+      if (trace != 0 && trace != 1)
+        bad_spec("sweep trace '" + value + "' must be 0 or 1");
+      plan.trace = trace == 1;
     } else {
       bad_spec("unknown sweep clause '" + key + "'");
     }
@@ -277,6 +284,7 @@ SweepPlan SweepPlan::parse(const std::string& spec) {
           cell.scenario = scenario;
           cell.protocol = protocol;
           cell.trials = plan.trials;
+          cell.trace = plan.trace;
           plan.cells.push_back(std::move(cell));
         }
       }

@@ -16,6 +16,8 @@
 //   source=N                   default 0
 //   trials=N                   default 1
 //   seed=N                     default 1 (the master seed)
+//   trace=0|1                  default 0; 1 records per-round series
+//                              metrics for kTraced protocols
 //
 // List values split on commas at brace depth 0.  Inside any list item,
 // one or more brace groups expand into a cross product (leftmost group
@@ -70,11 +72,17 @@ struct SweepCell {
   Scenario scenario;
   std::string protocol;
   int trials = 1;
+  /// Record per-round series metrics (Driver tracing) for this cell.
+  /// Part of the cell identity: a traced report carries series an
+  /// untraced one lacks, so the two must never share a cache entry.
+  bool trace = false;
 
   /// Canonical identity string, e.g.
   /// "topology=path:64|fault=none|source=0|k=1|seed=123|protocol=decay|trials=3".
-  /// Two cells with equal keys reproduce bit-identical ExperimentReports
-  /// (modulo tuning, which the runner appends for cache keys).
+  /// "|trace=1" is appended only for traced cells, so untraced keys (and
+  /// their warm cache entries) are unchanged.  Two cells with equal keys
+  /// reproduce bit-identical ExperimentReports (modulo tuning, which the
+  /// runner appends for cache keys).
   std::string key() const;
 };
 
@@ -88,6 +96,7 @@ struct SweepPlan {
   std::vector<std::int64_t> ks;
   graph::NodeId source = 0;
   int trials = 1;
+  bool trace = false;
   std::vector<SweepCell> cells;  ///< enumeration order; cells[i].index == i
 
   /// Parses and expands `spec`; throws SpecError on any malformed clause,

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/numio.hpp"
 #include "common/task_pool.hpp"
 
 namespace nrn::sim {
@@ -42,6 +43,12 @@ struct LineCursor {
   }
 
   bool done() const { return pos >= lines.size(); }
+
+  /// True when the next line (if any) starts with `prefix`; consumes
+  /// nothing.  Used for the optional series lines after each trial.
+  bool peek_prefix(const std::string& prefix) const {
+    return pos < lines.size() && lines[pos].rfind(prefix, 0) == 0;
+  }
 
   const std::string& next(const std::string& context) {
     if (done()) bad_format(context + ": unexpected end of record");
@@ -74,7 +81,7 @@ std::vector<std::string> split_spaces(const std::string& s) {
 
 void append_experiment_record(std::ostream& os,
                               const ExperimentReport& report) {
-  os << "experiment v3\n"
+  os << "experiment v4\n"
      << "protocol " << report.protocol << "\n"
      << "topology " << report.scenario.topology.text << "\n"
      << "fault " << report.scenario.fault_text << "\n"
@@ -96,12 +103,20 @@ void append_experiment_record(std::ostream& os,
     for (const auto& [key, value] : trial.run.metrics)
       os << " " << key << "=" << value.serialize();
     os << "\n";
+    // v4: zero or more per-round series after the trial line they belong
+    // to.  Untraced trials emit nothing, so untraced v4 records differ
+    // from v3 only in the version literal.
+    for (const auto& [key, values] : trial.run.series) {
+      os << "series " << key << " " << values.size();
+      for (const auto& value : values) os << " " << value.serialize();
+      os << "\n";
+    }
   }
   os << "end\n";
 }
 
 ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
-  cursor.literal("experiment v3");
+  cursor.literal("experiment v4");
   ExperimentReport report;
   report.protocol = cursor.field("protocol ");
   const std::string topology = cursor.field("topology ");
@@ -149,6 +164,25 @@ ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
       if (!value) bad_format("malformed metric value");
       if (!trial.run.metrics.emplace(key, *value).second)
         bad_format("duplicate metric key");
+    }
+    while (cursor.peek_prefix("series ")) {
+      const auto series = split_spaces(cursor.field("series "));
+      if (series.size() < 2) bad_format("malformed series line");
+      const std::string& key = series[0];
+      if (!valid_metric_key(key)) bad_format("invalid series key");
+      const std::int64_t count = parse_spec_int(series[1], "series count");
+      if (count < 0 ||
+          count != static_cast<std::int64_t>(series.size()) - 2)
+        bad_format("series count mismatch");
+      std::vector<MetricValue> values;
+      values.reserve(static_cast<std::size_t>(count));
+      for (std::size_t i = 2; i < series.size(); ++i) {
+        const auto value = MetricValue::parse(series[i]);
+        if (!value) bad_format("malformed series value");
+        values.push_back(*value);
+      }
+      if (!trial.run.series.emplace(key, std::move(values)).second)
+        bad_format("duplicate series key");
     }
   }
   cursor.literal("end");
@@ -210,7 +244,7 @@ std::optional<ExperimentReport> ResultCache::load(
   raw << in.rdbuf();
   try {
     LineCursor cursor(verified_body(raw.str()));
-    cursor.literal("nrn-sweep-cache v3");
+    cursor.literal("nrn-sweep-cache v4");
     if (cursor.field("key ") != key) return std::nullopt;  // hash collision
     ExperimentReport report = parse_experiment_cursor(cursor);
     if (!cursor.done()) bad_format("trailing data in cache entry");
@@ -239,7 +273,7 @@ std::string unique_suffix() {
 void ResultCache::store(const std::string& key,
                         const ExperimentReport& report) const {
   std::ostringstream body;
-  body << "nrn-sweep-cache v3\n"
+  body << "nrn-sweep-cache v4\n"
        << "key " << key << "\n";
   append_experiment_record(body, report);
   const std::string path = entry_path(key);
@@ -316,15 +350,15 @@ void ResultCache::release_claim(const std::string& key) const {
 std::string sweep_cache_key(const SweepCell& cell, const Tuning& tuning) {
   // transform_eta is rendered as an exact hexfloat: any bitwise change to
   // the tuning must change the key, so default stream precision (which
-  // collapses nearby doubles) would poison the cache.
-  char eta[32];
-  std::snprintf(eta, sizeof eta, "%a", tuning.transform_eta);
+  // collapses nearby doubles) would poison the cache.  format_real_hex is
+  // locale-independent -- a daemon and a fleet peer under different
+  // locales must derive the same key for the same cell.
   std::ostringstream key;
   key << cell.key() << "|tuning=" << tuning.decay_phase << ","
       << tuning.rank_modulus << "," << tuning.block_size << ","
       << tuning.window_multiplier << "," << tuning.batch << ","
-      << tuning.max_rounds << "," << tuning.transform_x << "," << eta << ","
-      << tuning.payload_len;
+      << tuning.max_rounds << "," << tuning.transform_x << ","
+      << format_real_hex(tuning.transform_eta) << "," << tuning.payload_len;
   return key.str();
 }
 
@@ -344,7 +378,7 @@ bool SweepReport::all_completed() const {
 
 void write_shard_file(std::ostream& os, const SweepReport& report) {
   std::ostringstream body;
-  body << "nrn-sweep-shard v3\n"
+  body << "nrn-sweep-shard v4\n"
        << "plan " << report.plan_text << "\n"
        << "master-seed " << report.master_seed << "\n"
        << "total-cells " << report.total_cells << "\n"
@@ -360,7 +394,7 @@ SweepReport read_shard_file(std::istream& is) {
   std::ostringstream raw;
   raw << is.rdbuf();
   LineCursor cursor(verified_body(raw.str()));
-  cursor.literal("nrn-sweep-shard v3");
+  cursor.literal("nrn-sweep-shard v4");
   SweepReport report;
   report.plan_text = cursor.field("plan ");
   report.master_seed =
@@ -538,6 +572,7 @@ CellExecutor::Result CellExecutor::resolve(const SweepCell& cell) const {
   DriverOptions driver_options;
   driver_options.threads = options_.trial_threads;
   driver_options.tuning = options_.tuning;
+  driver_options.trace = cell.trace;
   const std::string cache_key = cache_ ? key(cell) : std::string();
 
   if (cache_) {

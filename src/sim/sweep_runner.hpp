@@ -37,11 +37,13 @@
 // fails verification and is silently recomputed -- the cache can make a
 // sweep faster, never wrong.
 //
-// Formats are versioned ("experiment v3" / "nrn-sweep-shard v3" /
-// "nrn-sweep-cache v3"); v3 corresponds to the engine's v3 coin-tape
-// contract (radio/network.hpp), so records and cache entries produced
-// under the v2 tape fail the version literal and are recomputed rather
-// than silently mixed with v3 results.
+// Formats are versioned ("experiment v4" / "nrn-sweep-shard v4" /
+// "nrn-sweep-cache v4"; see docs/formats.md for the grammar).  v4 adds
+// optional per-round `series` lines after each trial line (the tracing
+// layer) and guarantees locale-independent real rendering (common/numio);
+// v3 corresponds to the engine's v3 coin-tape contract (radio/network.hpp).
+// Records and cache entries from older versions fail the version literal
+// and are recomputed rather than silently mixed with v4 results.
 #pragma once
 
 #include <condition_variable>

@@ -162,6 +162,27 @@ TEST(ServeServer, ReportBitIdenticalToSerialAndWarmRepeatComputesNothing) {
             static_cast<std::int64_t>(serial.cells.size()));
 }
 
+TEST(ServeServer, TracedPlanReportBitIdenticalToSerial) {
+  // A trace=1 plan's report rides the wire as opaque shard text, so the
+  // per-round series must arrive bit-identical to the serial traced run.
+  const char traced_plan[] =
+      "topology=path:10; fault=receiver:0.25; protocols=decay; trials=2; "
+      "seed=11; trace=1";
+  const auto serial = serial_report(traced_plan);
+  ServerFixture fixture("srv_traced");
+  LineClient client = fixture.connect();
+
+  const PlanOutcome cold = submit_and_wait(client, traced_plan);
+  EXPECT_EQ(cold.report_text, shard_bytes(serial));
+  EXPECT_EQ(cold.report, serial);
+  EXPECT_NE(cold.report_text.find("series informed "), std::string::npos);
+
+  // Warm resubmission replays the traced cell from the cache, series intact.
+  const PlanOutcome warm = submit_and_wait(client, traced_plan);
+  EXPECT_EQ(warm.report_text, shard_bytes(serial));
+  EXPECT_EQ(warm.computed, 0);
+}
+
 TEST(ServeServer, ConcurrentOverlappingClientsShareCellComputes) {
   // A and B overlap on path:12 cells; the union is 6 distinct cells while
   // the plans total 8.  Whoever triggers a shared cell's compute counts

@@ -12,6 +12,7 @@
 // The parser is deliberately minimal: it understands exactly the flat
 // "benchmarks" array google-benchmark emits ("name", "real_time",
 // "time_unit", "items_per_second"), not general JSON.
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,15 @@
 #include <vector>
 
 namespace {
+
+/// Locale-independent double parse (bench_diff links no library code, so it
+/// cannot use common::parse_real; std::from_chars is locale-free by spec).
+/// Returns 0.0 on malformed input, matching the old atof behavior.
+double parse_double(const std::string& text) {
+  double value = 0.0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
+}
 
 struct BenchResult {
   double real_time = 0.0;  // nanoseconds
@@ -87,12 +97,12 @@ std::map<std::string, BenchResult> parse_bench_file(const std::string& path) {
     find_field(text, pos, limit, "run_type", run_type);
     BenchResult r;
     if (find_field(text, pos, limit, "real_time", time)) {
-      r.real_time = std::atof(time.c_str());
+      r.real_time = parse_double(time);
       if (find_field(text, pos, limit, "time_unit", unit))
         r.real_time *= unit_to_ns(unit);
     }
     if (find_field(text, pos, limit, "items_per_second", items))
-      r.items_per_second = std::atof(items.c_str());
+      r.items_per_second = parse_double(items);
     // Skip aggregate rows (mean/median/stddev) -- compare raw iterations.
     if (run_type.empty() || run_type == "iteration") results[name] = r;
     pos = limit + 1;
@@ -109,7 +119,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threshold=", 0) == 0)
-      threshold = std::atof(arg.c_str() + 12);
+      threshold = parse_double(arg.substr(12));
     else if (arg == "--fail")
       fail_on_regression = true;
     else

@@ -23,6 +23,7 @@
 // Exit status: 0 if every trial completed, 1 otherwise, 2 on usage errors
 // (unknown flags, malformed specs/plans, non-numeric values).
 #include <algorithm>
+#include <clocale>
 #include <csignal>
 #include <cstdint>
 #include <fstream>
@@ -53,6 +54,7 @@ struct Options {
   std::int64_t threads = 1;
   Format format = Format::kTable;
   bool list = false;
+  bool trace = false;
 };
 
 [[noreturn]] void usage(const std::string& error) {
@@ -60,7 +62,8 @@ struct Options {
             << "usage: nrn_sim [--topology=SPEC] [--algorithm=NAME] "
                "[--fault=SPEC]\n"
             << "               [--source=N] [--k=N] [--seed=N] [--trials=N]\n"
-            << "               [--threads=N] [--csv] [--json] [--list]\n"
+            << "               [--threads=N] [--trace] [--csv] [--json] "
+               "[--list]\n"
             << "       nrn_sim protocols   (list protocols with "
                "capabilities)\n"
             << "       nrn_sim sweep --plan=PLAN [--shard=I/K] "
@@ -90,8 +93,16 @@ struct Options {
     std::cerr << " " << name;
   std::cerr << "\nfaults:     none  sender:p  receiver:p  combined:ps:pr\n"
             << "plans:      topology=...; protocols=...; fault=...; k=...;\n"
-            << "            trials=N; seed=N; source=N  (lists expand "
-               "{a,b}, {lo..hi*f}, {lo..hi+d})\n"
+            << "            trials=N; seed=N; source=N; trace=0|1  (lists "
+               "expand {a,b},\n"
+            << "            {lo..hi*f}, {lo..hi+d})\n"
+            << "tracing:    --trace / trace=1 records per-round series "
+               "(informed,\n"
+            << "            deliveries, collisions, broadcasters) for "
+               "protocols that\n"
+            << "            support it; reports gain convergence (r50/r90/"
+               "r100) columns,\n"
+            << "            JSON series blocks, and long-format CSV rows\n"
             << "sharding:   --shard=I/K runs cells with index mod K == I "
                "(0-based); --out\n"
             << "            writes a mergeable shard file\n"
@@ -147,6 +158,8 @@ Options parse_args(int argc, char** argv) {
       opt.trials = int_value(key, value);
     } else if (key == "--threads") {
       opt.threads = int_value(key, value);
+    } else if (key == "--trace") {
+      opt.trace = true;
     } else if (key == "--csv") {
       opt.format = Format::kCsv;
     } else if (key == "--json") {
@@ -602,6 +615,11 @@ int protocols_main() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Honor the environment's locale for the process at large: this is what a
+  // localized deployment does, and it is exactly the configuration the
+  // locale-independent numeric round-trips (common/numio) must survive.
+  // CI runs the smoke suites under LC_ALL=de_DE.UTF-8 to prove it.
+  std::setlocale(LC_ALL, "");
   if (argc > 1 && std::string(argv[1]) == "sweep")
     return sweep_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "serve")
@@ -624,6 +642,7 @@ int main(int argc, char** argv) {
         opt.k, opt.seed);
     sim::DriverOptions driver_options;
     driver_options.threads = static_cast<int>(opt.threads);
+    driver_options.trace = opt.trace;
     const auto report = sim::Driver(registry).run(
         scenario, opt.algorithm, static_cast<int>(opt.trials), driver_options);
     switch (opt.format) {
