@@ -1,0 +1,36 @@
+// Thread-safe errno rendering.
+//
+// strerror(3) may return a pointer to a buffer shared across threads
+// (clang-tidy's concurrency-mt-unsafe flags it); the serve daemon and the
+// fleet runner both format errno from pool workers, so every call site
+// uses this strerror_r wrapper instead.
+#pragma once
+
+#include <string.h>
+
+#include <string>
+
+namespace nrn {
+
+namespace detail {
+
+/// glibc's GNU strerror_r returns char* (which may point at its own
+/// immutable table rather than `buf`); the XSI variant returns int and
+/// fills `buf`.  Overloading on the actual return type picks the right
+/// interpretation at compile time, whichever libc provides.
+inline std::string strerror_result(char* text, const char* /*buf*/) {
+  return text != nullptr ? text : "unknown error";
+}
+inline std::string strerror_result(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+
+}  // namespace detail
+
+/// Text for an errno value, safe to call from any thread.
+inline std::string errno_text(int err) {
+  char buf[128] = {};
+  return detail::strerror_result(::strerror_r(err, buf, sizeof buf), buf);
+}
+
+}  // namespace nrn

@@ -39,8 +39,16 @@ class ScopedCLocale {
 std::string format_with(const char* spec, int digits, double value) {
   const ScopedCLocale scope;
   char buf[64];
-  std::snprintf(buf, sizeof buf, spec, digits, value);
-  return buf;
+  int needed = std::snprintf(buf, sizeof buf, spec, digits, value);
+  if (needed < 0) return "nan";  // encoding error: cannot happen for %g/%f
+  if (static_cast<std::size_t>(needed) < sizeof buf) return buf;
+  // %.*f of a huge magnitude (or a large digit count) can exceed any
+  // fixed buffer; reformat into a right-sized string rather than
+  // silently truncating digits.
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  needed = std::snprintf(out.data(), out.size() + 1, spec, digits, value);
+  out.resize(needed > 0 ? static_cast<std::size_t>(needed) : 0);
+  return out;
 }
 
 }  // namespace

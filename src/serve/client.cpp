@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/errors.hpp"
 #include "sim/scenario.hpp"
 
 namespace nrn::serve {
@@ -29,7 +30,7 @@ LineClient LineClient::connect_unix(const std::string& socket_path) {
   if (fd < 0) fail("serve client: cannot create unix socket");
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = errno_text(errno);
     ::close(fd);
     fail("serve client: cannot connect to " + socket_path + ": " + why);
   }
@@ -45,7 +46,7 @@ LineClient LineClient::connect_tcp(int port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = errno_text(errno);
     ::close(fd);
     fail("serve client: cannot connect to 127.0.0.1:" + std::to_string(port) +
          ": " + why);

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/errors.hpp"
 #include "sim/scenario.hpp"
 
 namespace nrn::serve {
@@ -101,7 +102,7 @@ struct SweepServer::Impl {
     if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&addr),
                sizeof addr) != 0) {
       if (errno != EADDRINUSE)
-        fail("serve: cannot bind " + path + ": " + std::strerror(errno));
+        fail("serve: cannot bind " + path + ": " + errno_text(errno));
       // A socket file already exists.  If a daemon answers on it, refuse;
       // if nobody does, it is a leftover from a dead daemon -- remove it
       // and bind again.
@@ -115,7 +116,7 @@ struct SweepServer::Impl {
       ::unlink(path.c_str());
       if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&addr),
                  sizeof addr) != 0)
-        fail("serve: cannot bind " + path + ": " + std::strerror(errno));
+        fail("serve: cannot bind " + path + ": " + errno_text(errno));
     }
     unix_bound = true;
     if (::listen(unix_fd, 64) != 0) fail("serve: cannot listen on " + path);
@@ -135,7 +136,7 @@ struct SweepServer::Impl {
     if (::bind(tcp_fd, reinterpret_cast<const sockaddr*>(&addr),
                sizeof addr) != 0)
       fail("serve: cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
-           std::strerror(errno));
+           errno_text(errno));
     if (::listen(tcp_fd, 64) != 0) fail("serve: cannot listen on tcp port");
     set_nonblocking(tcp_fd);
     sockaddr_in bound{};
@@ -386,7 +387,7 @@ struct SweepServer::Impl {
       const int timeout_ms = stopping ? 100 : -1;
       const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
       if (ready < 0 && errno != EINTR)
-        fail("serve: poll failed: " + std::string(std::strerror(errno)));
+        fail("serve: poll failed: " + std::string(errno_text(errno)));
       if (stopping && ready == 0) break;  // grace expired; drop the rest
 
       if (fds[0].revents & POLLIN) {

@@ -1,8 +1,7 @@
 #include "serve/wire.hpp"
 
-#include <cerrno>
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 
 namespace nrn::serve {
 
@@ -109,12 +108,15 @@ struct Scanner {
       bad_wire("malformed number");
     if (!done() && (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E'))
       bad_wire("non-integer numbers are not part of the wire protocol");
-    const std::string token(text.substr(start, pos - start));
-    errno = 0;
-    char* end = nullptr;
-    const long long value = std::strtoll(token.c_str(), &end, 10);
-    if (errno != 0 || end != token.c_str() + token.size())
-      bad_wire("integer out of range: " + token);
+    // from_chars: locale-independent, no errno, and the result is
+    // impossible to leave unchecked -- overflow and trailing junk both
+    // surface in the return value.
+    std::int64_t value = 0;
+    const auto [rest, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, value, 10);
+    if (ec != std::errc{} || rest != text.data() + pos)
+      bad_wire("integer out of range: " +
+               std::string(text.substr(start, pos - start)));
     return value;
   }
 

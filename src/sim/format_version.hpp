@@ -1,0 +1,17 @@
+// The single source of truth for the on-disk record/shard/cache format
+// version ("experiment vN" / "nrn-sweep-shard vN" / "nrn-sweep-cache vN";
+// grammar in docs/formats.md).
+//
+// Bump this (and every vN literal -- nrn_lint cross-checks them against
+// this constant) whenever the serialized bytes change meaning: a new or
+// reordered field, a changed number rendering, a different checksum body.
+// History: v2 typed metrics, v3 engine coin-tape overhaul (new seeds), v4
+// per-round series lines.  An unbumped change silently corrupts every warm
+// cache and poisons fleet merges, which assume bit-identical recomputes.
+#pragma once
+
+namespace nrn::sim {
+
+inline constexpr int kSweepFormatVersion = 4;
+
+}  // namespace nrn::sim

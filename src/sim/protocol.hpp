@@ -96,7 +96,12 @@ class MetricValue {
       std::snprintf(buf, sizeof buf, "i%lld", static_cast<long long>(int_));
       return buf;
     }
-    return "r" + format_real_hex(real_);
+    // Prepend via insert rather than `"r" + <temporary>`: the rvalue
+    // operator+ overload trips gcc 12's -Wrestrict false positive
+    // (gcc bug 105651) at -O3, and the tree builds with -Werror.
+    std::string out = format_real_hex(real_);
+    out.insert(0, 1, 'r');
+    return out;
   }
 
   /// Inverse of serialize(); nullopt on any malformed input (trailing

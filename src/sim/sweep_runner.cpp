@@ -15,12 +15,20 @@
 #include <sstream>
 #include <thread>
 
+#include "common/errors.hpp"
 #include "common/numio.hpp"
 #include "common/task_pool.hpp"
+#include "sim/format_version.hpp"
 
 namespace nrn::sim {
 
 namespace {
+
+// Every "experiment vN" / "nrn-sweep-shard vN" / "nrn-sweep-cache vN"
+// literal below must track this constant (nrn_lint enforces agreement).
+static_assert(kSweepFormatVersion == 4,
+              "update every vN format literal in this file alongside "
+              "kSweepFormatVersion, then regenerate the goldens");
 
 [[noreturn]] void bad_format(const std::string& what) { throw SpecError(what); }
 
@@ -305,7 +313,7 @@ bool ResultCache::try_claim(const std::string& key) const {
     // fail loudly instead.
     if (errno != EEXIST)
       throw SpecError("fleet: cannot create claim file '" + path +
-                      "': " + std::strerror(errno));
+                      "': " + errno_text(errno));
     return false;
   }
   const std::string owner = unique_suffix() + "\n";
@@ -466,6 +474,9 @@ ClaimHeartbeat::ClaimHeartbeat(const ResultCache& cache, std::string key,
                                double interval_seconds) {
   NRN_EXPECTS(interval_seconds > 0.0, "heartbeat interval must be positive");
   const auto interval = std::chrono::duration<double>(interval_seconds);
+  // nrn-lint: allow(raw-thread): the heartbeat must tick while every pool
+  // slot (including the caller's) is busy inside Driver::run, so it cannot
+  // be a pool job; it is observability-only and joined in the destructor.
   ticker_ = std::thread([this, &cache, key = std::move(key), interval] {
     std::unique_lock<std::mutex> lock(mutex_);
     while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {

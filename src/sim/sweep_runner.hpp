@@ -145,6 +145,8 @@ class ClaimHeartbeat {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // nrn-lint: allow(raw-thread): see the constructor -- the heartbeat must
+  // run while every TaskPool slot is busy computing the cell it guards.
   std::thread ticker_;
 };
 

@@ -1,0 +1,15 @@
+// Fixture: a file that does everything the rules police, the approved way.
+// No `expect:` lines -- nrn_lint must report nothing here.
+#include <map>
+#include <string>
+
+// Talking about std::stod in a comment is fine; only code trips the rule.
+// So is the string "please never call strtod directly".
+
+std::string render(const std::map<std::string, int>& cells) {
+  std::string out = "experiment v4\n";  // literal matches the constant below
+  for (const auto& [key, value] : cells) out += key + "\n";
+  return out;
+}
+
+inline constexpr int kSweepFormatVersion = 4;

@@ -1,0 +1,9 @@
+// Fixture: a format literal that disagrees with kSweepFormatVersion.
+// expect: format-version
+#include <ostream>
+
+inline constexpr int kSweepFormatVersion = 4;
+
+void emit(std::ostream& os) {
+  os << "experiment v9\n";  // literal says v9, constant says 4
+}

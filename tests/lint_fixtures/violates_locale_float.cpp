@@ -1,0 +1,32 @@
+// Fixture: every flavour of locale-sensitive float formatting/parsing the
+// locale-float rule must catch.  Each `expect:` line is one required hit.
+// expect: locale-float
+// expect: locale-float
+// expect: locale-float
+// expect: locale-float
+// expect: locale-float
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+double bad_parse(const std::string& text) {
+  return std::stod(text);  // locale-dependent decimal point
+}
+
+double bad_c_parse(const char* text) {
+  return strtod(text, nullptr);  // same, through the C library
+}
+
+double bad_atof(const char* text) {
+  return atof(text);  // locale-dependent and error-blind
+}
+
+std::string bad_format(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", value);  // %f follows LC_NUMERIC
+  return buf;
+}
+
+std::string bad_to_string() {
+  return std::to_string(3.25);  // to_string of a double follows LC_NUMERIC
+}

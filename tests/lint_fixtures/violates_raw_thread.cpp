@@ -1,0 +1,11 @@
+// Fixture: a raw std::thread outside common/task_pool and serve/.
+// (std::this_thread is fine -- only thread creation is flagged.)
+// expect: raw-thread
+#include <chrono>
+#include <thread>
+
+void bad_spawn() {
+  std::thread worker([] {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // not flagged
+  worker.join();
+}

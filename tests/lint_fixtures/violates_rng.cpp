@@ -1,0 +1,24 @@
+// Fixture: randomness sources outside common/rng the rng rule must catch.
+// expect: rng
+// expect: rng
+// expect: rng
+// expect: rng
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return rand(); }  // global-state C randomness
+
+unsigned bad_device() {
+  std::random_device device;  // nondeterministic by design
+  return device();
+}
+
+unsigned bad_engine() {
+  std::mt19937 engine(42);  // not the v3 coin tape
+  return engine();
+}
+
+double bad_distribution() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);  // stdlib-specific
+  return dist.min();
+}

@@ -1,0 +1,12 @@
+// Fixture: an unordered container inside an emitter-class translation unit
+// (the filename contains "report", which marks it as one).  Iteration order
+// would leak into serialized output.
+// expect: unordered-emit
+#include <string>
+#include <unordered_map>
+
+std::string render_all(const std::unordered_map<std::string, int>& cells) {
+  std::string out;
+  for (const auto& [key, value] : cells) out += key;  // unstable order
+  return out;
+}

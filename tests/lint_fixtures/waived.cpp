@@ -1,0 +1,18 @@
+// Fixture: violations suppressed by well-formed waivers (with reasons).
+// nrn_lint must report nothing here -- both on-line and preceding-line
+// waivers, including one whose comment continues over several lines.
+#include <cstdio>
+#include <thread>
+
+void waived_inline() {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", 1.5);  // nrn-lint: allow(locale-float): fixture demonstrating an on-line waiver
+}
+
+void waived_preceding() {
+  // nrn-lint: allow(raw-thread): fixture demonstrating a waiver on the
+  // line above the violation, with a comment that keeps going before the
+  // flagged code line arrives.
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,8 @@
+// Fixture: a waiver with no reason string.  The underlying violation is
+// suppressed, but the reasonless waiver itself is a violation.
+// expect: waiver-reason
+#include <cstdlib>
+
+int bad_but_waived_badly() {
+  return rand();  // nrn-lint: allow(rng)
+}

@@ -134,6 +134,21 @@ TEST(FormatReal, HexRoundTripsEveryShape) {
       parse_real(format_real_hex(std::nan(""))).value));
 }
 
+TEST(FormatReal, FixedSurvivesMagnitudesBeyondTheStackBuffer) {
+  // %.6f of 1e300 needs ~308 characters; the formatter must grow, not
+  // silently truncate to its stack buffer.
+  const std::string wide = format_real_fixed(1e300, 6);
+  ASSERT_GT(wide.size(), 300u);
+  EXPECT_EQ(wide.substr(0, 2), "10");
+  EXPECT_EQ(wide.substr(wide.size() - 7), ".000000");
+  const auto r = parse_real(wide);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 1e300);
+
+  const std::string narrow = format_real_fixed(-2.5, 3);
+  EXPECT_EQ(narrow, "-2.500");
+}
+
 TEST(FormatReal, SignificantAndFixedDigits) {
   EXPECT_EQ(format_real(0.125, 17), "0.125");
   EXPECT_EQ(format_real(1.0 / 3.0, 3), "0.333");

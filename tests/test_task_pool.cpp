@@ -12,6 +12,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace nrn::common {
@@ -184,6 +185,42 @@ TEST(TaskPoolStream, TwoStreamsProgressIndependently) {
   b->drain();
   EXPECT_EQ(count_a.load(), 50);
   EXPECT_EQ(count_b.load(), 50);
+}
+
+TEST(TaskPoolStream, CancelRacingActiveSubmitNeitherDeadlocksNorLeaks) {
+  // The serve daemon's shutdown path: clients keep submitting cells while
+  // the scheduler cancels the stream.  Whatever interleaving happens,
+  // every pushed job must be accounted for -- executed exactly once or
+  // reported dropped by a cancel() -- and the final drain must return
+  // (gtest's process-level timeout is the deadlock detector).  Run it a
+  // few times so the cancels land at different queue depths; under TSan
+  // this doubles as the push/cancel/drain race-safety stress.
+  for (int round = 0; round < 4; ++round) {
+    TaskPool pool(3);
+    auto stream = pool.open_stream(2);
+    constexpr int kPushers = 4;
+    constexpr int kJobsPerPusher = 200;
+    std::atomic<int> executed{0};
+    std::atomic<std::size_t> dropped{0};
+    std::atomic<bool> pushing{true};
+    std::vector<std::thread> threads;
+    threads.reserve(kPushers + 1);
+    for (int p = 0; p < kPushers; ++p)
+      threads.emplace_back([&] {
+        for (int i = 0; i < kJobsPerPusher; ++i)
+          stream->push([&](int) { ++executed; });
+      });
+    threads.emplace_back([&] {  // cancels while the pushers are mid-burst
+      while (pushing.load()) dropped += stream->cancel();
+    });
+    for (int p = 0; p < kPushers; ++p) threads[static_cast<std::size_t>(p)].join();
+    pushing = false;
+    threads.back().join();
+    stream->drain();  // must return: nothing queued may be stranded
+    EXPECT_EQ(executed.load() + static_cast<int>(dropped.load()),
+              kPushers * kJobsPerPusher)
+        << "round " << round << ": a queued job was neither run nor dropped";
+  }
 }
 
 TEST(TaskPoolStream, DestructorWaitsForTheRunningJob) {

@@ -145,6 +145,9 @@ int main(int argc, char** argv) {
     const double ratio = it->second.real_time / base.real_time;
     const bool regressed = ratio > 1.0 + threshold;
     regressions += regressed ? 1 : 0;
+    // nrn-lint: allow(locale-float): human-facing diagnostic in a
+    // standalone tool (links no library code, so numio is unavailable);
+    // nothing parses this output.
     std::printf("%-44s %12.0f %12.0f %7.2fx%s\n", name.c_str(),
                 base.real_time, it->second.real_time, ratio,
                 regressed ? "  REGRESSION" : "");
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_diff: no common benchmarks to compare\n");
     return 2;
   }
+  // nrn-lint: allow(locale-float): human-facing summary line, same as above.
   std::printf("%d benchmark(s) compared, %d regression(s) beyond %.0f%%\n",
               compared, regressions, threshold * 100.0);
   return (fail_on_regression && regressions > 0) ? 1 : 0;

@@ -619,7 +619,8 @@ int main(int argc, char** argv) {
   // localized deployment does, and it is exactly the configuration the
   // locale-independent numeric round-trips (common/numio) must survive.
   // CI runs the smoke suites under LC_ALL=de_DE.UTF-8 to prove it.
-  std::setlocale(LC_ALL, "");
+  // Deliberate and safe: called once before any thread exists.
+  std::setlocale(LC_ALL, "");  // NOLINT(concurrency-mt-unsafe)
   if (argc > 1 && std::string(argv[1]) == "sweep")
     return sweep_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "serve")

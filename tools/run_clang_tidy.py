@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compilation database and gate on a baseline.
+
+The repo's .clang-tidy carries the curated check set; this wrapper makes
+it enforceable:
+
+  * runs clang-tidy (parallel) over every first-party entry in
+    <build-dir>/compile_commands.json (src/, tools/; bench and tests are
+    compiled with the same flags but are not part of the gate),
+  * normalizes findings to `<relative-file>:<check>` pairs -- line numbers
+    deliberately excluded, so unrelated edits do not invalidate the
+    baseline,
+  * compares against tools/clang_tidy_baseline.txt: any finding not in the
+    baseline fails (exit 1); baseline entries that no longer fire are
+    reported so the file can be shrunk.
+
+The baseline is committed EMPTY: the tree is warn-free against the
+curated checks, and the gate's job is keeping it that way.  If a
+toolchain update introduces findings that cannot be fixed immediately,
+run with --update-baseline, commit the result, and file the cleanup.
+
+Exit codes: 0 clean, 1 new findings (or clang-tidy crashed), 77 skipped
+(no clang-tidy binary or no compilation database) -- CTest maps 77 to
+SKIPPED via SKIP_RETURN_CODE.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<checks>[^\]]+)\]\s*$")
+
+GATED_PREFIXES = ("src/", "tools/")
+SKIP_EXIT = 77
+
+
+def find_clang_tidy():
+    for name in ("clang-tidy", "clang-tidy-20", "clang-tidy-19",
+                 "clang-tidy-18", "clang-tidy-17", "clang-tidy-16",
+                 "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def gated_sources(entries, root):
+    seen = {}
+    for entry in entries:
+        full = os.path.normpath(os.path.join(entry.get("directory", root),
+                                             entry["file"]))
+        rel = os.path.relpath(full, root)
+        if rel.startswith(GATED_PREFIXES):
+            seen.setdefault(rel, full)
+    return sorted(seen.items())
+
+
+def run_one(clang_tidy, build_dir, root, rel, full):
+    """Returns (rel, findings, crashed, output)."""
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", full],
+        capture_output=True, text=True, cwd=root)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        match = FINDING.match(line)
+        if not match:
+            continue
+        where = os.path.relpath(
+            os.path.normpath(os.path.join(root, match.group("file"))), root)
+        if not where.startswith(GATED_PREFIXES):
+            continue  # system or third-party header noise
+        for check in match.group("checks").split(","):
+            findings.add(f"{where}:{check.strip()}")
+    # clang-tidy exits nonzero when WarningsAsErrors fired (expected; the
+    # findings carry the signal) -- only a crash with no parseable output
+    # is a hard failure.
+    crashed = proc.returncode != 0 and not findings and (
+        "error:" in proc.stderr or "Segmentation" in proc.stderr)
+    return rel, findings, crashed, proc.stderr if crashed else ""
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="run_clang_tidy",
+                                     description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default tools/clang_tidy_baseline.txt)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    build_dir = os.path.abspath(args.build_dir)
+    baseline_path = args.baseline or os.path.join(root, "tools",
+                                                  "clang_tidy_baseline.txt")
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("run_clang_tidy: no clang-tidy binary on PATH; skipping "
+              "(install clang-tidy to run the gate locally)")
+        return SKIP_EXIT
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(f"run_clang_tidy: {db_path} not found; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first; skipping")
+        return SKIP_EXIT
+    with open(db_path, encoding="utf-8") as handle:
+        sources = gated_sources(json.load(handle), root)
+    if not sources:
+        print("run_clang_tidy: compilation database has no src/ or tools/ "
+              "entries; skipping")
+        return SKIP_EXIT
+
+    findings = set()
+    crashes = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, build_dir, root, rel, full)
+                   for rel, full in sources]
+        for future in concurrent.futures.as_completed(futures):
+            rel, file_findings, crashed, err = future.result()
+            findings.update(file_findings)
+            if crashed:
+                crashes.append((rel, err.strip().splitlines()[-1] if err else ""))
+    print(f"run_clang_tidy: {len(sources)} file(s), "
+          f"{len(findings)} finding(s)")
+
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write("# clang-tidy baseline: `<file>:<check>` per line.\n"
+                         "# Regenerate with tools/run_clang_tidy.py "
+                         "--update-baseline; shrink whenever possible.\n")
+            for item in sorted(findings):
+                handle.write(item + "\n")
+        print(f"run_clang_tidy: baseline rewritten with {len(findings)} "
+              f"entr(ies) at {baseline_path}")
+        return 0
+
+    baseline = set()
+    if os.path.isfile(baseline_path):
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = {line.strip() for line in handle
+                        if line.strip() and not line.startswith("#")}
+
+    new = sorted(findings - baseline)
+    resolved = sorted(baseline - findings)
+    for item in new:
+        print(f"NEW finding (not in baseline): {item}")
+    for item in resolved:
+        print(f"resolved baseline entry (remove it): {item}")
+    for rel, err in crashes:
+        print(f"clang-tidy crashed on {rel}: {err}", file=sys.stderr)
+    if new or crashes:
+        print(f"run_clang_tidy: FAIL ({len(new)} new finding(s), "
+              f"{len(crashes)} crash(es))", file=sys.stderr)
+        return 1
+    print("run_clang_tidy: clean against baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
