@@ -93,6 +93,31 @@ void BM_EngineSilentRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineSilentRounds);
 
+void BM_EngineDecayTrials(benchmark::State& state,
+                          sim::TrialExecution execution) {
+  // Eight Decay trials through the Driver: the scalar variant runs one
+  // RadioNetwork per trial, the lockstep variant one 8-lane bank sharing
+  // an adjacency pass per round.  Outcomes are bit-identical; only the
+  // wall clock differs.
+  const auto n = state.range(0);
+  const auto scenario = sim::Scenario::parse(
+      "path:" + std::to_string(n), "receiver:0.3", 0, 1, 21);
+  sim::DriverOptions options;
+  options.execution = execution;
+  const sim::Driver driver;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(driver.run(scenario, "decay", 8, options));
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+void BM_EngineDecayTrialsScalar(benchmark::State& state) {
+  BM_EngineDecayTrials(state, sim::TrialExecution::kScalar);
+}
+void BM_EngineDecayTrialsLockstep(benchmark::State& state) {
+  BM_EngineDecayTrials(state, sim::TrialExecution::kLockstep);
+}
+BENCHMARK(BM_EngineDecayTrialsScalar)->Arg(64)->Arg(256);
+BENCHMARK(BM_EngineDecayTrialsLockstep)->Arg(64)->Arg(256);
+
 void BM_SweepThroughput(benchmark::State& state) {
   // End-to-end: SweepRunner -> Driver -> protocol -> engine, the path a
   // production grid run exercises (no cache, single worker -- the engine
@@ -230,4 +255,20 @@ BENCHMARK(BM_RngBernoulliSkip)->Arg(1)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the *benchmark binary's*
+// build type into the JSON context.  The library's own "library_build_type"
+// reflects how the system libbenchmark was compiled, not this code, so
+// tools/bench_diff gates on "nrn_build_type" to refuse comparing numbers
+// from unoptimized builds.
+int main(int argc, char** argv) {
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("nrn_build_type", "release");
+#else
+  benchmark::AddCustomContext("nrn_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,7 +10,9 @@
 // requirement here.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -118,11 +120,85 @@ class Rng {
   /// Stateless counter-based draw: mixes (salt, index) into a uniform u64
   /// with the splitmix64 finalizer.  Distinct indices under one salt give
   /// independent-quality coins in ANY evaluation order -- the engine's
-  /// receiver-fault coins use this so parallel-friendly kernels need not
-  /// agree on a draw sequence, only on the per-round salt.
+  /// fault coins use this so parallel-friendly kernels need not agree on a
+  /// draw sequence, only on the per-round salt.
   static std::uint64_t mix64(std::uint64_t salt, std::uint64_t index) {
     std::uint64_t s = salt + 0x9e3779b97f4a7c15ULL * index;
     return splitmix64(s);
+  }
+
+  /// Natural batch width for the coin mixers below: large enough that the
+  /// loop bodies auto-vectorize (AVX2 fits four u64 lanes, NEON two; eight
+  /// gives every ISA at least two full vectors), small enough for stack
+  /// scratch.
+  static constexpr std::size_t kCoinBatch = 8;
+
+  /// Batched mix64 over gathered indices: out[j] = mix64(salt, index[j])
+  /// for j in [0, count).  The body is a pure elementwise map with no
+  /// loads/stores aliasing (distinct arrays required), so compilers
+  /// vectorize it; results are bit-identical to the scalar mixer on every
+  /// platform -- the batch API changes cost, never the tape.
+  static void mix64_batch(std::uint64_t salt, const std::uint64_t* index,
+                          std::uint64_t* out, std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) {
+      // Inlined mix64: state increment folded into the multiply so the
+      // whole finalizer is straight-line arithmetic on the lane.
+      std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL * (index[j] + 1);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      out[j] = z ^ (z >> 31);
+    }
+  }
+
+  /// Batched mix64 over gathered 32-bit indices (node ids are 32-bit):
+  /// out[j] = mix64(salt, index[j]).  The widening load folds into the
+  /// vectorized map, so callers need not materialize a u64 copy of an id
+  /// array just to price its coins.
+  static void mix64_batch(std::uint64_t salt, const std::int32_t* index,
+                          std::uint64_t* out, std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) {
+      std::uint64_t z =
+          salt + 0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(index[j]) + 1);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      out[j] = z ^ (z >> 31);
+    }
+  }
+
+  /// Batched mix64 over the consecutive index range [first, first + count):
+  /// out[j] = mix64(salt, first + j).  Same vectorization and exactness
+  /// guarantees as the gathered variant, without materializing an index
+  /// array.
+  static void mix64_batch(std::uint64_t salt, std::uint64_t first,
+                          std::uint64_t* out, std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) {
+      std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL * (first + j + 1);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      out[j] = z ^ (z >> 31);
+    }
+  }
+
+  /// Batched threshold coins over the consecutive index range
+  /// [first, first + count), count <= 64: bit j of the result is set iff
+  /// mix64(salt, first + j) < threshold.  One call prices up to 64 coins
+  /// with vectorized mixing and a branch-free mask reduction.
+  static std::uint64_t coin_threshold_batch(std::uint64_t salt,
+                                            std::uint64_t first,
+                                            std::size_t count,
+                                            std::uint64_t threshold) {
+    NRN_EXPECTS(count <= 64, "coin_threshold_batch prices at most 64 coins");
+    std::uint64_t successes = 0;
+    for (std::size_t base = 0; base < count; base += kCoinBatch) {
+      const std::size_t m = std::min(kCoinBatch, count - base);
+      std::uint64_t mixed[kCoinBatch];
+      mix64_batch(salt, first + base, mixed, m);
+      for (std::size_t j = 0; j < m; ++j)
+        successes |= static_cast<std::uint64_t>(mixed[j] < threshold)
+                     << (base + j);
+    }
+    return successes;
   }
 
   /// Geometric gap sampling: the number of *failures* before the next
@@ -158,21 +234,29 @@ class Rng {
   /// Bernoulli(p) coin succeeds, in increasing index order.
   ///
   /// Tape (deterministic given p): p >= 1 visits every index and draws
-  /// nothing; p > kSkipSamplingCutoff draws one u64 coin per index
-  /// (success iff draw < coin_threshold(p)); smaller p draws bernoulli_skip
-  /// gaps, one per visited index plus at most one terminating overshoot --
-  /// O(1 + count*p) expected draws instead of count.
+  /// nothing; p > kSkipSamplingCutoff draws ONE u64 salt (count > 0 only)
+  /// and prices index i's coin as mix64(salt, i) < coin_threshold(p), 64
+  /// coins per batched call; smaller p draws bernoulli_skip gaps, one per
+  /// visited index plus at most one terminating overshoot -- O(1 + count*p)
+  /// expected draws instead of count.
   template <typename Fn>
   void for_each_bernoulli(std::size_t count, double p, Fn&& fn) {
     if (p >= 1.0) {
       for (std::size_t i = 0; i < count; ++i) fn(i);
       return;
     }
-    if (p <= 0.0) return;
+    if (p <= 0.0 || count == 0) return;
     if (p > kSkipSamplingCutoff) {
       const std::uint64_t threshold = coin_threshold(p);
-      for (std::size_t i = 0; i < count; ++i)
-        if ((*this)() < threshold) fn(i);
+      const std::uint64_t salt = (*this)();
+      for (std::size_t base = 0; base < count; base += 64) {
+        const std::size_t block = std::min<std::size_t>(64, count - base);
+        std::uint64_t hits = coin_threshold_batch(salt, base, block, threshold);
+        while (hits != 0) {
+          fn(base + static_cast<std::size_t>(std::countr_zero(hits)));
+          hits &= hits - 1;
+        }
+      }
       return;
     }
     std::size_t idx = 0;
@@ -199,15 +283,25 @@ class Rng {
     }
     if (i <= 2) {  // p in {1/2, 1/4}: bit-chunked coins
       const auto per_draw = static_cast<std::size_t>(64 / i);
-      const std::uint64_t mask = (std::uint64_t{1} << i) - 1;
       std::size_t idx = 0;
       while (idx < count) {
-        std::uint64_t word = (*this)();
-        const std::size_t limit = std::min(count, idx + per_draw);
-        for (; idx < limit; ++idx) {
-          if ((word & mask) == 0) fn(idx);
-          word >>= i;
+        const std::uint64_t word = (*this)();
+        const std::size_t block = std::min(count - idx, per_draw);
+        // Collapse the i-bit chunks into a success mask and walk only its
+        // set bits.  Testing one chunk per candidate with a branch would
+        // put a fair-coin branch in the inner loop -- unlearnable for the
+        // predictor, so mispredicts dominate the scan.  (Chunk all-zero
+        // <=> success; bit 2j of the i=2 mask speaks for candidate j.)
+        std::uint64_t hits =
+            i == 1 ? ~word : ~(word | (word >> 1)) & 0x5555555555555555ULL;
+        if (block < per_draw)
+          hits &= (std::uint64_t{1} << (block * static_cast<std::size_t>(i))) - 1;
+        while (hits != 0) {
+          const auto tz = static_cast<std::size_t>(std::countr_zero(hits));
+          fn(idx + tz / static_cast<std::size_t>(i));
+          hits &= hits - 1;
         }
+        idx += block;
       }
       return;
     }

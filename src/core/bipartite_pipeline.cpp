@@ -68,6 +68,8 @@ MultiRunResult run_layered_pipeline_routing(radio::RadioNetwork& net,
 
   std::vector<BoundaryWork> work(static_cast<std::size_t>(depth));
   const std::int64_t total_metas = 3 * (batches - 1) + depth;
+  std::vector<radio::NodeId> senders;  // per-boundary staging scratch
+  senders.reserve(static_cast<std::size_t>(n));
 
   for (std::int64_t meta = 0; meta < total_metas; ++meta) {
     // Activate boundaries for this meta-round: boundary i runs batch
@@ -116,12 +118,16 @@ MultiRunResult run_layered_pipeline_routing(radio::RadioNetwork& net,
         const auto sub =
             static_cast<std::int32_t>(w.local_round % phase);
         const auto& layer = layers[static_cast<std::size_t>(i)];
+        // Gather the selected holders of `msg`, then bulk-stage the
+        // boundary's broadcasts in one call.
+        senders.clear();
         rng.for_each_bernoulli_pow2(layer.size(), sub, [&](std::size_t li) {
           const auto u = layer[li];
           if (!has[static_cast<std::size_t>(u)][static_cast<std::size_t>(msg)])
             return;
-          net.set_broadcast(u, radio::PacketId{msg});
+          senders.push_back(u);
         });
+        net.stage_broadcasts(senders, radio::PacketId{msg});
         ++w.local_round;
       }
       if (!someone_active) break;

@@ -22,59 +22,52 @@ std::int64_t Decay::default_budget(std::int32_t node_count,
                                    static_cast<double>(phase * base));
 }
 
-BroadcastRunResult Decay::run(radio::RadioNetwork& net, radio::NodeId source,
-                              Rng& rng, radio::TraceRecorder* trace) const {
-  const auto& g = net.graph();
-  const std::int32_t n = g.node_count();
-  NRN_EXPECTS(source >= 0 && source < n, "source out of range");
+namespace {
 
+/// One Decay trial's round logic.  In round i of a phase, every informed
+/// node broadcasts with probability 2^-i; the Bernoulli selection is fused
+/// into the staging pass (bulk staging, one call per round).
+class DecayStepper final : public InformedSetStepper {
+ public:
+  DecayStepper(std::int32_t node_count, radio::NodeId source,
+               std::int32_t phase, std::int64_t budget,
+               radio::TraceRecorder* trace)
+      : InformedSetStepper(node_count, source, budget, trace), phase_(phase) {}
+
+  bool stage_round(radio::StagingPort& port, Rng& rng) override {
+    if (!another_round()) return false;
+    const auto sub_round = static_cast<std::int32_t>(round_ % phase_);
+    port.stage_bernoulli_pow2(informed_list_, sub_round, radio::PacketId{0},
+                              rng);
+    return true;
+  }
+
+ private:
+  std::int32_t phase_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoundStepper> Decay::make_stepper(
+    std::int32_t node_count, radio::NodeId source, double effective_loss,
+    radio::TraceRecorder* trace) const {
+  NRN_EXPECTS(source >= 0 && source < node_count, "source out of range");
   const std::int32_t phase = params_.phase_length > 0
                                  ? params_.phase_length
-                                 : default_phase_length(n);
+                                 : default_phase_length(node_count);
   const std::int64_t budget =
       params_.max_rounds > 0
           ? params_.max_rounds
-          : default_budget(n, n, net.fault_model().effective_loss());
+          : default_budget(node_count, node_count, effective_loss);
+  return std::make_unique<DecayStepper>(node_count, source, phase, budget,
+                                        trace);
+}
 
-  std::vector<char> informed(static_cast<std::size_t>(n), 0);
-  std::vector<radio::NodeId> informed_list;
-  informed_list.reserve(static_cast<std::size_t>(n));
-  informed_list.push_back(source);
-  informed[static_cast<std::size_t>(source)] = 1;
-
-  BroadcastRunResult result;
-  result.informed = 1;
-  if (n == 1) {
-    result.completed = true;
-    return result;
-  }
-  const radio::PacketId message{0};
-
-  for (std::int64_t round = 0; round < budget; ++round) {
-    const std::int32_t sub_round = static_cast<std::int32_t>(round % phase);
-    // Each informed node broadcasts with probability 2^-i; skip sampling
-    // jumps straight to the transmitters (O(k 2^-i) draws, not O(k)).
-    rng.for_each_bernoulli_pow2(
-        informed_list.size(), sub_round,
-        [&](std::size_t idx) { net.set_broadcast(informed_list[idx], message); });
-    for (const radio::NodeId v : net.run_round().receivers()) {
-      auto& flag = informed[static_cast<std::size_t>(v)];
-      if (!flag) {
-        flag = 1;
-        informed_list.push_back(v);
-      }
-    }
-    if (trace != nullptr)
-      trace->record(net.last_round(),
-                    static_cast<double>(informed_list.size()));
-    result.rounds = round + 1;
-    if (static_cast<std::int32_t>(informed_list.size()) == n) {
-      result.completed = true;
-      break;
-    }
-  }
-  result.informed = static_cast<std::int64_t>(informed_list.size());
-  return result;
+BroadcastRunResult Decay::run(radio::RadioNetwork& net, radio::NodeId source,
+                              Rng& rng, radio::TraceRecorder* trace) const {
+  auto stepper = make_stepper(net.graph().node_count(), source,
+                              net.fault_model().effective_loss(), trace);
+  return run_stepped(*stepper, net, rng);
 }
 
 }  // namespace nrn::core

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "core/run_result.hpp"
+#include "core/stepper.hpp"
 #include "radio/network.hpp"
 #include "radio/trace.hpp"
 
@@ -32,9 +34,17 @@ class Decay {
 
   /// Broadcasts one message from `source` until every node is informed or
   /// the budget runs out.  Algorithm coins come from `rng`; fault coins
-  /// come from the network's own stream.
+  /// come from the network's own stream.  Implemented as run_stepped over
+  /// make_stepper, so scalar and lockstep execution share one schedule.
   BroadcastRunResult run(radio::RadioNetwork& net, radio::NodeId source,
                          Rng& rng, radio::TraceRecorder* trace = nullptr) const;
+
+  /// The schedule as a RoundStepper (core/stepper.hpp): `effective_loss`
+  /// feeds the default budget exactly as run() derives it from the
+  /// network's fault model.
+  std::unique_ptr<RoundStepper> make_stepper(
+      std::int32_t node_count, radio::NodeId source, double effective_loss,
+      radio::TraceRecorder* trace = nullptr) const;
 
   /// ceil(log2 n) + 1, the canonical phase length.
   static std::int32_t default_phase_length(std::int32_t node_count);

@@ -85,6 +85,13 @@ MultiRunResult ErasureBroadcast::run_and_verify(
   std::vector<char> complete(static_cast<std::size_t>(n), 0);
   complete[si] = 1;
 
+  // Staging scratch: the round's selected relayers and what each forwards,
+  // bulk-staged in one call after the selection pass.
+  std::vector<radio::NodeId> senders;
+  std::vector<radio::PacketId> packet_ids;
+  senders.reserve(static_cast<std::size_t>(n));
+  packet_ids.reserve(static_cast<std::size_t>(n));
+
   MultiRunResult result;
   result.messages = k;
   if (complete_count == n) {
@@ -92,6 +99,8 @@ MultiRunResult ErasureBroadcast::run_and_verify(
   } else {
     for (std::int64_t round = 0; round < budget; ++round) {
       const auto sub = static_cast<std::int32_t>(round % decay_phase_);
+      senders.clear();
+      packet_ids.clear();
       rng.for_each_bernoulli_pow2(
           static_cast<std::size_t>(n), sub, [&](std::size_t ui) {
             if (held[ui].empty()) return;
@@ -99,9 +108,10 @@ MultiRunResult ErasureBroadcast::run_and_verify(
             // receptions from the same sender are distinct packets.
             const std::uint32_t pkt = held[ui][cursor[ui] % held[ui].size()];
             ++cursor[ui];
-            net.set_broadcast(static_cast<radio::NodeId>(ui),
-                              static_cast<radio::PacketId>(pkt));
+            senders.push_back(static_cast<radio::NodeId>(ui));
+            packet_ids.push_back(static_cast<radio::PacketId>(pkt));
           });
+      net.stage_broadcasts(senders, packet_ids);
 
       const auto& deliveries = net.run_round();
       for (const auto& d : deliveries) {

@@ -28,74 +28,79 @@ Fastbc::Fastbc(const graph::Graph& g, radio::NodeId source, FastbcParams params)
                      : Decay::default_phase_length(g.node_count());
 }
 
-BroadcastRunResult Fastbc::run(radio::RadioNetwork& net, Rng& rng,
-                               radio::TraceRecorder* trace) const {
-  NRN_EXPECTS(&net.graph() == graph_, "network built on a different graph");
-  const std::int32_t n = graph_->node_count();
-  const double p = net.fault_model().effective_loss();
-  const std::int64_t budget =
-      params_.max_rounds > 0
-          ? params_.max_rounds
-          : static_cast<std::int64_t>(
-                32.0 / (1.0 - p) *
-                static_cast<double>((tree_.depth + 4 * decay_phase_ + 32)) *
-                static_cast<double>(decay_phase_));
+namespace {
 
-  std::vector<char> informed(static_cast<std::size_t>(n), 0);
-  std::vector<radio::NodeId> informed_list;
-  informed_list.reserve(static_cast<std::size_t>(n));
-  informed_list.push_back(source_);
-  informed[static_cast<std::size_t>(source_)] = 1;
-
-  const std::int32_t period = 6 * rank_modulus_;
-  const radio::PacketId message{0};
-  BroadcastRunResult result;
-  if (n == 1) {
-    result.completed = true;
-    result.informed = 1;
-    return result;
+/// One FASTBC trial's round logic: odd rounds a Decay step (Bernoulli
+/// selection fused into staging), even rounds the collision-free wave --
+/// eligible fast nodes gathered into a scratch list and bulk-staged.
+class FastbcStepper final : public InformedSetStepper {
+ public:
+  FastbcStepper(const trees::RankedBfsTree& tree, std::int32_t node_count,
+                radio::NodeId source, std::int32_t rank_modulus,
+                std::int32_t decay_phase, std::int64_t budget,
+                radio::TraceRecorder* trace)
+      : InformedSetStepper(node_count, source, budget, trace),
+        tree_(&tree),
+        period_(6 * rank_modulus),
+        decay_phase_(decay_phase) {
+    eligible_.reserve(static_cast<std::size_t>(node_count));
   }
 
-  for (std::int64_t round = 0; round < budget; ++round) {
+  bool stage_round(radio::StagingPort& port, Rng& rng) override {
+    if (!another_round()) return false;
+    const std::int64_t round = round_;
     if (round % 2 == 1) {
       // Slow transmission round 2t+1: Decay step over informed nodes.
       const auto t = (round - 1) / 2;
       const auto sub = static_cast<std::int32_t>(t % decay_phase_);
-      rng.for_each_bernoulli_pow2(informed_list.size(), sub, [&](std::size_t i) {
-        net.set_broadcast(informed_list[i], message);
-      });
+      port.stage_bernoulli_pow2(informed_list_, sub, radio::PacketId{0}, rng);
     } else {
       // Fast transmission round 2t: scheduled wave step.
       const auto t = round / 2;
-      for (const radio::NodeId u : informed_list) {
+      eligible_.clear();
+      for (const radio::NodeId u : informed_list_) {
         const auto ui = static_cast<std::size_t>(u);
-        if (!tree_.is_fast(u)) continue;
+        if (!tree_->is_fast(u)) continue;
         const std::int64_t target =
-            static_cast<std::int64_t>(tree_.level[ui]) -
-            6LL * tree_.rank[ui];
+            static_cast<std::int64_t>(tree_->level[ui]) -
+            6LL * tree_->rank[ui];
         // t = l - 6r (mod period), with a positive representative.
-        const std::int64_t lhs = ((t - target) % period + period) % period;
-        if (lhs == 0) net.set_broadcast(u, message);
+        const std::int64_t lhs = ((t - target) % period_ + period_) % period_;
+        if (lhs == 0) eligible_.push_back(u);
       }
+      port.stage_many(eligible_, radio::PacketId{0});
     }
-    for (const radio::NodeId v : net.run_round().receivers()) {
-      auto& flag = informed[static_cast<std::size_t>(v)];
-      if (!flag) {
-        flag = 1;
-        informed_list.push_back(v);
-      }
-    }
-    if (trace != nullptr)
-      trace->record(net.last_round(),
-                    static_cast<double>(informed_list.size()));
-    result.rounds = round + 1;
-    if (static_cast<std::int32_t>(informed_list.size()) == n) {
-      result.completed = true;
-      break;
-    }
+    return true;
   }
-  result.informed = static_cast<std::int64_t>(informed_list.size());
-  return result;
+
+ private:
+  const trees::RankedBfsTree* tree_;
+  std::int64_t period_;
+  std::int32_t decay_phase_;
+  std::vector<radio::NodeId> eligible_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoundStepper> Fastbc::make_stepper(
+    double effective_loss, radio::TraceRecorder* trace) const {
+  const std::int64_t budget =
+      params_.max_rounds > 0
+          ? params_.max_rounds
+          : static_cast<std::int64_t>(
+                32.0 / (1.0 - effective_loss) *
+                static_cast<double>((tree_.depth + 4 * decay_phase_ + 32)) *
+                static_cast<double>(decay_phase_));
+  return std::make_unique<FastbcStepper>(tree_, graph_->node_count(), source_,
+                                         rank_modulus_, decay_phase_, budget,
+                                         trace);
+}
+
+BroadcastRunResult Fastbc::run(radio::RadioNetwork& net, Rng& rng,
+                               radio::TraceRecorder* trace) const {
+  NRN_EXPECTS(&net.graph() == graph_, "network built on a different graph");
+  auto stepper = make_stepper(net.fault_model().effective_loss(), trace);
+  return run_stepped(*stepper, net, rng);
 }
 
 }  // namespace nrn::core

@@ -98,13 +98,23 @@ MultiRunResult RlncBroadcast::run_impl(
     return result;
   }
 
+  // Staging scratch: nodes selected this round and the pool index each
+  // one emits, bulk-staged in one call once the selection pass is done.
+  std::vector<radio::NodeId> senders;
+  std::vector<radio::PacketId> packet_ids;
+  senders.reserve(static_cast<std::size_t>(n));
+  packet_ids.reserve(static_cast<std::size_t>(n));
+
   for (std::int64_t round = 0; round < budget; ++round) {
     pool.clear();
+    senders.clear();
+    packet_ids.clear();
     auto stage = [&](radio::NodeId u) {
       auto& st = state[static_cast<std::size_t>(u)];
       if (st.rank() == 0) return;  // nothing informative to send
       pool.push_back(st.emit(rng));
-      net.set_broadcast(u, static_cast<radio::PacketId>(pool.size() - 1));
+      senders.push_back(u);
+      packet_ids.push_back(static_cast<radio::PacketId>(pool.size() - 1));
     };
 
     if (params_.pattern == MultiPattern::kDecay) {
@@ -134,6 +144,7 @@ MultiRunResult RlncBroadcast::run_impl(
         stage(u);
       }
     }
+    net.stage_broadcasts(senders, packet_ids);
 
     const auto& deliveries = net.run_round();
     for (const auto& d : deliveries) {

@@ -35,84 +35,94 @@ RobustFastbc::RobustFastbc(const graph::Graph& g, radio::NodeId source,
                      : Decay::default_phase_length(g.node_count());
 }
 
-BroadcastRunResult RobustFastbc::run(radio::RadioNetwork& net, Rng& rng,
-                                     radio::TraceRecorder* trace) const {
-  NRN_EXPECTS(&net.graph() == graph_, "network built on a different graph");
-  const std::int32_t n = graph_->node_count();
-  const double p = net.fault_model().effective_loss();
+namespace {
+
+/// One Robust FASTBC trial's round logic: odd rounds a Decay step, even
+/// rounds the band schedule with mod-3 staggering -- eligible fast nodes
+/// gathered into a scratch list and bulk-staged.
+class RobustFastbcStepper final : public InformedSetStepper {
+ public:
+  RobustFastbcStepper(const trees::RankedBfsTree& tree,
+                      std::int32_t node_count, radio::NodeId source,
+                      std::int32_t block_size, std::int64_t window,
+                      std::int32_t rank_modulus, std::int32_t decay_phase,
+                      std::int64_t budget, radio::TraceRecorder* trace)
+      : InformedSetStepper(node_count, source, budget, trace),
+        tree_(&tree),
+        block_size_(block_size),
+        window_(window),
+        period_(6 * rank_modulus),
+        decay_phase_(decay_phase) {
+    eligible_.reserve(static_cast<std::size_t>(node_count));
+  }
+
+  bool stage_round(radio::StagingPort& port, Rng& rng) override {
+    if (!another_round()) return false;
+    const std::int64_t round = round_;
+    if (round % 2 == 1) {
+      // Slow round: Decay step over informed nodes.
+      const auto t = (round - 1) / 2;
+      const auto sub = static_cast<std::int32_t>(t % decay_phase_);
+      port.stage_bernoulli_pow2(informed_list_, sub, radio::PacketId{0}, rng);
+    } else {
+      // Fast round 2t': band schedule with mod-3 staggering.
+      const std::int64_t t_half = round / 2;
+      const std::int64_t band = t_half / window_;  // superround index
+      eligible_.clear();
+      for (const radio::NodeId u : informed_list_) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (!tree_->is_fast(u)) continue;
+        const std::int32_t l = tree_->level[ui];
+        const std::int32_t r = tree_->rank[ui];
+        const std::int64_t block = l / block_size_;
+        // The +6 aligns rank-1 block-0 with band 0, so the wave starts at
+        // the source immediately instead of after a full band cycle (a
+        // constant-factor cold-start optimization; asymptotics unchanged).
+        const std::int64_t lhs =
+            ((block - 6LL * r + 6 - band) % period_ + period_) % period_;
+        if (lhs != 0) continue;
+        if ((l % 3) != (t_half % 3)) continue;
+        eligible_.push_back(u);
+      }
+      port.stage_many(eligible_, radio::PacketId{0});
+    }
+    return true;
+  }
+
+ private:
+  const trees::RankedBfsTree* tree_;
+  std::int32_t block_size_;
+  std::int64_t window_;
+  std::int64_t period_;
+  std::int32_t decay_phase_;
+  std::vector<radio::NodeId> eligible_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoundStepper> RobustFastbc::make_stepper(
+    double effective_loss, radio::TraceRecorder* trace) const {
   const std::int64_t window = static_cast<std::int64_t>(window_multiplier_) *
                               block_size_;  // even rounds per band step
   const std::int64_t budget =
       params_.max_rounds > 0
           ? params_.max_rounds
           : static_cast<std::int64_t>(
-                48.0 / (1.0 - p) *
+                48.0 / (1.0 - effective_loss) *
                 (static_cast<double>(tree_.depth) +
                  static_cast<double>(decay_phase_) *
                      static_cast<double>(block_size_) *
                      (4.0 * decay_phase_ + 32.0)));
+  return std::make_unique<RobustFastbcStepper>(
+      tree_, graph_->node_count(), source_, block_size_, window, rank_modulus_,
+      decay_phase_, budget, trace);
+}
 
-  std::vector<char> informed(static_cast<std::size_t>(n), 0);
-  std::vector<radio::NodeId> informed_list;
-  informed_list.reserve(static_cast<std::size_t>(n));
-  informed_list.push_back(source_);
-  informed[static_cast<std::size_t>(source_)] = 1;
-
-  const std::int32_t period = 6 * rank_modulus_;
-  const radio::PacketId message{0};
-  BroadcastRunResult result;
-  if (n == 1) {
-    result.completed = true;
-    result.informed = 1;
-    return result;
-  }
-
-  for (std::int64_t round = 0; round < budget; ++round) {
-    if (round % 2 == 1) {
-      // Slow round: Decay step over informed nodes.
-      const auto t = (round - 1) / 2;
-      const auto sub = static_cast<std::int32_t>(t % decay_phase_);
-      rng.for_each_bernoulli_pow2(informed_list.size(), sub, [&](std::size_t i) {
-        net.set_broadcast(informed_list[i], message);
-      });
-    } else {
-      // Fast round 2t': band schedule with mod-3 staggering.
-      const std::int64_t t_half = round / 2;
-      const std::int64_t band = t_half / window;  // superround index
-      for (const radio::NodeId u : informed_list) {
-        const auto ui = static_cast<std::size_t>(u);
-        if (!tree_.is_fast(u)) continue;
-        const std::int32_t l = tree_.level[ui];
-        const std::int32_t r = tree_.rank[ui];
-        const std::int64_t block = l / block_size_;
-        // The +6 aligns rank-1 block-0 with band 0, so the wave starts at
-        // the source immediately instead of after a full band cycle (a
-        // constant-factor cold-start optimization; asymptotics unchanged).
-        const std::int64_t lhs =
-            ((block - 6LL * r + 6 - band) % period + period) % period;
-        if (lhs != 0) continue;
-        if ((l % 3) != (t_half % 3)) continue;
-        net.set_broadcast(u, message);
-      }
-    }
-    for (const radio::NodeId v : net.run_round().receivers()) {
-      auto& flag = informed[static_cast<std::size_t>(v)];
-      if (!flag) {
-        flag = 1;
-        informed_list.push_back(v);
-      }
-    }
-    if (trace != nullptr)
-      trace->record(net.last_round(),
-                    static_cast<double>(informed_list.size()));
-    result.rounds = round + 1;
-    if (static_cast<std::int32_t>(informed_list.size()) == n) {
-      result.completed = true;
-      break;
-    }
-  }
-  result.informed = static_cast<std::int64_t>(informed_list.size());
-  return result;
+BroadcastRunResult RobustFastbc::run(radio::RadioNetwork& net, Rng& rng,
+                                     radio::TraceRecorder* trace) const {
+  NRN_EXPECTS(&net.graph() == graph_, "network built on a different graph");
+  auto stepper = make_stepper(net.fault_model().effective_loss(), trace);
+  return run_stepped(*stepper, net, rng);
 }
 
 }  // namespace nrn::core

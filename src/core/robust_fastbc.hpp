@@ -20,9 +20,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "core/run_result.hpp"
+#include "core/stepper.hpp"
 #include "radio/network.hpp"
 #include "radio/trace.hpp"
 #include "trees/gbst.hpp"
@@ -65,8 +67,15 @@ class RobustFastbc {
   std::int32_t window_multiplier() const { return window_multiplier_; }
   std::int32_t rank_modulus() const { return rank_modulus_; }
 
+  /// Implemented as run_stepped over make_stepper.
   BroadcastRunResult run(radio::RadioNetwork& net, Rng& rng,
                          radio::TraceRecorder* trace = nullptr) const;
+
+  /// The schedule as a RoundStepper; `effective_loss` feeds the default
+  /// budget exactly as run() derives it from the network's fault model.
+  /// The algorithm object (it owns the GBST) must outlive the stepper.
+  std::unique_ptr<RoundStepper> make_stepper(
+      double effective_loss, radio::TraceRecorder* trace = nullptr) const;
 
  private:
   const graph::Graph* graph_;

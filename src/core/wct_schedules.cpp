@@ -73,16 +73,27 @@ MultiRunResult run_wct_rs_coding(radio::RadioNetwork& net,
                     64.0 / (1.0 - p) *
                     static_cast<double>(k + 4 * phase) * phase);
 
+  // Staging scratch: the round's selected senders and their globally
+  // unique packet ids, bulk-staged in one call.
+  std::vector<radio::NodeId> round_senders;
+  std::vector<radio::PacketId> round_ids;
+  round_senders.reserve(static_cast<std::size_t>(sender_count));
+  round_ids.reserve(static_cast<std::size_t>(sender_count));
+
   std::int64_t round_index = 0;
   while (members_done < members_total && result.rounds < budget) {
     const auto sub = static_cast<std::int32_t>(round_index % phase);
+    round_senders.clear();
+    round_ids.clear();
     rng.for_each_bernoulli_pow2(
         static_cast<std::size_t>(sender_count), sub, [&](std::size_t si) {
           // Globally unique id: every reception is a fresh packet.
           const std::int64_t id = (round_index + 1) * sender_count +
                                   static_cast<std::int64_t>(si);
-          net.set_broadcast(senders[si], radio::PacketId{id});
+          round_senders.push_back(senders[si]);
+          round_ids.push_back(radio::PacketId{id});
         });
+    net.stage_broadcasts(round_senders, round_ids);
     const auto& deliveries = net.run_round();
     ++result.rounds;
     ++round_index;

@@ -87,6 +87,27 @@ struct FaultModel {
   }
 };
 
+/// Sender-side coin probability the engine prices (0 when the regime has no
+/// sender coin).  Shared by the scalar engine and the lockstep bank so the
+/// two always agree on which coins exist.
+inline double sender_fault_probability(const FaultModel& fm) {
+  return (fm.kind == FaultKind::kSender || fm.kind == FaultKind::kCombined)
+             ? fm.p
+             : 0.0;
+}
+
+/// Receiver-side coin probability (0 when the regime has no receiver coin).
+inline double receiver_fault_probability(const FaultModel& fm) {
+  switch (fm.kind) {
+    case FaultKind::kReceiver:
+      return fm.p;
+    case FaultKind::kCombined:
+      return fm.p_receiver;
+    default:
+      return 0.0;
+  }
+}
+
 inline std::string to_string(const FaultModel& fm) {
   switch (fm.kind) {
     case FaultKind::kFaultless:

@@ -1,29 +1,9 @@
 #include "radio/network.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace nrn::radio {
-
-namespace {
-
-double receiver_probability(const FaultModel& fm) {
-  switch (fm.kind) {
-    case FaultKind::kReceiver:
-      return fm.p;
-    case FaultKind::kCombined:
-      return fm.p_receiver;
-    default:
-      return 0.0;
-  }
-}
-
-double sender_probability(const FaultModel& fm) {
-  return (fm.kind == FaultKind::kSender || fm.kind == FaultKind::kCombined)
-             ? fm.p
-             : 0.0;
-}
-
-}  // namespace
 
 void DeliveryList::sort_by_receiver(std::vector<std::uint64_t>& scratch) {
   // Zip (receiver, plan index) into one u64 per delivery; receiver in the
@@ -46,7 +26,6 @@ RadioNetwork::RadioNetwork(const graph::Graph& g, FaultModel fault_model,
   const auto n = static_cast<std::size_t>(g.node_count());
   slots_.assign(n, NodeSlot{});
   candidates_.reserve(n);
-  deliveries_.plan_ = &executed_plan_;
   // Broadcaster count at which broadcasters * avg_degree reaches
   // kDenseWorkFactor * n, with avg_degree = 2E/n: F * n^2 / 2E.
   const std::int64_t n64 = g.node_count();
@@ -55,20 +34,51 @@ RadioNetwork::RadioNetwork(const graph::Graph& g, FaultModel fault_model,
       two_e > 0 ? static_cast<std::size_t>(
                       (kDenseWorkFactor * n64 * n64 + two_e - 1) / two_e)
                 : ~std::size_t{0};
+  // Structured-adjacency eligibility: every edge joins consecutive ids.
+  const std::size_t words = (n + 63) / 64;
+  left_edge_mask_.assign(words, 0);
+  right_edge_mask_.assign(words, 0);
+  adjacent_ok_ = consecutive_adjacency(g);
+  if (adjacent_ok_) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      for (const NodeId u : g.neighbors(v)) {
+        if (u == v - 1)
+          left_edge_mask_[vi >> 6] |= std::uint64_t{1} << (vi & 63);
+        else
+          right_edge_mask_[vi >> 6] |= std::uint64_t{1} << (vi & 63);
+      }
+    }
+    bcast_mask_.assign(words, 0);
+    cand_mask_scratch_.assign(words, 0);
+    hear_left_scratch_.assign(words, 0);
+    plan_pos_.assign(n, 0);
+  }
+  use_bitmask_plan_ = adjacent_ok_;  // kernel_ starts as kAuto
   reset(fault_model, rng);
 }
 
 void RadioNetwork::reset(FaultModel fault_model, Rng rng) {
   fault_model_ = fault_model;
   rng_ = rng;
-  const double ps = sender_probability(fault_model_);
-  const double pr = receiver_probability(fault_model_);
+  const double ps = sender_fault_probability(fault_model_);
+  const double pr = receiver_fault_probability(fault_model_);
   sender_coins_ = ps > 0.0;
   receiver_coins_ = pr > 0.0;
   sender_threshold_ = Rng::coin_threshold(ps);
   receiver_threshold_ = Rng::coin_threshold(pr);
-  plan_.clear();
-  executed_plan_.clear();
+  // A bitmask-mode plan abandoned mid-round leaves its broadcaster bits
+  // set; clear them before dropping the plan (whole-word stores are fine:
+  // every set bit in a touched word belongs to a staged sender).
+  if (use_bitmask_plan_)
+    for (const NodeId u : plan_senders_)
+      bcast_mask_[static_cast<std::size_t>(u) >> 6] = 0;
+  plan_senders_.clear();
+  plan_ids_.clear();
+  plan_payloads_.clear();
+  deliveries_.senders_.clear();
+  deliveries_.ids_.clear();
+  deliveries_.payloads_.clear();
   deliveries_.clear();
   last_round_ = RoundStats{};
   totals_ = NetworkTotals{};
@@ -91,64 +101,248 @@ void RadioNetwork::prepare_epoch() {
   if (static_cast<std::uint32_t>(epoch_ + 1) == 0) ++epoch_;
 }
 
+void RadioNetwork::materialize_plan_ids() {
+  plan_ids_.assign(plan_senders_.size(), plan_uniform_id_);
+}
+
+void RadioNetwork::materialize_plan_payloads() {
+  plan_payloads_.resize(plan_senders_.size());
+}
+
 void RadioNetwork::set_broadcast(NodeId u, Packet packet) {
-  NRN_EXPECTS(u >= 0 && u < graph_->node_count(), "broadcaster out of range");
-  if (plan_.empty()) prepare_epoch();
-  const auto stamp = static_cast<std::uint32_t>(epoch_ + 1);
-  auto& slot = slots_[static_cast<std::size_t>(u)];
-  NRN_EXPECTS(slot.bcast_epoch != stamp,
-              "node staged to broadcast twice in one round");
-  slot.bcast_epoch = stamp;
-  slot.plan_index = static_cast<std::int32_t>(plan_.size());
-  plan_.push_back(StagedBroadcast{u, std::move(packet)});
+  set_broadcast(u, packet.id);  // stamps the slot, records sender + id
+  if (packet.payload == nullptr) return;
+  materialize_plan_payloads();  // sized to include the entry just staged
+  plan_payloads_.back() = std::move(packet.payload);
 }
 
-bool RadioNetwork::faults_spare_delivery(NodeId v, std::int32_t plan_index) {
-  if (sender_coins_ && plan_noisy_[static_cast<std::size_t>(plan_index)]) {
-    ++last_round_.sender_fault_losses;
-    return false;
+void RadioNetwork::stage_broadcasts(std::span<const NodeId> senders,
+                                    PacketId id) {
+  if (senders.empty()) return;
+  if (plan_senders_.empty()) {
+    prepare_epoch();
+    plan_uniform_id_ = id;
+  } else if (!plan_ids_.empty()) {
+    plan_ids_.insert(plan_ids_.end(), senders.size(), id);
+  } else if (id != plan_uniform_id_) {
+    materialize_plan_ids();
+    plan_ids_.insert(plan_ids_.end(), senders.size(), id);
   }
-  // Counter-based coin: a function of (round salt, receiver), so the coin
-  // is the same whichever kernel evaluates it, in whatever order.
-  if (receiver_coins_ &&
-      Rng::mix64(receiver_salt_, static_cast<std::uint64_t>(v)) <
-          receiver_threshold_) {
-    ++last_round_.receiver_fault_losses;
-    return false;
-  }
-  return true;
+  if (!plan_payloads_.empty())
+    plan_payloads_.resize(plan_payloads_.size() + senders.size());
+  stamp_staged(senders);
 }
 
-void RadioNetwork::finalize_candidates() {
-  // Collided candidates were flagged in their slots; the survivors get
-  // their fault coins here and become this round's deliveries.  The fault
-  // configuration is hoisted out of the loop: the faultless and
-  // receiver-only shapes are the ones big sweeps spend their rounds in.
-  if (!sender_coins_ && !receiver_coins_) {
-    for (const NodeId v : candidates_) {
-      const auto& slot = slots_[static_cast<std::size_t>(v)];
-      if (slot.state >= 0) deliveries_.push(v, slot.state);
-    }
-    return;
-  }
-  if (!sender_coins_) {
-    for (const NodeId v : candidates_) {
-      const auto& slot = slots_[static_cast<std::size_t>(v)];
-      if (slot.state < 0) continue;
-      if (Rng::mix64(receiver_salt_, static_cast<std::uint64_t>(v)) <
-          receiver_threshold_) {
-        ++last_round_.receiver_fault_losses;
-        continue;
+void RadioNetwork::stamp_staged(std::span<const NodeId> senders) {
+  const NodeId n = graph_->node_count();
+  const std::size_t base = plan_senders_.size();
+  plan_senders_.insert(plan_senders_.end(), senders.begin(), senders.end());
+  if (use_bitmask_plan_) {
+    // Accumulate each mask word in a register and store it once on word
+    // change: schedules stage ascending runs of ids, so an in-memory |=
+    // per sender would serialize up to 64 read-modify-writes of the same
+    // word behind store-to-load forwarding.
+    constexpr std::size_t kNoWord = ~std::size_t{0};
+    std::size_t cw = kNoWord;
+    std::uint64_t acc = 0;
+    for (std::size_t j = 0; j < senders.size(); ++j) {
+      const NodeId u = senders[j];
+      NRN_EXPECTS(u >= 0 && u < n, "broadcaster out of range");
+      const std::size_t wi = static_cast<std::size_t>(u) >> 6;
+      if (wi != cw) {
+        if (cw != kNoWord) bcast_mask_[cw] = acc;
+        cw = wi;
+        acc = bcast_mask_[wi];
       }
-      deliveries_.push(v, slot.state);
+      const std::uint64_t bit = std::uint64_t{1} << (u & 63);
+      NRN_EXPECTS((acc & bit) == 0,
+                  "node staged to broadcast twice in one round");
+      acc |= bit;
+      plan_pos_[static_cast<std::size_t>(u)] =
+          static_cast<std::uint32_t>(base + j);
     }
+    if (cw != kNoWord) bcast_mask_[cw] = acc;
     return;
   }
-  for (const NodeId v : candidates_) {
-    const auto& slot = slots_[static_cast<std::size_t>(v)];
-    if (slot.state < 0) continue;  // collided after being recorded
-    if (faults_spare_delivery(v, slot.state)) deliveries_.push(v, slot.state);
+  const auto stamp = static_cast<std::uint32_t>(epoch_ + 1);
+  for (std::size_t j = 0; j < senders.size(); ++j) {
+    const NodeId u = senders[j];
+    NRN_EXPECTS(u >= 0 && u < n, "broadcaster out of range");
+    auto& slot = slots_[static_cast<std::size_t>(u)];
+    NRN_EXPECTS(slot.bcast_epoch != stamp,
+                "node staged to broadcast twice in one round");
+    slot.bcast_epoch = stamp;
+    slot.plan_index = static_cast<std::int32_t>(base + j);
   }
+}
+
+void RadioNetwork::stage_broadcasts(std::span<const NodeId> senders,
+                                    std::span<const PacketId> ids) {
+  NRN_EXPECTS(senders.size() == ids.size(),
+              "stage_broadcasts requires parallel spans");
+  if (senders.empty()) return;
+  if (plan_senders_.empty()) {
+    prepare_epoch();
+    // Per-entry ids from the start of the round: skip uniform compression.
+    plan_uniform_id_ = ids[0];
+  }
+  if (plan_ids_.empty()) materialize_plan_ids();
+  plan_ids_.insert(plan_ids_.end(), ids.begin(), ids.end());
+  if (!plan_payloads_.empty())
+    plan_payloads_.resize(plan_payloads_.size() + senders.size());
+  stamp_staged(senders);
+}
+
+std::size_t RadioNetwork::stage_broadcasts_bernoulli_pow2(
+    std::span<const NodeId> candidates, std::int32_t i, PacketId id,
+    Rng& rng) {
+  if (i == 0) {  // p = 1: every candidate stages, no coins on the tape
+    stage_broadcasts(candidates, id);
+    return candidates.size();
+  }
+  // The staging prologue (epoch prepare, id-mode resolution) runs lazily on
+  // the first success so a round whose every coin fails stays untouched --
+  // exactly the per-call behavior of the counting-mode set_broadcast.
+  const NodeId n = graph_->node_count();
+  bool general_ids = false;
+  bool general_payloads = false;
+  std::uint32_t stamp = 0;
+  bool inited = false;
+  auto init = [&] {
+    if (plan_senders_.empty()) {
+      prepare_epoch();
+      plan_uniform_id_ = id;
+    } else if (!plan_ids_.empty()) {
+      general_ids = true;
+    } else if (id != plan_uniform_id_) {
+      materialize_plan_ids();
+      general_ids = true;
+    }
+    general_payloads = !plan_payloads_.empty();
+    stamp = static_cast<std::uint32_t>(epoch_ + 1);
+    inited = true;
+  };
+  std::size_t staged = 0;
+  if (use_bitmask_plan_) {
+    // Same register-accumulated mask-word writes as stamp_staged: the
+    // selected subset arrives in ascending order, so per-sender in-memory
+    // |= would serialize on one word at a time.
+    constexpr std::size_t kNoWord = ~std::size_t{0};
+    std::size_t cw = kNoWord;
+    std::uint64_t acc = 0;
+    rng.for_each_bernoulli_pow2(candidates.size(), i, [&](std::size_t idx) {
+      if (!inited) init();
+      const NodeId u = candidates[idx];
+      NRN_EXPECTS(u >= 0 && u < n, "broadcaster out of range");
+      const std::size_t wi = static_cast<std::size_t>(u) >> 6;
+      if (wi != cw) {
+        if (cw != kNoWord) bcast_mask_[cw] = acc;
+        cw = wi;
+        acc = bcast_mask_[wi];
+      }
+      const std::uint64_t bit = std::uint64_t{1} << (u & 63);
+      NRN_EXPECTS((acc & bit) == 0,
+                  "node staged to broadcast twice in one round");
+      acc |= bit;
+      plan_pos_[static_cast<std::size_t>(u)] =
+          static_cast<std::uint32_t>(plan_senders_.size());
+      plan_senders_.push_back(u);
+      if (general_ids) plan_ids_.push_back(id);
+      if (general_payloads) plan_payloads_.emplace_back();
+      ++staged;
+    });
+    if (cw != kNoWord) bcast_mask_[cw] = acc;
+    return staged;
+  }
+  rng.for_each_bernoulli_pow2(candidates.size(), i, [&](std::size_t idx) {
+    if (!inited) init();
+    const NodeId u = candidates[idx];
+    NRN_EXPECTS(u >= 0 && u < n, "broadcaster out of range");
+    auto& slot = slots_[static_cast<std::size_t>(u)];
+    NRN_EXPECTS(slot.bcast_epoch != stamp,
+                "node staged to broadcast twice in one round");
+    slot.bcast_epoch = stamp;
+    slot.plan_index = static_cast<std::int32_t>(plan_senders_.size());
+    plan_senders_.push_back(u);
+    if (general_ids) plan_ids_.push_back(id);
+    if (general_payloads) plan_payloads_.emplace_back();
+    ++staged;
+  });
+  return staged;
+}
+
+void RadioNetwork::finalize_candidates(std::span<const NodeId> cands) {
+  // Collided candidates were flagged in their slots; the survivors get
+  // their fault coins here and become this round's deliveries.
+  //
+  // Every filter below is an unconditional write plus a cursor advance by
+  // a 0/1 predicate (a cmov, never a branch): whether a candidate survives
+  // a fault coin is a genuine coin flip, so a taken/not-taken branch here
+  // would mispredict at the fault rate and dominate the pass.  The coins
+  // themselves are counter-based -- pure functions of the round salt and
+  // the node id -- so pricing them over the whole survivor array in one
+  // vectorized mix64_batch sweep changes cost, never the tape.
+  const std::size_t c = cands.size();
+  if (c == 0) return;
+  auto& recv = deliveries_.receivers_;
+  auto& pidx = deliveries_.plan_index_;
+  const std::size_t base = recv.size();
+  recv.resize(base + c);
+  pidx.resize(base + c);
+  std::size_t w = base;
+  if (sender_coins_) {
+    // Tombstones and the senders' shared coins (priced per plan slot up
+    // front, plan_noisy_) fall out in the same compaction.
+    std::int64_t losses = 0;
+    for (const NodeId v : cands) {
+      const auto& slot = slots_[static_cast<std::size_t>(v)];
+      const int alive = slot.state >= 0 ? 1 : 0;
+      // Tombstoned states are negative; clamp the index so the masked
+      // plan_noisy_ read stays in bounds (its value is then ignored).
+      const std::size_t pi = alive ? static_cast<std::size_t>(slot.state) : 0;
+      const int noisy = plan_noisy_[pi] != 0 ? 1 : 0;
+      losses += alive & noisy;
+      recv[w] = v;
+      pidx[w] = slot.state;
+      w += static_cast<std::size_t>(alive & (noisy ^ 1));
+    }
+    last_round_.sender_fault_losses += losses;
+  } else {
+    for (const NodeId v : cands) {
+      const auto& slot = slots_[static_cast<std::size_t>(v)];
+      recv[w] = v;
+      pidx[w] = slot.state;
+      w += static_cast<std::size_t>(slot.state >= 0 ? 1 : 0);
+    }
+  }
+  recv.resize(w);
+  pidx.resize(w);
+  if (receiver_coins_) apply_receiver_coins(base);
+}
+
+void RadioNetwork::apply_receiver_coins(std::size_t base) {
+  // One vectorized mix over every surviving receiver id, then an in-place
+  // branch-free compaction (the read cursor never trails the write
+  // cursor, so the overlap is safe).
+  auto& recv = deliveries_.receivers_;
+  auto& pidx = deliveries_.plan_index_;
+  const std::size_t survivors = recv.size() - base;
+  if (survivors == 0) return;
+  coin_mix_scratch_.resize(survivors);
+  Rng::mix64_batch(receiver_salt_, recv.data() + base,
+                   coin_mix_scratch_.data(), survivors);
+  std::size_t w = base;
+  std::int64_t losses = 0;
+  for (std::size_t j = 0; j < survivors; ++j) {
+    const int ok = coin_mix_scratch_[j] >= receiver_threshold_ ? 1 : 0;
+    recv[w] = recv[base + j];
+    pidx[w] = pidx[base + j];
+    w += static_cast<std::size_t>(ok);
+    losses += ok ^ 1;
+  }
+  last_round_.receiver_fault_losses += losses;
+  recv.resize(w);
+  pidx.resize(w);
 }
 
 void RadioNetwork::run_round_sparse() {
@@ -158,36 +352,52 @@ void RadioNetwork::run_round_sparse() {
   // broadcasting neighbor appears.  Fault coins are applied only to the
   // candidates that survive (finalize_candidates), which is sound because
   // the receiver coin is a stateless function, not a stream draw.
+  // The classification is branch-free except for one early-out: a re-touch
+  // of a dead slot (broadcaster or already collided) changes nothing, and
+  // that test is predictable at both extremes -- almost always false in
+  // sparse rounds (touches are fresh), almost always true once a saturated
+  // round has collided most listeners.  The remaining classification
+  // (fresh vs. first collision, broadcaster vs. listener) flips like a
+  // coin with random neighbors, so it stays select-based: every surviving
+  // touch unconditionally rewrites the slot's (touch_epoch, state) pair
+  // and candidate recording is a write-always/advance-by-predicate cursor.
   const auto stamp = static_cast<std::uint32_t>(epoch_);
-  candidates_.clear();
-  for (std::size_t i = 0; i < plan_.size(); ++i) {
-    const NodeId b = plan_[i].sender;
+  if (candidates_.size() < slots_.size()) candidates_.resize(slots_.size());
+  NodeId* cand = candidates_.data();
+  std::size_t nc = 0;
+  std::int64_t collisions = 0;
+  NodeSlot* const slots = slots_.data();
+  for (std::size_t i = 0; i < plan_senders_.size(); ++i) {
+    const NodeId b = plan_senders_[i];
     for (const NodeId v : graph_->neighbors(b)) {
-      auto& slot = slots_[static_cast<std::size_t>(v)];
-      if (slot.touch_epoch != stamp) {
-        slot.touch_epoch = stamp;
-        if (slot.bcast_epoch == stamp) {
-          slot.state = kNotListening;
-        } else {
-          slot.state = static_cast<std::int32_t>(i);
-          candidates_.push_back(v);
-        }
-      } else if (slot.state >= 0) {
-        // Second broadcasting neighbor: the candidate becomes a collision.
-        ++last_round_.collision_losses;
-        slot.state = kCollided;
-      }
+      NodeSlot& slot = slots[static_cast<std::size_t>(v)];
+      const int fresh = slot.touch_epoch != stamp ? 1 : 0;
+      if (fresh == 0 && slot.state < 0) continue;  // dead slot: no-op touch
+      const int bcast = slot.bcast_epoch == stamp ? 1 : 0;
+      const std::int32_t first = bcast ? kNotListening
+                                       : static_cast<std::int32_t>(i);
+      slot.state = fresh ? first : kCollided;  // !fresh here => was live
+      slot.touch_epoch = stamp;
+      collisions += fresh ^ 1;
+      cand[nc] = v;
+      nc += static_cast<std::size_t>(fresh & (bcast ^ 1));
     }
   }
-  finalize_candidates();
+  last_round_.collision_losses += collisions;
+  finalize_candidates({cand, nc});
 }
 
 void RadioNetwork::run_round_dense() {
   // Listener-centric flat pass over the CSR rows.  Counting stops at two
   // broadcasting neighbors -- collisions need no exact multiplicity -- so
   // rounds with many broadcasters touch only a short prefix of each row.
+  // Unique listeners are recorded as candidates (ascending by
+  // construction) and priced in the shared batched finalize pass.
   const auto stamp = static_cast<std::uint32_t>(epoch_);
   const NodeId n = graph_->node_count();
+  if (candidates_.size() < slots_.size()) candidates_.resize(slots_.size());
+  NodeId* cand = candidates_.data();
+  std::size_t nc = 0;
   for (NodeId v = 0; v < n; ++v) {
     const auto vi = static_cast<std::size_t>(v);
     if (slots_[vi].bcast_epoch == stamp) continue;  // not listening
@@ -204,41 +414,136 @@ void RadioNetwork::run_round_dense() {
       ++last_round_.collision_losses;
       continue;
     }
-    const auto plan_index =
-        slots_[static_cast<std::size_t>(sender)].plan_index;
-    if (faults_spare_delivery(v, plan_index)) deliveries_.push(v, plan_index);
+    slots_[vi].state = slots_[static_cast<std::size_t>(sender)].plan_index;
+    cand[nc++] = v;
   }
+  finalize_candidates({cand, nc});
+}
+
+void RadioNetwork::run_round_adjacent() {
+  // Word-parallel kernel for consecutive-id adjacency (see the header
+  // comment): with B the broadcaster bitmask, listener v hears its left
+  // neighbor iff B[v-1] and the (v-1, v) edge exists, symmetrically on the
+  // right.  Exactly-one-neighbor reception is then XOR, collisions are
+  // AND, and candidates and loss counts fall out of shifts, masks, and
+  // popcounts 64 listeners at a time -- no per-touch slot traffic.  Fault
+  // coins are id-keyed (v4 tape), so the bit-algebra formulation prices
+  // coins identical to the sparse and dense kernels'.
+  const std::size_t words = bcast_mask_.size();
+  std::uint64_t* const B = bcast_mask_.data();  // populated at staging time
+  // Counting pass: per-word candidate and hears-left masks (kept for the
+  // emission pass), collision popcounts, and the exact candidate total so
+  // the delivery arrays are sized once.
+  std::int64_t collisions = 0;
+  std::size_t total = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t b = B[w];
+    const std::uint64_t next = w + 1 < words ? B[w + 1] : 0;
+    B[w] = 0;  // this pass visits every word anyway: reset inline for free
+    const std::uint64_t hl = ((b << 1) | (prev >> 63)) & left_edge_mask_[w];
+    const std::uint64_t hr = ((b >> 1) | (next << 63)) & right_edge_mask_[w];
+    const std::uint64_t cand = ~b & (hl ^ hr);
+    collisions +=
+        static_cast<std::int64_t>(std::popcount(~b & hl & hr));
+    total += static_cast<std::size_t>(std::popcount(cand));
+    cand_mask_scratch_[w] = cand;
+    hear_left_scratch_[w] = hl;
+    prev = b;
+  }
+  last_round_.collision_losses += collisions;
+  // Emission pass: walk the candidate bits (ascending, so the v4 ordering
+  // contract holds with no sort) and read the sole sender's plan index
+  // from its staging slot.
+  auto& recv = deliveries_.receivers_;
+  auto& pidx = deliveries_.plan_index_;
+  const std::size_t base = recv.size();
+  recv.resize(base + total);
+  pidx.resize(base + total);
+  std::size_t wr = base;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t cand = cand_mask_scratch_[w];
+    const std::uint64_t hl = hear_left_scratch_[w];
+    const NodeId word_base = static_cast<NodeId>(w << 6);
+    while (cand != 0) {
+      const int j = std::countr_zero(cand);
+      const NodeId v = word_base + j;
+      const NodeId s = v + (((hl >> j) & 1) != 0 ? -1 : 1);
+      recv[wr] = v;
+      pidx[wr] = static_cast<std::int32_t>(plan_pos_[static_cast<std::size_t>(s)]);
+      ++wr;
+      cand &= cand - 1;
+    }
+  }
+  // Coin tail: the senders' shared coins compact in place (no tombstones
+  // here -- collisions never entered the arrays), then the receiver pass.
+  if (sender_coins_) {
+    std::size_t w2 = base;
+    std::int64_t losses = 0;
+    for (std::size_t j = base; j < wr; ++j) {
+      const int noisy =
+          plan_noisy_[static_cast<std::size_t>(pidx[j])] != 0 ? 1 : 0;
+      recv[w2] = recv[j];
+      pidx[w2] = pidx[j];
+      w2 += static_cast<std::size_t>(noisy ^ 1);
+      losses += noisy;
+    }
+    last_round_.sender_fault_losses += losses;
+    recv.resize(w2);
+    pidx.resize(w2);
+  }
+  if (receiver_coins_) apply_receiver_coins(base);
 }
 
 const DeliveryList& RadioNetwork::run_round() {
   ++epoch_;
   deliveries_.clear();
   last_round_ = RoundStats{};
-  last_round_.broadcasters = static_cast<std::int64_t>(plan_.size());
+  const std::size_t staged = plan_senders_.size();
+  last_round_.broadcasters = static_cast<std::int64_t>(staged);
 
-  // Sender-fault coins: one per broadcaster per round, in staging order;
-  // then one stream draw salts this round's counter-based receiver coins.
-  if (sender_coins_) {
-    plan_noisy_.resize(plan_.size());
-    for (std::size_t i = 0; i < plan_noisy_.size(); ++i)
-      plan_noisy_[i] = rng_() < sender_threshold_ ? 1 : 0;
+  // v4 tape: a round with broadcasters and any coin in play draws exactly
+  // one salt; both coin families derive from it by domain separation.
+  // Sender coins are then priced per plan slot in one batched pass (each
+  // sender's coin is shared by all its receivers).
+  if ((sender_coins_ || receiver_coins_) && staged != 0) {
+    const std::uint64_t salt = rng_();
+    sender_salt_ = salt ^ kSenderSaltTweak;
+    receiver_salt_ = salt ^ kReceiverSaltTweak;
+    if (sender_coins_) {
+      plan_noisy_.resize(staged);
+      std::uint64_t ids[Rng::kCoinBatch];
+      std::uint64_t mixed[Rng::kCoinBatch];
+      for (std::size_t base = 0; base < staged; base += Rng::kCoinBatch) {
+        const std::size_t m = std::min(Rng::kCoinBatch, staged - base);
+        for (std::size_t j = 0; j < m; ++j)
+          ids[j] = static_cast<std::uint64_t>(plan_senders_[base + j]);
+        Rng::mix64_batch(sender_salt_, ids, mixed, m);
+        for (std::size_t j = 0; j < m; ++j)
+          plan_noisy_[base + j] = mixed[j] < sender_threshold_ ? 1 : 0;
+      }
+    }
   }
-  if (receiver_coins_ && !plan_.empty()) receiver_salt_ = rng_();
 
-  if (!plan_.empty()) {
-    const bool dense = kernel_ == Kernel::kDense ||
-                       (kernel_ == Kernel::kAuto &&
-                        plan_.size() >= dense_plan_threshold_);
-    if (dense)
-      run_round_dense();
-    else
-      run_round_sparse();
-    // v3 contract: deliveries are emitted in ascending receiver id.  The
-    // dense kernel scans that way natively; the sparse kernel's touch
-    // order usually is ascending too, so probe before sorting.
-    if (!std::is_sorted(deliveries_.receivers_.begin(),
-                        deliveries_.receivers_.end()))
-      deliveries_.sort_by_receiver(sort_scratch_);
+  if (staged != 0) {
+    if (use_bitmask_plan_) {
+      run_round_adjacent();
+      // Deliveries were emitted by ascending bit walk: already in the v4
+      // contract's order, no probe needed.
+    } else {
+      if (kernel_ == Kernel::kDense ||
+          (kernel_ == Kernel::kAuto && staged >= dense_plan_threshold_)) {
+        run_round_dense();
+      } else {
+        run_round_sparse();
+      }
+      // v4 contract: deliveries are emitted in ascending receiver id.
+      // The dense kernel scans that way natively; the sparse kernel's
+      // touch order usually is ascending too, so probe before sorting.
+      if (!std::is_sorted(deliveries_.receivers_.begin(),
+                          deliveries_.receivers_.end()))
+        deliveries_.sort_by_receiver(sort_scratch_);
+    }
   }
   last_round_.deliveries = static_cast<std::int64_t>(deliveries_.size());
 
@@ -249,18 +554,23 @@ const DeliveryList& RadioNetwork::run_round() {
   totals_.sender_fault_losses += last_round_.sender_fault_losses;
   totals_.receiver_fault_losses += last_round_.receiver_fault_losses;
 
-  // Keep the executed plan alive (deliveries reference its packets); the
-  // buffers swap back and forth so neither ever reallocates in steady
-  // state.
-  plan_.swap(executed_plan_);
-  plan_.clear();
+  // Hand the executed plan to the delivery list (its proxies reference the
+  // arrays); the buffers swap back and forth so none ever reallocates in
+  // steady state.
+  plan_senders_.swap(deliveries_.senders_);
+  plan_ids_.swap(deliveries_.ids_);
+  plan_payloads_.swap(deliveries_.payloads_);
+  deliveries_.uniform_id_ = plan_uniform_id_;
+  plan_senders_.clear();
+  plan_ids_.clear();
+  plan_payloads_.clear();
   return deliveries_;
 }
 
 void RadioNetwork::run_silent_round() { run_silent_rounds(1); }
 
 void RadioNetwork::run_silent_rounds(std::int64_t k) {
-  NRN_EXPECTS(plan_.empty(), "silent rounds with staged broadcasters");
+  NRN_EXPECTS(plan_senders_.empty(), "silent rounds with staged broadcasters");
   NRN_EXPECTS(k >= 0, "negative round count");
   if (k == 0) return;
   // A round with no broadcasters touches no node and draws no coin; the

@@ -10,39 +10,51 @@
 //   broadcaster per round, shared by all its receivers) nor a receiver
 //   fault (one coin per receiver) struck.
 //
-// Two kernels implement the rule; both produce bit-identical rounds:
-//   * sparse -- one pass over the staged broadcasters' adjacency: a
+// Three kernels implement the rule; all produce bit-identical rounds:
+//   * sparse   -- one pass over the staged broadcasters' adjacency: a
 //     listener becomes a delivery candidate at first touch (its slot
 //     records the sole sender's plan index) and is flagged collided if a
 //     second broadcasting neighbor appears; a final pass over the
 //     candidate list applies the fault coins to the survivors.
 //     Epoch-stamped 16-byte node slots; no O(n) clearing.
-//   * dense  -- one flat listener-centric pass over the CSR rows, counting
-//     broadcasting neighbors with an early exit at two (a collision is a
-//     collision regardless of multiplicity).
-// The dense kernel is selected when broadcasters times the graph's
-// average degree reaches kDenseWorkFactor * n (see run_round); set_kernel
-// can force either for tests and benchmarks.
+//   * dense    -- one flat listener-centric pass over the CSR rows,
+//     counting broadcasting neighbors with an early exit at two (a
+//     collision is a collision regardless of multiplicity).
+//   * adjacent -- for graphs whose every edge joins consecutive node ids
+//     (paths and unions of subpaths): reception becomes word-parallel bit
+//     algebra on a broadcaster bitmask, candidates and collisions falling
+//     out of shifts, masks, and popcounts 64 listeners at a time.
+// Auto selection prefers adjacent when the topology qualifies, otherwise
+// dense once broadcasters times the graph's average degree reaches
+// kDenseWorkFactor * n (see run_round), otherwise sparse; set_kernel can
+// force any of them for tests and benchmarks.
 //
-// v3 coin-tape contract (deterministic given the engine seed; asserted in
+// v4 coin-tape contract (deterministic given the engine seed; asserted in
 // tests/test_engine_kernels.cpp):
 //   1. All coins are u64 values compared against Rng::coin_threshold(p);
 //      no doubles on the tape.
-//   2. Per round, sender-fault coins are drawn from the engine's xoshiro
-//      stream first: one per staged broadcaster, in staging order, iff the
-//      model's sender-side probability is > 0.
-//   3. One receiver-coin salt is then drawn from the stream -- iff the
-//      receiver-side probability is > 0 and at least one broadcaster is
-//      staged.  The receiver-fault coin of listener v is the stateless
-//      Rng::mix64(salt, v), evaluated only for listeners with exactly one
-//      broadcasting neighbor whose sender coin was clean.  Being
-//      counter-based, the coin is independent of evaluation order, so
-//      kernels never have to agree on a per-listener draw sequence.
+//   2. Per round, iff the model has any fault probability > 0 AND at least
+//      one broadcaster is staged, exactly ONE u64 salt is drawn from the
+//      engine's xoshiro stream.  The round's sender-coin and receiver-coin
+//      salts derive from that draw by the domain-separation tweaks
+//      kSenderSaltTweak / kReceiverSaltTweak.
+//   3. Every fault coin is stateless and counter-based: broadcaster u's
+//      sender coin is Rng::mix64(sender_salt, u) and listener v's receiver
+//      coin is Rng::mix64(receiver_salt, v), each compared against its
+//      coin_threshold.  Coins are keyed by node id -- never by staging
+//      order or plan position -- so any kernel (scalar sparse/dense, or a
+//      lane of the lockstep bank) prices identical coins in any evaluation
+//      order, and batch mixers price them eight at a time.  A round's
+//      whole fault tape hangs off one stream draw, which is what makes
+//      lockstep lanes cheap (radio/lockstep.hpp).
 //   4. Deliveries are emitted in ascending receiver id.
 //   5. Silent rounds, empty rounds, and zero-probability models draw no
 //      coins at all.
 // The tape is independent of kernel choice and of any algorithm
 // randomness, so an algorithm change never perturbs the fault tape.
+// (v3 drew one sender coin per broadcaster in staging order plus a
+// separate receiver salt; v4 collapses a round's fault randomness to a
+// single draw.  Record/shard/cache formats bumped to v5 -- docs/formats.md.)
 #pragma once
 
 #include <cstdint>
@@ -58,28 +70,32 @@ namespace nrn::radio {
 
 using graph::NodeId;
 
-/// One broadcast staged for the current round.  Packets live here for the
-/// duration of the round; deliveries reference them by index instead of
-/// copying (Payload is a shared_ptr -- per-delivery copies were refcount
-/// traffic on the hot path).  Sender-fault coin outcomes live in a
-/// separate per-round byte array inside the engine.
-struct StagedBroadcast {
-  NodeId sender;
-  Packet packet;
-};
+/// Domain-separation tweaks: a round's single salt draw is XORed with
+/// these to key the sender-coin and receiver-coin families independently
+/// (tape v4, point 2 of the contract above).  Arbitrary odd constants;
+/// changing them changes the tape and requires a format bump.
+inline constexpr std::uint64_t kSenderSaltTweak = 0x53454e444552ULL << 8 | 1;
+inline constexpr std::uint64_t kReceiverSaltTweak = 0x524543564552ULL << 8 | 3;
 
 /// The deliveries of one round, structure-of-arrays: receiver ids plus
 /// indices into the executed round's staging plan.  Iteration yields
-/// lightweight Delivery proxies; the referenced packets stay valid until
-/// the next run_round call.
+/// lightweight Delivery proxies; the referenced plan arrays stay valid
+/// until the next run_round call.
 class DeliveryList {
  public:
-  /// A view of one successful reception (proxy, cheap to copy; the packet
-  /// reference points into the executed staging plan).
+  /// What a receiver sees of the staged packet (proxy: id by value, payload
+  /// by reference into the executed plan -- per-delivery shared_ptr copies
+  /// were refcount traffic on the hot path).
+  struct PacketView {
+    PacketId id;
+    const Payload& payload;
+  };
+
+  /// A view of one successful reception (proxy, cheap to copy).
   struct Delivery {
     NodeId receiver;
     NodeId sender;
-    const Packet& packet;
+    PacketView packet;
   };
 
   class const_iterator {
@@ -110,8 +126,14 @@ class DeliveryList {
   std::span<const NodeId> receivers() const { return receivers_; }
 
   Delivery operator[](std::size_t i) const {
-    const auto& staged = (*plan_)[static_cast<std::size_t>(plan_index_[i])];
-    return Delivery{receivers_[i], staged.sender, staged.packet};
+    const auto idx = static_cast<std::size_t>(plan_index_[i]);
+    // The executed plan is structure-of-arrays with uniform-round
+    // compression: an empty ids/payloads vector means every staged packet
+    // shared uniform_id_ / a null payload (the counting-mode common case).
+    return Delivery{
+        receivers_[i], senders_[idx],
+        PacketView{ids_.empty() ? uniform_id_ : ids_[idx],
+                   payloads_.empty() ? null_payload() : payloads_[idx]}};
   }
   Delivery front() const {
     NRN_EXPECTS(!empty(), "front() of an empty delivery list");
@@ -123,6 +145,11 @@ class DeliveryList {
 
  private:
   friend class RadioNetwork;
+
+  static const Payload& null_payload() {
+    static const Payload kNull{};
+    return kNull;
+  }
 
   void clear() {
     receivers_.clear();
@@ -139,7 +166,13 @@ class DeliveryList {
 
   std::vector<NodeId> receivers_;
   std::vector<std::int32_t> plan_index_;
-  const std::vector<StagedBroadcast>* plan_ = nullptr;
+  // The executed round's staging plan, structure-of-arrays.  The list OWNS
+  // these (the network swaps its staging buffers in at round end), so it
+  // is self-contained and a moved RadioNetwork's deliveries never dangle.
+  std::vector<NodeId> senders_;
+  std::vector<PacketId> ids_;
+  std::vector<Payload> payloads_;
+  PacketId uniform_id_ = 0;
 };
 
 /// Alias so call sites can keep spelling the element type `Delivery`.
@@ -152,6 +185,8 @@ struct RoundStats {
   std::int64_t collision_losses = 0; ///< listeners with >= 2 tx neighbors
   std::int64_t sender_fault_losses = 0;
   std::int64_t receiver_fault_losses = 0;
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
 /// Cumulative counters over the life of the network.
@@ -166,7 +201,7 @@ struct NetworkTotals {
 
 class RadioNetwork {
  public:
-  enum class Kernel { kAuto, kSparse, kDense };
+  enum class Kernel { kAuto, kSparse, kDense, kAdjacent };
 
   /// Dense kernel threshold: auto selects dense when broadcasters times
   /// the graph's average degree reaches kDenseWorkFactor * node_count,
@@ -190,10 +225,32 @@ class RadioNetwork {
   const graph::Graph& graph() const { return *graph_; }
   const FaultModel& fault_model() const { return fault_model_; }
 
-  /// Forces a round kernel (kAuto re-enables the threshold heuristic).
-  /// Kernel choice never changes results; this exists for tests and
-  /// benchmarks.
-  void set_kernel(Kernel kernel) { kernel_ = kernel; }
+  /// True iff every edge of `g` joins consecutive node ids (the topology
+  /// is a disjoint union of id-contiguous subpaths), i.e. the adjacent
+  /// word-parallel kernel is eligible.  The Driver consults this when
+  /// choosing between the scalar engine and a lockstep bank: on such
+  /// graphs the scalar adjacent kernel beats the bank's shared pass.
+  static bool consecutive_adjacency(const graph::Graph& g) {
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      for (const NodeId u : g.neighbors(v))
+        if (u != v - 1 && u != v + 1) return false;
+    return true;
+  }
+
+  /// Forces a round kernel (kAuto re-enables the heuristics; kAdjacent
+  /// requires a consecutive-id topology).  Kernel choice never changes
+  /// results; this exists for tests and benchmarks.  Must be called with
+  /// no broadcasts staged: the staging representation (bitmask plan vs
+  /// node slots) is chosen per kernel route, so it cannot change mid-round.
+  void set_kernel(Kernel kernel) {
+    NRN_EXPECTS(plan_senders_.empty(),
+                "set_kernel with broadcasts already staged");
+    NRN_EXPECTS(kernel != Kernel::kAdjacent || adjacent_ok_,
+                "adjacent kernel forced on a non-consecutive-id topology");
+    kernel_ = kernel;
+    use_bitmask_plan_ = adjacent_ok_ && (kernel == Kernel::kAuto ||
+                                         kernel == Kernel::kAdjacent);
+  }
 
   /// Stages node `u` to broadcast `packet` this round.  A node may be
   /// staged at most once per round.
@@ -205,20 +262,59 @@ class RadioNetwork {
   void set_broadcast(NodeId u, PacketId id) {
     NRN_EXPECTS(u >= 0 && u < graph_->node_count(),
                 "broadcaster out of range");
-    if (plan_.empty()) prepare_epoch();
-    const auto stamp = static_cast<std::uint32_t>(epoch_ + 1);
-    auto& slot = slots_[static_cast<std::size_t>(u)];
-    NRN_EXPECTS(slot.bcast_epoch != stamp,
-                "node staged to broadcast twice in one round");
-    slot.bcast_epoch = stamp;
-    slot.plan_index = static_cast<std::int32_t>(plan_.size());
-    auto& staged = plan_.emplace_back();
-    staged.sender = u;
-    staged.packet.id = id;
+    const bool first = plan_senders_.empty();
+    if (first) prepare_epoch();
+    if (use_bitmask_plan_) {
+      std::uint64_t& word = bcast_mask_[static_cast<std::size_t>(u) >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (u & 63);
+      NRN_EXPECTS((word & bit) == 0,
+                  "node staged to broadcast twice in one round");
+      word |= bit;
+      plan_pos_[static_cast<std::size_t>(u)] =
+          static_cast<std::uint32_t>(plan_senders_.size());
+    } else {
+      const auto stamp = static_cast<std::uint32_t>(epoch_ + 1);
+      auto& slot = slots_[static_cast<std::size_t>(u)];
+      NRN_EXPECTS(slot.bcast_epoch != stamp,
+                  "node staged to broadcast twice in one round");
+      slot.bcast_epoch = stamp;
+      slot.plan_index = static_cast<std::int32_t>(plan_senders_.size());
+    }
+    if (first) {
+      plan_uniform_id_ = id;
+    } else if (!plan_ids_.empty()) {
+      plan_ids_.push_back(id);  // already per-entry ids
+    } else if (id != plan_uniform_id_) {
+      materialize_plan_ids();  // cold: first divergent id this round
+      plan_ids_.push_back(id);
+    }
+    if (!plan_payloads_.empty()) plan_payloads_.emplace_back();
+    plan_senders_.push_back(u);
   }
 
+  /// Bulk staging: stages every node of `senders`, in order, all carrying
+  /// the id-only packet `id`.  Identical semantics and tape to calling the
+  /// counting-mode set_broadcast once per node, but the epoch prepare and
+  /// plan resize are hoisted out and the stamp/slot writes run in one
+  /// tight loop -- the staging path the schedule protocols feed whole
+  /// informed sets through.
+  void stage_broadcasts(std::span<const NodeId> senders, PacketId id);
+
+  /// Bulk staging with per-sender packet ids (parallel spans of equal
+  /// length) for multi-message schedules.
+  void stage_broadcasts(std::span<const NodeId> senders,
+                        std::span<const PacketId> ids);
+
+  /// Fuses a Bernoulli(2^-i) selection into the staging pass: stages the
+  /// coin-selected subset of `candidates`, drawing from `rng` exactly the
+  /// Rng::for_each_bernoulli_pow2 tape over the candidate list (i == 0
+  /// stages all of them and draws nothing).  Returns the number staged.
+  std::size_t stage_broadcasts_bernoulli_pow2(
+      std::span<const NodeId> candidates, std::int32_t i, PacketId id,
+      Rng& rng);
+
   /// Number of broadcasters staged for the current round so far.
-  std::size_t staged_count() const { return plan_.size(); }
+  std::size_t staged_count() const { return plan_senders_.size(); }
 
   /// Executes one synchronized round with the staged broadcasters, clears
   /// the plan, and returns the deliveries (buffer reused across rounds).
@@ -238,30 +334,49 @@ class RadioNetwork {
  private:
   void run_round_sparse();
   void run_round_dense();
+  void run_round_adjacent();
 
-  /// Applies the fault coins to a confirmed unique listener: the sender's
-  /// shared fault coin, then the listener's stateless receiver coin; on
-  /// survival the delivery is kept/recorded.  Shared by the dense kernel
-  /// (which knows finality immediately) and the sparse kernel's
-  /// candidate-compaction pass.
-  bool faults_spare_delivery(NodeId v, std::int32_t plan_index);
+  /// Shared final pass of the sparse and dense kernels: drops tombstoned
+  /// delivery candidates, applies the senders' shared fault coins (priced
+  /// once per plan slot, batched), then prices the survivors' receiver
+  /// coins -- the only place fault coins are evaluated.
+  void finalize_candidates(std::span<const NodeId> cands);
 
-  /// Drops tombstoned delivery candidates and applies the fault coins to
-  /// the survivors, in place (the sparse kernel's final pass).
-  void finalize_candidates();
+  /// Receiver-coin tail shared by every kernel: prices the id-keyed coins
+  /// of deliveries_[base..] in one vectorized sweep and compacts the
+  /// survivors in place.
+  void apply_receiver_coins(std::size_t base);
 
   /// Ensures the next round's u32 epoch stamp is non-zero, flushing the
   /// slot arrays once every 2^32 rounds so stale stamps can never match.
   void prepare_epoch();
 
+  /// Shared tail of the bulk staging paths: appends `senders` to the plan
+  /// and records each broadcaster in the active staging representation
+  /// (bitmask plan or epoch-stamped slots), enforcing the range and
+  /// staged-once contracts.
+  void stamp_staged(std::span<const NodeId> senders);
+
+  /// Cold path of the uniform-id plan compression: expands plan_ids_ to one
+  /// entry per staged broadcaster (all plan_uniform_id_ so far) when a
+  /// round first stages a divergent packet id.
+  void materialize_plan_ids();
+
+  /// Cold path of the payload compression: expands plan_payloads_ to one
+  /// (null) entry per staged broadcaster when a round first stages a
+  /// payload-carrying packet.
+  void materialize_plan_payloads();
+
   const graph::Graph* graph_;
   FaultModel fault_model_;
   Rng rng_;
 
-  // Fixed-point coin thresholds (v3 tape: u64 compares, no doubles).
+  // Fixed-point coin thresholds (v4 tape: u64 compares, no doubles) and
+  // this round's tweaked mix64 salts.
   std::uint64_t sender_threshold_ = 0;
   std::uint64_t receiver_threshold_ = 0;
-  std::uint64_t receiver_salt_ = 0;  // this round's mix64 salt
+  std::uint64_t sender_salt_ = 0;
+  std::uint64_t receiver_salt_ = 0;
   bool sender_coins_ = false;
   bool receiver_coins_ = false;
 
@@ -270,14 +385,55 @@ class RadioNetwork {
   // precomputed kDenseWorkFactor * n / avg_degree (see run_round).
   std::size_t dense_plan_threshold_ = ~std::size_t{0};
 
-  std::vector<StagedBroadcast> plan_;
-  std::vector<StagedBroadcast> executed_plan_;  // last round's plan
+  // Structured-adjacency kernel (run_round_adjacent): eligible when every
+  // edge of the graph joins consecutive node ids, i.e. the topology is a
+  // disjoint union of subpaths laid out along the integer line (paths are
+  // the motivating case).  Reception then reduces to word-parallel bit
+  // algebra on a broadcaster bitmask -- no per-touch slot traffic at all.
+  // left/right_edge_mask_ record, per node bit, whether the edge to v-1 /
+  // v+1 exists; bcast_mask_ is the per-round broadcaster set (cleared
+  // per-sender after use so sparse rounds never pay O(n)).
+  bool adjacent_ok_ = false;
+  // True when the adjacent kernel is the resolved round route (eligible
+  // topology and kAuto or kAdjacent): staging then records broadcasters
+  // in bcast_mask_ + plan_pos_ (one bit set and one u32 store per stage)
+  // instead of the 16-byte node slots the sparse/dense kernels read.
+  bool use_bitmask_plan_ = false;
+  std::vector<std::uint32_t> plan_pos_;
+  std::vector<std::uint64_t> bcast_mask_;
+  std::vector<std::uint64_t> left_edge_mask_;
+  std::vector<std::uint64_t> right_edge_mask_;
+  // Per-word candidate and hears-left masks staged between the counting
+  // and emission passes of the adjacent kernel.
+  std::vector<std::uint64_t> cand_mask_scratch_;
+  std::vector<std::uint64_t> hear_left_scratch_;
+
+  // The staging plan, structure-of-arrays with uniform-round compression:
+  // senders always hold one entry per staged broadcast (plan order); the
+  // ids and payloads vectors stay EMPTY while every staged packet shares
+  // plan_uniform_id_ and a null payload (the counting-mode common case --
+  // bulk staging then writes 4 bytes per broadcast, and the kernels stream
+  // the sender array instead of striding over packet structs).  The first
+  // divergent id or payload-carrying packet materializes the per-entry
+  // vector (see materialize_plan_ids / materialize_plan_payloads).
+  std::vector<NodeId> plan_senders_;
+  std::vector<PacketId> plan_ids_;
+  std::vector<Payload> plan_payloads_;
+  PacketId plan_uniform_id_ = 0;
+  // The last executed round's plan lives inside deliveries_ (the list owns
+  // the arrays its proxies reference); the buffers swap back and forth
+  // with the plan_* vectors so none reallocates in steady state.
   // Sender-fault coin outcomes for the current round, one byte per staged
-  // broadcaster (kept out of StagedBroadcast so the resolve path streams
-  // bytes and the executed plan swap stays payload-only).
+  // broadcaster: mix64(sender_salt_, sender) priced for the whole plan in
+  // one batched pass, then read per delivery candidate (a sender's coin is
+  // shared by all its receivers).
   std::vector<std::uint8_t> plan_noisy_;
   DeliveryList deliveries_;
   std::vector<std::uint64_t> sort_scratch_;
+  // Receiver-coin pricing scratch: the survivors' mixed coin values, sized
+  // to the round's survivor count so mix64_batch runs one vectorized sweep
+  // over the whole array (apply_receiver_coins).
+  std::vector<std::uint64_t> coin_mix_scratch_;
 
   // Epoch-stamped per-node scratch; avoids O(n) clearing each round.  The
   // per-node fields are packed into 8-byte slots (u32 epoch stamps; see
@@ -295,7 +451,7 @@ class RadioNetwork {
     std::uint32_t touch_epoch = 0;
     std::int32_t state = 0;
     std::uint32_t bcast_epoch = 0;  // staged for the round when == epoch+1
-    std::int32_t plan_index = -1;   // index into plan_
+    std::int32_t plan_index = -1;   // index into the staging plan
   };
   std::uint64_t epoch_ = 0;
   // Epoch of the last slot flush: stamps are unique within one u32 cycle

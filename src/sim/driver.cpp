@@ -1,7 +1,9 @@
 #include "sim/driver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "common/stats.hpp"
@@ -161,6 +163,84 @@ ExperimentReport Driver::run(const Scenario& scenario,
       static_cast<std::size_t>(pool.slot_count()));
   const bool traced =
       options.trace && (report.capabilities & kTraced) != 0u;
+
+  // Lockstep bank path: banks of up to kMaxLanes consecutive trials share
+  // one adjacency pass per round.  Available only when the protocol can
+  // step (make_stepper non-null); a lane replays exactly the scalar tape
+  // -- same stepper, same per-trial Rng streams -- so reports are
+  // bit-identical to the scalar path below.
+  bool lockstep = false;
+  if (options.execution != TrialExecution::kScalar &&
+      protocol->make_stepper(nullptr) != nullptr) {
+    // Auto never banks a consecutive-id topology: there the scalar
+    // engine's word-parallel adjacent kernel resolves a round in O(n/64),
+    // which beats the bank's shared per-edge pass even across 8 lanes.
+    lockstep = options.execution == TrialExecution::kLockstep ||
+               (trials >= 2 && report.node_count <= kLockstepAutoMaxNodes &&
+                !radio::RadioNetwork::consecutive_adjacency(graph));
+  }
+  if (lockstep) {
+    constexpr std::size_t kLanes =
+        static_cast<std::size_t>(radio::LockstepNetwork::kMaxLanes);
+    const std::size_t bank_count =
+        (report.trials.size() + kLanes - 1) / kLanes;
+    auto run_bank = [&](std::size_t b, int slot) {
+      const std::size_t first = b * kLanes;
+      const std::size_t last = std::min(first + kLanes, report.trials.size());
+      radio::LockstepNetwork& bank =
+          workspaces[static_cast<std::size_t>(slot)].acquire_bank(
+              graph, scenario.fault);
+      std::array<std::unique_ptr<core::RoundStepper>, kLanes> steppers;
+      std::array<std::optional<radio::TraceRecorder>, kLanes> recorders;
+      std::array<Rng, kLanes> algo_rngs;
+      unsigned active = 0;
+      for (std::size_t t = first; t < last; ++t) {
+        auto& trial = report.trials[t];
+        const auto l =
+            static_cast<std::size_t>(bank.add_lane(Rng(trial.net_seed)));
+        if (traced) recorders[l].emplace();
+        steppers[l] =
+            protocol->make_stepper(traced ? &*recorders[l] : nullptr);
+        algo_rngs[l] = Rng(trial.algo_seed);
+        active |= 1u << l;
+      }
+      auto finish = [&](std::size_t l) {
+        auto& trial = report.trials[first + l];
+        trial.run = Outcome::from(steppers[l]->result());
+        if (traced) fold_trace(trial.run, *recorders[l]);
+        active &= ~(1u << l);
+      };
+      while (active != 0) {
+        unsigned ran = 0;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          if ((active & (1u << l)) == 0) continue;
+          auto port = bank.port(static_cast<int>(l));
+          if (steppers[l]->stage_round(port, algo_rngs[l]))
+            ran |= 1u << l;
+          else
+            finish(l);
+        }
+        if (ran == 0) break;
+        bank.run_round(ran);
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          if ((ran & (1u << l)) == 0) continue;
+          if (steppers[l]->absorb_round(
+                  bank.receivers(static_cast<int>(l)),
+                  bank.last_round(static_cast<int>(l))))
+            finish(l);
+        }
+      }
+    };
+    const int bank_workers =
+        std::min(options.threads, static_cast<int>(bank_count));
+    if (bank_workers <= 1) {
+      for (std::size_t b = 0; b < bank_count; ++b) run_bank(b, 0);
+    } else {
+      pool.run(bank_count, bank_workers, run_bank);
+    }
+    return report;
+  }
+
   auto run_trial = [&](std::size_t t, int slot) {
     auto& trial = report.trials[t];
     radio::RadioNetwork& net = workspaces[static_cast<std::size_t>(slot)]

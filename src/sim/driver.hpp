@@ -23,10 +23,31 @@
 #include <string>
 #include <vector>
 
+#include "radio/lockstep.hpp"
 #include "radio/network.hpp"
 #include "sim/registry.hpp"
 
 namespace nrn::sim {
+
+/// Largest node count at which kAuto picks the lockstep bank: the bank's
+/// win is the shared adjacency pass and the per-node O(n) scan, which pay
+/// off on the small-n cells that dominate sweep grids and lose to the
+/// sparse kernel's epoch slots once rounds touch a small fraction of a
+/// large graph.
+inline constexpr std::int32_t kLockstepAutoMaxNodes = 512;
+
+/// How the Driver executes a protocol's trials.  Every mode produces
+/// bit-identical reports: lockstep lanes replay exactly the scalar tape.
+enum class TrialExecution {
+  /// Lockstep for multi-trial experiments of steppable protocols at
+  /// n <= kLockstepAutoMaxNodes; scalar otherwise.
+  kAuto,
+  /// Always the scalar engine (one RadioNetwork per trial).
+  kScalar,
+  /// Lockstep banks whenever the protocol can step (make_stepper non-null),
+  /// regardless of size; scalar only for non-steppable protocols.
+  kLockstep,
+};
 
 /// One trial's outcome plus the seeds that reproduce it.
 struct TrialReport {
@@ -97,6 +118,9 @@ struct DriverOptions {
   /// whenever this is false -- no recorder is allocated and outcomes are
   /// bit-identical to an untraced run.
   bool trace = false;
+  /// Scalar vs. lockstep trial execution (see TrialExecution).  Reports
+  /// are bit-identical in every mode; this is purely a performance knob.
+  TrialExecution execution = TrialExecution::kAuto;
 };
 
 /// Per-worker arena: one RadioNetwork reused across all the trials a pool
@@ -117,8 +141,24 @@ class TrialWorkspace {
     return *net_;
   }
 
+  /// Lockstep counterpart of acquire(): one LockstepNetwork bank reused
+  /// across the banks a pool slot runs.  Lanes are seeded by the caller
+  /// (LockstepNetwork::add_lane), so no Rng is taken here.
+  radio::LockstepNetwork& acquire_bank(const graph::Graph& graph,
+                                       const radio::FaultModel& fault) {
+    if (!bank_) {
+      bank_.emplace(graph, fault);
+    } else {
+      NRN_EXPECTS(&graph == &bank_->graph(),
+                  "TrialWorkspace reused across different graphs");
+      bank_->reset(fault);
+    }
+    return *bank_;
+  }
+
  private:
   std::optional<radio::RadioNetwork> net_;
+  std::optional<radio::LockstepNetwork> bank_;
 };
 
 class Driver {

@@ -6,12 +6,14 @@
 // this constant) whenever the serialized bytes change meaning: a new or
 // reordered field, a changed number rendering, a different checksum body.
 // History: v2 typed metrics, v3 engine coin-tape overhaul (new seeds), v4
-// per-round series lines.  An unbumped change silently corrupts every warm
-// cache and poisons fleet merges, which assume bit-identical recomputes.
+// per-round series lines, v5 engine v4 batched coin tape (one salt per
+// round, id-keyed stateless coins -- every seeded outcome changes).  An
+// unbumped change silently corrupts every warm cache and poisons fleet
+// merges, which assume bit-identical recomputes.
 #pragma once
 
 namespace nrn::sim {
 
-inline constexpr int kSweepFormatVersion = 4;
+inline constexpr int kSweepFormatVersion = 5;
 
 }  // namespace nrn::sim

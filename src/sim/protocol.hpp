@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -32,6 +33,7 @@
 #include "common/numio.hpp"
 #include "common/rng.hpp"
 #include "core/run_result.hpp"
+#include "core/stepper.hpp"
 #include "radio/network.hpp"
 #include "radio/trace.hpp"
 
@@ -266,6 +268,18 @@ class BroadcastProtocol {
 
   virtual Outcome run(radio::RadioNetwork& net, Rng& rng,
                       radio::TraceRecorder* trace = nullptr) const = 0;
+
+  /// The protocol's per-round logic as a core::RoundStepper, or nullptr if
+  /// the protocol cannot step (the default).  A non-null stepper lets the
+  /// Driver run small-n trials in the lockstep bank; the protocol's own
+  /// run() must be run_stepped over the identical stepper so scalar and
+  /// lockstep trials are bit-identical by construction.  One stepper per
+  /// trial: steppers hold trial state and are never shared.
+  virtual std::unique_ptr<core::RoundStepper> make_stepper(
+      radio::TraceRecorder* trace) const {
+    (void)trace;
+    return nullptr;
+  }
 };
 
 }  // namespace nrn::sim

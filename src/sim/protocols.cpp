@@ -32,6 +32,8 @@ class DecayProtocol final : public BroadcastProtocol {
  public:
   explicit DecayProtocol(const ProtocolContext& ctx)
       : source_(ctx.scenario.source),
+        node_count_(ctx.graph.node_count()),
+        effective_loss_(ctx.scenario.fault.effective_loss()),
         algo_(core::DecayParams{ctx.tuning.decay_phase,
                                 ctx.tuning.max_rounds}) {}
 
@@ -45,15 +47,23 @@ class DecayProtocol final : public BroadcastProtocol {
     return Outcome::from(algo_.run(net, source_, rng, trace));
   }
 
+  std::unique_ptr<core::RoundStepper> make_stepper(
+      radio::TraceRecorder* trace) const override {
+    return algo_.make_stepper(node_count_, source_, effective_loss_, trace);
+  }
+
  private:
   graph::NodeId source_;
+  std::int32_t node_count_;
+  double effective_loss_;
   core::Decay algo_;
 };
 
 class FastbcProtocol final : public BroadcastProtocol {
  public:
   explicit FastbcProtocol(const ProtocolContext& ctx)
-      : algo_(ctx.graph, ctx.scenario.source,
+      : effective_loss_(ctx.scenario.fault.effective_loss()),
+        algo_(ctx.graph, ctx.scenario.source,
               core::FastbcParams{ctx.tuning.rank_modulus,
                                  ctx.tuning.decay_phase,
                                  ctx.tuning.max_rounds}) {}
@@ -68,7 +78,13 @@ class FastbcProtocol final : public BroadcastProtocol {
     return Outcome::from(algo_.run(net, rng, trace));
   }
 
+  std::unique_ptr<core::RoundStepper> make_stepper(
+      radio::TraceRecorder* trace) const override {
+    return algo_.make_stepper(effective_loss_, trace);
+  }
+
  private:
+  double effective_loss_;
   core::Fastbc algo_;
 };
 
@@ -91,7 +107,8 @@ core::RobustFastbcParams robust_params(const ProtocolContext& ctx) {
 class RobustFastbcProtocol final : public BroadcastProtocol {
  public:
   explicit RobustFastbcProtocol(const ProtocolContext& ctx)
-      : algo_(ctx.graph, ctx.scenario.source, robust_params(ctx)) {}
+      : effective_loss_(ctx.scenario.fault.effective_loss()),
+        algo_(ctx.graph, ctx.scenario.source, robust_params(ctx)) {}
 
   const std::string& name() const override {
     static const std::string n = "robust";
@@ -103,7 +120,13 @@ class RobustFastbcProtocol final : public BroadcastProtocol {
     return Outcome::from(algo_.run(net, rng, trace));
   }
 
+  std::unique_ptr<core::RoundStepper> make_stepper(
+      radio::TraceRecorder* trace) const override {
+    return algo_.make_stepper(effective_loss_, trace);
+  }
+
  private:
+  double effective_loss_;
   core::RobustFastbc algo_;
 };
 

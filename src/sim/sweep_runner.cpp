@@ -26,7 +26,7 @@ namespace {
 
 // Every "experiment vN" / "nrn-sweep-shard vN" / "nrn-sweep-cache vN"
 // literal below must track this constant (nrn_lint enforces agreement).
-static_assert(kSweepFormatVersion == 4,
+static_assert(kSweepFormatVersion == 5,
               "update every vN format literal in this file alongside "
               "kSweepFormatVersion, then regenerate the goldens");
 
@@ -89,7 +89,7 @@ std::vector<std::string> split_spaces(const std::string& s) {
 
 void append_experiment_record(std::ostream& os,
                               const ExperimentReport& report) {
-  os << "experiment v4\n"
+  os << "experiment v5\n"
      << "protocol " << report.protocol << "\n"
      << "topology " << report.scenario.topology.text << "\n"
      << "fault " << report.scenario.fault_text << "\n"
@@ -111,9 +111,10 @@ void append_experiment_record(std::ostream& os,
     for (const auto& [key, value] : trial.run.metrics)
       os << " " << key << "=" << value.serialize();
     os << "\n";
-    // v4: zero or more per-round series after the trial line they belong
-    // to.  Untraced trials emit nothing, so untraced v4 records differ
-    // from v3 only in the version literal.
+    // Since v4: zero or more per-round series after the trial line they
+    // belong to.  Untraced trials emit nothing.  v5 keeps the grammar of
+    // v4 unchanged; the bump marks the engine's v4 coin tape (every
+    // seeded outcome differs from v4 records).
     for (const auto& [key, values] : trial.run.series) {
       os << "series " << key << " " << values.size();
       for (const auto& value : values) os << " " << value.serialize();
@@ -124,7 +125,7 @@ void append_experiment_record(std::ostream& os,
 }
 
 ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
-  cursor.literal("experiment v4");
+  cursor.literal("experiment v5");
   ExperimentReport report;
   report.protocol = cursor.field("protocol ");
   const std::string topology = cursor.field("topology ");
@@ -252,7 +253,7 @@ std::optional<ExperimentReport> ResultCache::load(
   raw << in.rdbuf();
   try {
     LineCursor cursor(verified_body(raw.str()));
-    cursor.literal("nrn-sweep-cache v4");
+    cursor.literal("nrn-sweep-cache v5");
     if (cursor.field("key ") != key) return std::nullopt;  // hash collision
     ExperimentReport report = parse_experiment_cursor(cursor);
     if (!cursor.done()) bad_format("trailing data in cache entry");
@@ -281,7 +282,7 @@ std::string unique_suffix() {
 void ResultCache::store(const std::string& key,
                         const ExperimentReport& report) const {
   std::ostringstream body;
-  body << "nrn-sweep-cache v4\n"
+  body << "nrn-sweep-cache v5\n"
        << "key " << key << "\n";
   append_experiment_record(body, report);
   const std::string path = entry_path(key);
@@ -386,7 +387,7 @@ bool SweepReport::all_completed() const {
 
 void write_shard_file(std::ostream& os, const SweepReport& report) {
   std::ostringstream body;
-  body << "nrn-sweep-shard v4\n"
+  body << "nrn-sweep-shard v5\n"
        << "plan " << report.plan_text << "\n"
        << "master-seed " << report.master_seed << "\n"
        << "total-cells " << report.total_cells << "\n"
@@ -402,7 +403,7 @@ SweepReport read_shard_file(std::istream& is) {
   std::ostringstream raw;
   raw << is.rdbuf();
   LineCursor cursor(verified_body(raw.str()));
-  cursor.literal("nrn-sweep-shard v4");
+  cursor.literal("nrn-sweep-shard v5");
   SweepReport report;
   report.plan_text = cursor.field("plan ");
   report.master_seed =

@@ -37,13 +37,14 @@
 // fails verification and is silently recomputed -- the cache can make a
 // sweep faster, never wrong.
 //
-// Formats are versioned ("experiment v4" / "nrn-sweep-shard v4" /
-// "nrn-sweep-cache v4"; see docs/formats.md for the grammar).  v4 adds
-// optional per-round `series` lines after each trial line (the tracing
-// layer) and guarantees locale-independent real rendering (common/numio);
-// v3 corresponds to the engine's v3 coin-tape contract (radio/network.hpp).
-// Records and cache entries from older versions fail the version literal
-// and are recomputed rather than silently mixed with v4 results.
+// Formats are versioned ("experiment v5" / "nrn-sweep-shard v5" /
+// "nrn-sweep-cache v5"; see docs/formats.md for the grammar).  v5 keeps
+// the v4 grammar (optional per-round `series` lines, locale-independent
+// real rendering) but marks the engine's v4 batched coin tape
+// (radio/network.hpp): every seeded outcome changes, so mixing v4 and v5
+// records would poison caches and fleet merges.  Records and cache
+// entries from older versions fail the version literal and are recomputed
+// rather than silently mixed with v5 results.
 #pragma once
 
 #include <condition_variable>

@@ -7,9 +7,9 @@
 // So is the string "please never call strtod directly".
 
 std::string render(const std::map<std::string, int>& cells) {
-  std::string out = "experiment v4\n";  // literal matches the constant below
+  std::string out = "experiment v5\n";  // literal matches the constant below
   for (const auto& [key, value] : cells) out += key + "\n";
   return out;
 }
 
-inline constexpr int kSweepFormatVersion = 4;
+inline constexpr int kSweepFormatVersion = 5;

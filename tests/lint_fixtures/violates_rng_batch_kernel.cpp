@@ -1,0 +1,33 @@
+// Fixture: a kernel translation unit (the "kernel" in this file's name
+// puts it in rng-batch scope) pricing fault coins one mix64 at a time.
+#include <cstdint>
+#include <vector>
+
+// The rule is textual, so even a declaration counts.  // expect: rng-batch
+std::uint64_t mix64(std::uint64_t salt, std::uint64_t index);
+void mix64_batch(std::uint64_t salt, std::uint64_t first, std::uint64_t* out,
+                 std::size_t count);
+
+int count_losses(std::uint64_t salt, const std::vector<std::uint64_t>& ids,
+                 std::uint64_t threshold) {
+  int losses = 0;
+  for (const std::uint64_t id : ids)
+    if (mix64(salt, id) < threshold) ++losses;  // expect: rng-batch
+  return losses;
+}
+
+int count_losses_batched(std::uint64_t salt, std::uint64_t first,
+                         std::uint64_t threshold) {
+  // The approved spelling: mix64_batch does not trip the rule.
+  std::uint64_t out[8];
+  mix64_batch(salt, first, out, 8);
+  int losses = 0;
+  for (const std::uint64_t v : out) losses += v < threshold ? 1 : 0;
+  return losses;
+}
+
+int count_losses_waived(std::uint64_t salt, std::uint64_t id,
+                        std::uint64_t threshold) {
+  // nrn-lint: allow(rng-batch): one coin for one node; nothing to batch.
+  return mix64(salt, id) < threshold ? 1 : 0;
+}

@@ -1,7 +1,8 @@
-// Engine v3: the sparse and dense round kernels must be observationally
-// identical (deliveries, stats, and coin tape), the v3 coin-tape contract
-// documented in radio/network.hpp must hold exactly, and the silent-round
-// fast path and O(1) reset must preserve all bookkeeping.
+// Engine v4: the sparse and dense round kernels must be observationally
+// identical (deliveries, stats, and coin tape), the v4 coin-tape contract
+// documented in radio/network.hpp must hold exactly (one salt per active
+// round, all coins stateless mixes keyed by node id), and the silent-round
+// fast path, bulk staging, and O(1) reset must preserve all bookkeeping.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -79,6 +80,68 @@ TEST(EngineKernels, DenseSparseAndAutoAreBitIdentical) {
   }
 }
 
+// The word-parallel adjacent kernel (eligible when every edge joins
+// consecutive ids) must be observationally identical to the node-slot
+// kernels, across fault models, on a plain path and on a disjoint union
+// of id-contiguous subpaths with gaps mid-word and at word boundaries.
+TEST(EngineKernels, AdjacentKernelIsBitIdenticalOnConsecutiveTopologies) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId kSegmented = 150;
+  for (NodeId v = 0; v + 1 < kSegmented; ++v)
+    if (v % 7 != 3 && v != 63 && v != 64) edges.emplace_back(v, v + 1);
+  const Graph topologies[] = {graph::make_path(130),
+                              Graph(kSegmented, edges)};
+  const FaultModel models[] = {
+      FaultModel::faultless(), FaultModel::sender(0.3),
+      FaultModel::receiver(0.4), FaultModel::combined(0.2, 0.3)};
+  Rng meta(909);
+  for (const Graph& g : topologies) {
+    ASSERT_TRUE(RadioNetwork::consecutive_adjacency(g));
+    for (const auto& fm : models) {
+      const std::uint64_t seed = meta();
+      RadioNetwork adjacent(g, fm, Rng(seed));
+      RadioNetwork sparse(g, fm, Rng(seed));
+      RadioNetwork dense(g, fm, Rng(seed));
+      adjacent.set_kernel(RadioNetwork::Kernel::kAdjacent);
+      sparse.set_kernel(RadioNetwork::Kernel::kSparse);
+      dense.set_kernel(RadioNetwork::Kernel::kDense);
+      Rng plan_rng(seed ^ 0x1234);
+      for (int round = 0; round < 30; ++round) {
+        const auto plan = random_plan(g, 0.35, plan_rng);
+        const auto a = trace_round(adjacent, plan);
+        const auto b = trace_round(sparse, plan);
+        const auto c = trace_round(dense, plan);
+        ASSERT_EQ(a, b) << "round " << round;
+        ASSERT_EQ(a, c) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(EngineKernels, AdjacentKernelRequiresEligibleTopology) {
+  Rng meta(31);
+  EXPECT_TRUE(RadioNetwork::consecutive_adjacency(graph::make_path(20)));
+  EXPECT_FALSE(RadioNetwork::consecutive_adjacency(graph::make_star(4)));
+  EXPECT_FALSE(RadioNetwork::consecutive_adjacency(graph::make_cycle(8)));
+  EXPECT_FALSE(RadioNetwork::consecutive_adjacency(
+      graph::make_connected_gnp(24, 0.3, meta)));
+
+  const Graph star = graph::make_star(4);
+  RadioNetwork net(star, FaultModel::faultless(), Rng(1));
+  EXPECT_THROW(net.set_kernel(RadioNetwork::Kernel::kAdjacent),
+               ContractViolation);
+
+  // Kernel choice is a per-round representation decision: switching with
+  // a plan already staged is a contract violation.
+  const Graph path = graph::make_path(6);
+  RadioNetwork path_net(path, FaultModel::faultless(), Rng(2));
+  path_net.set_broadcast(0, Packet{0});
+  EXPECT_THROW(path_net.set_kernel(RadioNetwork::Kernel::kSparse),
+               ContractViolation);
+  path_net.run_round();
+  path_net.set_kernel(RadioNetwork::Kernel::kSparse);  // empty plan: fine
+}
+
 TEST(EngineKernels, DeliveriesEmittedInAscendingReceiverId) {
   Rng meta(777);
   const Graph g = graph::make_connected_gnp(60, 0.12, meta);
@@ -99,10 +162,10 @@ TEST(EngineKernels, DeliveriesEmittedInAscendingReceiverId) {
   }
 }
 
-// The v3 contract, predicted coin by coin with a shadow stream: sender
-// coins first (staging order), then one receiver salt per round, with each
-// listener's receiver coin the stateless mix64(salt, listener).
-TEST(EngineKernels, V3CoinTapeIsPredictable) {
+// The v4 contract, predicted coin by coin with a shadow stream: one u64
+// salt per active round, tweaked into a sender salt and a receiver salt,
+// with every coin the stateless mix64 of its salt with the node's id.
+TEST(EngineKernels, V4CoinTapeIsPredictable) {
   const Graph g = graph::make_star(16);  // hub 0, leaves 1..16
   const double ps = 0.35, pr = 0.45;
   const std::uint64_t seed = 2024;
@@ -116,14 +179,16 @@ TEST(EngineKernels, V3CoinTapeIsPredictable) {
     Rng shadow(seed);
     for (int round = 0; round < 200; ++round) {
       net.set_broadcast(0, Packet{round});
-      // Predict: one sender coin, one round salt, then per leaf 1..16
-      // (ascending) a counter-based coin iff the sender coin was clean.
-      const bool noisy = shadow() < sender_thr;
+      // Predict: exactly one salt, then per leaf 1..16 (ascending) a
+      // counter-based receiver coin iff the hub's sender coin was clean.
       const std::uint64_t salt = shadow();
+      const std::uint64_t sender_salt = salt ^ kSenderSaltTweak;
+      const std::uint64_t receiver_salt = salt ^ kReceiverSaltTweak;
+      const bool noisy = Rng::mix64(sender_salt, 0) < sender_thr;
       std::vector<NodeId> expected;
       if (!noisy)
         for (NodeId leaf = 1; leaf <= 16; ++leaf)
-          if (!(Rng::mix64(salt, static_cast<std::uint64_t>(leaf)) <
+          if (!(Rng::mix64(receiver_salt, static_cast<std::uint64_t>(leaf)) <
                 receiver_thr))
             expected.push_back(leaf);
       std::vector<NodeId> got;
@@ -134,28 +199,108 @@ TEST(EngineKernels, V3CoinTapeIsPredictable) {
   }
 }
 
-TEST(EngineKernels, SenderCoinsDrawnInStagingOrderNotIdOrder) {
+// v4 sender coins are keyed by node id, not by staging position: staging
+// the same plan in any order burns the same tape and delivers identically.
+TEST(EngineKernels, SenderCoinsAreStagingOrderFree) {
   const Graph g = graph::make_path(5);  // 0-1-2-3-4
   const double ps = 0.5;
   const std::uint64_t seed = 99;
   const std::uint64_t thr = Rng::coin_threshold(ps);
-  RadioNetwork net(g, FaultModel::sender(ps), Rng(seed));
+  RadioNetwork forward(g, FaultModel::sender(ps), Rng(seed));
+  RadioNetwork backward(g, FaultModel::sender(ps), Rng(seed));
   Rng shadow(seed);
   for (int round = 0; round < 100; ++round) {
-    // Stage id 3 before id 0: the first coin on the tape belongs to 3.
-    net.set_broadcast(3, Packet{3});
-    net.set_broadcast(0, Packet{0});
-    const bool noisy3 = shadow() < thr;
-    const bool noisy0 = shadow() < thr;
+    forward.set_broadcast(0, Packet{0});
+    forward.set_broadcast(3, Packet{3});
+    backward.set_broadcast(3, Packet{3});
+    backward.set_broadcast(0, Packet{0});
+    const std::uint64_t sender_salt = shadow() ^ kSenderSaltTweak;
+    const bool noisy0 = Rng::mix64(sender_salt, 0) < thr;
+    const bool noisy3 = Rng::mix64(sender_salt, 3) < thr;
     std::vector<NodeId> expected;
     if (!noisy0) expected.push_back(1);  // deliveries ascend by receiver
     if (!noisy3) {
       expected.push_back(2);
       expected.push_back(4);
     }
-    std::vector<NodeId> got;
-    for (const auto& d : net.run_round()) got.push_back(d.receiver);
-    ASSERT_EQ(got, expected) << "round " << round;
+    std::vector<NodeId> fwd, bwd;
+    for (const auto& d : forward.run_round()) fwd.push_back(d.receiver);
+    for (const auto& d : backward.run_round()) bwd.push_back(d.receiver);
+    ASSERT_EQ(fwd, expected) << "round " << round;
+    ASSERT_EQ(bwd, expected) << "round " << round;
+  }
+}
+
+// Bulk staging is pure sugar over set_broadcast: same plan, same tape,
+// same deliveries -- for the uniform-id, parallel-id, and Bernoulli forms.
+TEST(EngineKernels, BulkStagingMatchesPerNodeStaging) {
+  Rng meta(2026);
+  const Graph g = graph::make_connected_gnp(48, 0.15, meta);
+  const FaultModel fm = FaultModel::combined(0.2, 0.3);
+  const std::uint64_t seed = meta();
+
+  RadioNetwork scalar(g, fm, Rng(seed));
+  RadioNetwork bulk(g, fm, Rng(seed));
+  Rng plan_rng(seed ^ 0x5a5a);
+  for (int round = 0; round < 40; ++round) {
+    const auto plan = random_plan(g, 0.3, plan_rng);
+    std::vector<PacketId> ids;
+    for (const NodeId u : plan) ids.push_back(PacketId{u + round});
+    for (std::size_t i = 0; i < plan.size(); ++i)
+      scalar.set_broadcast(plan[i], Packet{ids[i]});
+    if (round % 2 == 0) {
+      bulk.stage_broadcasts(plan, ids);
+    } else {
+      // Uniform-id form: restage scalar's ids to match.
+      for (std::size_t i = 0; i < plan.size(); ++i) ids[i] = PacketId{7};
+      scalar.reset(fm, Rng(seed));
+      bulk.reset(fm, Rng(seed));
+      for (const NodeId u : plan) scalar.set_broadcast(u, Packet{7});
+      bulk.stage_broadcasts(plan, PacketId{7});
+    }
+    const auto& a = scalar.run_round();
+    const auto& b = bulk.run_round();
+    ASSERT_EQ(a.size(), b.size()) << "round " << round;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].receiver, b[i].receiver);
+      ASSERT_EQ(a[i].sender, b[i].sender);
+      ASSERT_EQ(a[i].packet.id, b[i].packet.id);
+    }
+    ASSERT_EQ(scalar.last_round(), bulk.last_round());
+  }
+}
+
+// The fused Bernoulli staging draws exactly the tape of the unfused
+// for_each_bernoulli_pow2 + set_broadcast sequence.
+TEST(EngineKernels, BernoulliStagingMatchesUnfusedTape) {
+  Rng meta(515);
+  const Graph g = graph::make_connected_gnp(32, 0.2, meta);
+  std::vector<NodeId> candidates;
+  for (NodeId u = 0; u < g.node_count(); u += 2) candidates.push_back(u);
+
+  for (const std::int32_t i : {0, 1, 3}) {
+    const std::uint64_t seed = meta();
+    RadioNetwork fused(g, FaultModel::receiver(0.25), Rng(seed));
+    RadioNetwork unfused(g, FaultModel::receiver(0.25), Rng(seed));
+    Rng fused_rng(seed ^ 1), unfused_rng(seed ^ 1);
+    for (int round = 0; round < 30; ++round) {
+      const std::size_t staged = fused.stage_broadcasts_bernoulli_pow2(
+          candidates, i, PacketId{round}, fused_rng);
+      std::size_t expected_staged = 0;
+      unfused_rng.for_each_bernoulli_pow2(
+          candidates.size(), i, [&](std::size_t idx) {
+            unfused.set_broadcast(candidates[idx], Packet{round});
+            ++expected_staged;
+          });
+      ASSERT_EQ(staged, expected_staged) << "i=" << i << " round " << round;
+      const auto& a = fused.run_round();
+      const auto& b = unfused.run_round();
+      ASSERT_EQ(a.size(), b.size()) << "i=" << i << " round " << round;
+      for (std::size_t d = 0; d < a.size(); ++d)
+        ASSERT_EQ(a[d].receiver, b[d].receiver);
+      // The two algo streams must stay in lockstep too.
+      ASSERT_EQ(fused_rng(), unfused_rng());
+    }
   }
 }
 

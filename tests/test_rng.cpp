@@ -417,5 +417,58 @@ TEST(Rng, ForEachBernoulliPow2MatchesGeneralTape) {
   EXPECT_EQ(via_pow2, via_general);
 }
 
+TEST(Rng, Mix64BatchMatchesScalarGathered) {
+  // The batch mixer must equal mix64 coin by coin for arbitrary gathered
+  // indices -- exactness, not statistical agreement.
+  Rng meta(2718);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t salt = meta();
+    const std::size_t count = 1 + meta.next_below(3 * Rng::kCoinBatch);
+    std::vector<std::uint64_t> index(count), out(count);
+    for (auto& idx : index) idx = meta();
+    Rng::mix64_batch(salt, index.data(), out.data(), count);
+    for (std::size_t j = 0; j < count; ++j)
+      ASSERT_EQ(out[j], Rng::mix64(salt, index[j]))
+          << "trial " << trial << " lane " << j;
+  }
+}
+
+TEST(Rng, Mix64BatchMatchesScalarConsecutive) {
+  Rng meta(3141);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t salt = meta();
+    const std::uint64_t first = meta();
+    const std::size_t count = 1 + meta.next_below(100);
+    std::vector<std::uint64_t> out(count);
+    Rng::mix64_batch(salt, first, out.data(), count);
+    for (std::size_t j = 0; j < count; ++j)
+      ASSERT_EQ(out[j], Rng::mix64(salt, first + j))
+          << "trial " << trial << " lane " << j;
+  }
+}
+
+TEST(Rng, CoinThresholdBatchMatchesScalarCoins) {
+  Rng meta(1618);
+  for (const double p : {0.0, 0.01, 0.25, 0.5, 0.9, 1.0}) {
+    const std::uint64_t threshold = Rng::coin_threshold(p);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t salt = meta();
+      const std::uint64_t first = meta();
+      const std::size_t count = 1 + meta.next_below(64);
+      const std::uint64_t hits =
+          Rng::coin_threshold_batch(salt, first, count, threshold);
+      for (std::size_t j = 0; j < count; ++j) {
+        const bool scalar = Rng::mix64(salt, first + j) < threshold;
+        ASSERT_EQ((hits >> j) & 1u, scalar ? 1u : 0u)
+            << "p=" << p << " trial " << trial << " coin " << j;
+      }
+      // Bits past `count` stay clear: callers iterate set bits directly.
+      if (count < 64) {
+        EXPECT_EQ(hits >> count, 0u);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nrn

@@ -2,12 +2,20 @@
 // per-benchmark speedups/regressions.
 //
 //   bench_diff BASELINE.json CURRENT.json [--threshold=0.25] [--fail]
+//              [--allow-debug]
 //
 // Prints one line per benchmark present in both files with the time ratio
 // (current / baseline; < 1 is faster) and items/sec where available.  A
 // benchmark whose time ratio exceeds 1 + threshold is flagged as a
 // regression.  Exit status is 0 unless --fail is given and a regression
 // was flagged, so CI can start warn-only and tighten later.
+//
+// Both files must declare an optimized build: the bench binary stamps
+// "nrn_build_type" into the JSON context (falling back to the library's
+// "library_build_type"), and bench_diff refuses (exit 2) to compare a file
+// that says "debug" -- debug timings are noise and would both mask real
+// regressions and flag phantom ones.  --allow-debug overrides the refusal
+// for local experimentation only; never commit debug numbers.
 //
 // The parser is deliberately minimal: it understands exactly the flat
 // "benchmarks" array google-benchmark emits ("name", "real_time",
@@ -69,7 +77,18 @@ bool find_field(const std::string& text, std::size_t pos, std::size_t limit,
   return true;
 }
 
-std::map<std::string, BenchResult> parse_bench_file(const std::string& path) {
+/// The file's declared build type: "nrn_build_type" (stamped by our bench
+/// main) if present, else the library's "library_build_type", else "".
+std::string declared_build_type(const std::string& text) {
+  std::string value;
+  if (find_field(text, 0, text.size(), "nrn_build_type", value)) return value;
+  if (find_field(text, 0, text.size(), "library_build_type", value))
+    return value;
+  return "";
+}
+
+std::map<std::string, BenchResult> parse_bench_file(const std::string& path,
+                                                    bool allow_debug) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
@@ -78,6 +97,17 @@ std::map<std::string, BenchResult> parse_bench_file(const std::string& path) {
   std::ostringstream raw;
   raw << in.rdbuf();
   const std::string text = raw.str();
+
+  const std::string build_type = declared_build_type(text);
+  if (build_type != "release" && !allow_debug) {
+    std::fprintf(stderr,
+                 "bench_diff: %s declares build type '%s', not 'release' -- "
+                 "debug timings are noise; regenerate from an optimized "
+                 "build or pass --allow-debug\n",
+                 path.c_str(),
+                 build_type.empty() ? "(none)" : build_type.c_str());
+    std::exit(2);
+  }
 
   std::map<std::string, BenchResult> results;
   // Benchmark entries all carry "run_type"; each object starts at a '{'
@@ -116,24 +146,27 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   double threshold = 0.25;
   bool fail_on_regression = false;
+  bool allow_debug = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threshold=", 0) == 0)
       threshold = parse_double(arg.substr(12));
     else if (arg == "--fail")
       fail_on_regression = true;
+    else if (arg == "--allow-debug")
+      allow_debug = true;
     else
       files.push_back(arg);
   }
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_diff BASELINE.json CURRENT.json "
-                 "[--threshold=0.25] [--fail]\n");
+                 "[--threshold=0.25] [--fail] [--allow-debug]\n");
     return 2;
   }
 
-  const auto baseline = parse_bench_file(files[0]);
-  const auto current = parse_bench_file(files[1]);
+  const auto baseline = parse_bench_file(files[0], allow_debug);
+  const auto current = parse_bench_file(files[1], allow_debug);
 
   int regressions = 0, compared = 0;
   std::printf("%-44s %12s %12s %8s\n", "benchmark", "base(ns)", "cur(ns)",

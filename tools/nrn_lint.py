@@ -17,7 +17,7 @@ locale-float      Locale-sensitive floating-point formatting/parsing
                   under comma-decimal locales.
 rng               rand()/srand(), std::random_device, std::mt19937 (and the
                   other std engines/distributions) outside common/rng.  All
-                  randomness must come from the v3 coin tape; a stray std
+                  randomness must come from the v4 coin tape; a stray std
                   engine is either nondeterministic across runs or across
                   standard libraries.
 unordered-emit    std::unordered_map / std::unordered_set in emitter,
@@ -36,6 +36,14 @@ format-version    Every record/shard/cache format literal ("experiment vN",
                   to a serialization file that does not touch
                   format_version.hpp is also flagged: if you changed what
                   the bytes mean, bump the version.
+rng-batch         Direct scalar Rng::mix64 calls in kernel/staging
+                  translation units (src/radio/, src/core/, and any file
+                  named *kernel*/*lockstep*/*staging*).  Engine v4 prices
+                  fault coins through the batched mixers (mix64_batch /
+                  coin_threshold_batch), which are bit-identical to the
+                  scalar mixer and auto-vectorize; a stray per-coin mix64
+                  in a hot loop silently forfeits that.  Waive it where a
+                  genuinely scalar coin is correct.
 waiver-reason     A waiver comment that names no reason.  Waivers are
                   `// nrn-lint: allow(<rule>): <reason>` on the offending
                   line or the line above; the reason string is mandatory.
@@ -69,6 +77,13 @@ THREAD_EXEMPT = re.compile(r"(^|/)(common/task_pool\.(cpp|hpp)|serve/[^/]+)$")
 # Translation units whose output must be byte-stable (emitters, the report
 # and table renderers, the wire codec).
 EMIT_UNITS = re.compile(r"(^|/)[^/]*(report|table|wire|emit)[^/]*\.(cpp|hpp|h|cc)$")
+
+# Kernel/staging translation units: fault coins here must go through the
+# batched mixers (mix64_batch / coin_threshold_batch), not per-coin mix64.
+RNG_BATCH_UNITS = re.compile(
+    r"(^|/)(radio|core)/[^/]+\.(cpp|hpp|h|cc)$"
+    r"|(^|/)[^/]*(kernel|lockstep|staging)[^/]*\.(cpp|hpp|h|cc)$")
+MIX64_CALL = re.compile(r"\bmix64\s*\(")  # mix64_batch( does not match
 
 # Serialization files: a diff touching any of these must also touch the
 # format-version header (checked in --diff mode).
@@ -120,7 +135,7 @@ LINE_RULES = [
      re.compile(r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
                 r"ranlux\w+|knuth_b)\b"),
      RNG_EXEMPT,
-     "std engines are not the v3 coin tape; use common/rng (Rng)"),
+     "std engines are not the v4 coin tape; use common/rng (Rng)"),
     ("rng",
      re.compile(r"\bstd::(?:uniform_(?:int|real)_distribution|normal_distribution|"
                 r"bernoulli_distribution|binomial_distribution)\b"),
@@ -214,6 +229,8 @@ def lint_file(rel, text):
         violations.append(Violation(rel, line_no, rule, message))
 
     emit_unit = bool(EMIT_UNITS.search(rel))
+    batch_unit = (bool(RNG_BATCH_UNITS.search(rel))
+                  and not RNG_EXEMPT.search(rel))
     for idx, raw in enumerate(lines, start=1):
         code = strip_strings_and_comments(raw)
         for rule, pattern, exempt, message in LINE_RULES:
@@ -235,6 +252,12 @@ def lint_file(rel, text):
                    "unordered container in an emitter/report/wire unit: "
                    "iteration order is implementation-defined, output "
                    "would not be byte-stable; use std::map / std::set")
+        if batch_unit and MIX64_CALL.search(code):
+            report(idx, "rng-batch",
+                   "per-coin Rng::mix64 in a kernel/staging unit: price "
+                   "coins through mix64_batch / coin_threshold_batch "
+                   "(bit-identical, auto-vectorizes), or waive with a "
+                   "reason if a scalar coin is genuinely right here")
     return violations
 
 
