@@ -68,9 +68,9 @@ int main(int argc, char** argv) {
       const auto& fault = cell.experiment.scenario.fault;
       const double q = fault.effective_loss();
       const double ad = completed_rounds(cell.experiment);
-      t.add_row({fmt(q, 1),
-                 fault.kind == radio::FaultKind::kSender ? "sender"
-                                                         : "receiver",
+      // "sender:0.1" -> "sender": the spec text names the model.
+      const std::string& spec = cell.experiment.scenario.fault_text;
+      t.add_row({fmt(q, 1), spec.substr(0, spec.find(':')),
                  fmt(ad / k, 2), fmt(1.0 / (1.0 - q), 2)});
     }
     t.print(std::cout);

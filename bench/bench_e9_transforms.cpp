@@ -81,8 +81,9 @@ int main(int argc, char** argv) {
       const auto& fault = cell.experiment.scenario.fault;
       const double p = fault.effective_loss();
       const auto row = bench::throughput_of(cell.experiment);
-      t.add_row({fault.kind == radio::FaultKind::kSender ? "sender"
-                                                         : "receiver",
+      // "sender:0.2" -> "sender": the spec text names the model.
+      const std::string& spec = cell.experiment.scenario.fault_text;
+      t.add_row({spec.substr(0, spec.find(':')),
                  fmt(p, 1), fmt(row.throughput, 3),
                  fmt(target_throughput(tau_pipeline, p), 3),
                  verdict(row.success)});

@@ -82,6 +82,26 @@ void BM_EngineKernelDense(benchmark::State& state) {
 BENCHMARK(BM_EngineKernelSparse)->Arg(1024)->Arg(16384);
 BENCHMARK(BM_EngineKernelDense)->Arg(1024)->Arg(16384);
 
+void BM_EngineSinrDisk(benchmark::State& state) {
+  // SINR interference round on a unit-disk graph, half the nodes
+  // broadcasting: one gain-table walk per touched listener.  Comparable to
+  // BM_EngineKernel* (same items metric), which prices the edge-fault rule.
+  const auto n = state.range(0);
+  const auto scenario = sim::Scenario::parse(
+      "disk:" + std::to_string(n) + (n >= 1024 ? ":0.08" : ":0.15"), "none",
+      0, 1, 17, "sinr:2.5:0.001:1.0");
+  graph::Geometry geometry;
+  const auto g = scenario.build_graph(&geometry);
+  radio::RadioNetwork net(g, scenario.channel, &geometry, Rng(2));
+  for (auto _ : state) {
+    for (graph::NodeId u = 0; u < g.node_count(); u += 2)
+      net.set_broadcast(u, radio::Packet{u});
+    benchmark::DoNotOptimize(net.run_round());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+BENCHMARK(BM_EngineSinrDisk)->Arg(256)->Arg(1024);
+
 void BM_EngineSilentRounds(benchmark::State& state) {
   const auto g = graph::make_path(1024);
   radio::RadioNetwork net(g, radio::FaultModel::receiver(0.3), Rng(3));

@@ -1,6 +1,9 @@
 #include "graph/generators.hpp"
 
+#include <cmath>
 #include <set>
+
+#include "graph/algorithms.hpp"
 
 namespace nrn::graph {
 
@@ -212,6 +215,71 @@ Graph make_lollipop(NodeId clique, NodeId tail) {
     prev = clique + i;
   }
   return b.build();
+}
+
+namespace {
+
+/// Shared body of the geometric generators: places n nodes uniformly in
+/// the [0, side)^2 square (x then y per node, 2n uniform01 draws total),
+/// joins every pair within `range`, and exports the placement.  The draws
+/// never depend on whether geometry output was requested, so graph builds
+/// with and without it see the same topology from the same rng state.
+///
+/// A disconnected sample is resampled from the same stream (the broadcast
+/// model needs every node reachable, and a graph edge the channel can
+/// never deliver over would be worse than a retry).  The retry budget
+/// makes a sub-critical radius/density fail loudly instead of spinning.
+Graph make_geometric(NodeId n, double side, double range, double power,
+                     Rng& rng, Geometry* geometry) {
+  constexpr int kMaxPlacementAttempts = 64;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  const double range2 = range * range;
+  for (int attempt = 0;; ++attempt) {
+    NRN_EXPECTS(attempt < kMaxPlacementAttempts,
+                "geometric placement failed to connect; raise the "
+                "radius/density or shrink n");
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.uniform01() * side;
+      y[i] = rng.uniform01() * side;
+    }
+    GraphBuilder b(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        const double dx = x[static_cast<std::size_t>(i)] -
+                          x[static_cast<std::size_t>(j)];
+        const double dy = y[static_cast<std::size_t>(i)] -
+                          y[static_cast<std::size_t>(j)];
+        if (dx * dx + dy * dy <= range2) b.add_edge(i, j);
+      }
+    }
+    Graph g = b.build();
+    if (!is_connected(g)) continue;
+    if (geometry != nullptr) {
+      geometry->x = std::move(x);
+      geometry->y = std::move(y);
+      geometry->power.assign(static_cast<std::size_t>(n), power);
+    }
+    return g;
+  }
+}
+
+}  // namespace
+
+Graph make_unit_disk(NodeId n, double radius, double power, Rng& rng,
+                     Geometry* geometry) {
+  NRN_EXPECTS(n >= 1, "unit disk needs at least one node");
+  NRN_EXPECTS(radius > 0.0, "unit disk radius must be positive");
+  NRN_EXPECTS(power > 0.0, "unit disk power must be positive");
+  return make_geometric(n, 1.0, radius, power, rng, geometry);
+}
+
+Graph make_uniform_density(NodeId n, double density, Rng& rng,
+                           Geometry* geometry) {
+  NRN_EXPECTS(n >= 1, "uniform density needs at least one node");
+  NRN_EXPECTS(density > 0.0, "density must be positive");
+  const double side = std::sqrt(static_cast<double>(n) / density);
+  return make_geometric(n, side, 1.0, 1.0, rng, geometry);
 }
 
 }  // namespace nrn::graph

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "graph/geometry.hpp"
 #include "graph/graph.hpp"
 
 namespace nrn::graph {
@@ -74,5 +75,24 @@ Graph make_ring_of_cliques(NodeId cliques, NodeId clique_size);
 /// retry budget runs out, which the radio experiments tolerate.  n * d must
 /// be even.  Connectivity is not guaranteed but holds w.h.p. for d >= 3.
 Graph make_random_regular(NodeId n, std::int32_t degree, Rng& rng);
+
+/// Unit-disk graph (arXiv:1302.4059 style): n nodes placed uniformly at
+/// random in the unit square, an edge joining every pair within `radius`.
+/// Every node transmits with the shared `power` (the SINR channel prices
+/// gains from it).  Placement goes to `geometry` when non-null; the rng
+/// draws are identical either way (2n uniform01 calls per attempt, x then
+/// y per node).  A disconnected sample is resampled from the same stream
+/// (broadcast needs every node reachable); a radius that fails to connect
+/// within the retry budget fails the build loudly.
+Graph make_unit_disk(NodeId n, double radius, double power, Rng& rng,
+                     Geometry* geometry = nullptr);
+
+/// Geometric graph at fixed expected density: n nodes placed uniformly in
+/// the [0, L)^2 square with L = sqrt(n / density), an edge joining every
+/// pair within unit distance, unit transmit power -- so `density` is the
+/// expected number of nodes per unit square regardless of n.  Same rng
+/// and geometry conventions as make_unit_disk.
+Graph make_uniform_density(NodeId n, double density, Rng& rng,
+                           Geometry* geometry = nullptr);
 
 }  // namespace nrn::graph

@@ -1,0 +1,31 @@
+// Node placement of a geometric topology.
+//
+// The geometric generators (graph/generators.hpp: make_unit_disk,
+// make_uniform_density) emit edges from node positions; the positions
+// themselves only matter to the SINR channel (radio/channel_model.hpp),
+// which prices a transmitter's gain at a listener from their distance and
+// the transmitter's power.  Non-geometric topologies have no Geometry and
+// cannot host an SINR channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nrn::graph {
+
+/// Planar coordinates plus per-node transmit power, parallel arrays
+/// indexed by node id.  Owned by whoever built the graph; the radio
+/// engine borrows a pointer and requires it to outlive the network.
+struct Geometry {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> power;
+
+  std::int32_t node_count() const {
+    return static_cast<std::int32_t>(x.size());
+  }
+
+  friend bool operator==(const Geometry&, const Geometry&) = default;
+};
+
+}  // namespace nrn::graph

@@ -33,6 +33,16 @@ enum class FaultKind {
   kCombined,
 };
 
+/// The single validation gate every fault (and channel) probability goes
+/// through: rejects anything outside [0, 1) with a message naming the
+/// parameter.  One helper instead of a guard per factory, so the contract
+/// text cannot drift between them again.
+inline double checked_probability(double p, const char* what) {
+  NRN_EXPECTS(p >= 0.0 && p < 1.0,
+              std::string(what) + " must be in [0, 1)");
+  return p;
+}
+
 struct FaultModel {
   FaultKind kind = FaultKind::kFaultless;
   double p = 0.0;         ///< sender-side probability (kSender/kCombined)
@@ -41,23 +51,22 @@ struct FaultModel {
   static FaultModel faultless() { return {FaultKind::kFaultless, 0.0, 0.0}; }
 
   static FaultModel sender(double p) {
-    NRN_EXPECTS(p >= 0.0 && p < 1.0, "fault probability must be in [0,1)");
-    return {FaultKind::kSender, p, 0.0};
+    return {FaultKind::kSender,
+            checked_probability(p, "sender fault probability"), 0.0};
   }
 
   static FaultModel receiver(double p) {
-    NRN_EXPECTS(p >= 0.0 && p < 1.0, "fault probability must be in [0,1)");
     // Stored in `p`; the engine branches on `kind`.
-    return {FaultKind::kReceiver, p, 0.0};
+    return {FaultKind::kReceiver,
+            checked_probability(p, "receiver fault probability"), 0.0};
   }
 
   /// Independent sender coin (probability ps, shared by all receivers of a
   /// sender) plus an independent receiver coin (probability pr).
   static FaultModel combined(double ps, double pr) {
-    NRN_EXPECTS(ps >= 0.0 && ps < 1.0, "sender probability must be in [0,1)");
-    NRN_EXPECTS(pr >= 0.0 && pr < 1.0,
-                "receiver probability must be in [0,1)");
-    return {FaultKind::kCombined, ps, pr};
+    return {FaultKind::kCombined,
+            checked_probability(ps, "sender fault probability"),
+            checked_probability(pr, "receiver fault probability")};
   }
 
   bool is_faultless() const {

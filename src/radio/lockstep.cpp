@@ -3,21 +3,46 @@
 #include <algorithm>
 #include <bit>
 
+#include "radio/sinr_gain.hpp"
+
 namespace nrn::radio {
 
 LockstepNetwork::LockstepNetwork(const graph::Graph& g, FaultModel fault_model)
-    : graph_(&g), fault_model_(fault_model) {
+    : LockstepNetwork(g, ChannelModel::edge_fault(fault_model), nullptr) {}
+
+LockstepNetwork::LockstepNetwork(const graph::Graph& g,
+                                 const ChannelModel& channel,
+                                 const graph::Geometry* geometry)
+    : graph_(&g),
+      fault_model_(channel.fault),
+      channel_(channel),
+      geometry_(geometry) {
   const auto n = static_cast<std::size_t>(g.node_count());
   bcast_mask_.assign(n, 0);
   once_.assign(n, 0);
   twice_.assign(n, 0);
   sole_sender_.assign(n * static_cast<std::size_t>(kMaxLanes), 0);
   union_.reserve(n);
-  reset(fault_model);
+  reset(channel);
 }
 
 void LockstepNetwork::reset(FaultModel fault_model) {
-  fault_model_ = fault_model;
+  reset(ChannelModel::edge_fault(fault_model));
+}
+
+void LockstepNetwork::reset(const ChannelModel& channel) {
+  if (!(channel.sinr == channel_.sinr)) gain_table_valid_ = false;
+  channel_ = channel;
+  sinr_ = channel.kind == ChannelKind::kSinr;
+  // Mirrors RadioNetwork::reset: under SINR the edge-fault layer is inert
+  // and no coins are priced, so the lanes' rng streams are never drawn.
+  fault_model_ = sinr_ ? FaultModel::faultless() : channel.fault;
+  if (sinr_ && !gain_table_valid_) {
+    NRN_EXPECTS(geometry_ != nullptr, "sinr channel requires node geometry");
+    build_sinr_gain_table(*graph_, *geometry_, channel_.sinr.alpha, gain_row_,
+                          gain_);
+    gain_table_valid_ = true;
+  }
   const double ps = sender_fault_probability(fault_model_);
   const double pr = receiver_fault_probability(fault_model_);
   sender_coins_ = ps > 0.0;
@@ -123,6 +148,23 @@ void LockstepNetwork::run_round(unsigned lanes) {
     }
   }
 
+  if (sinr_) {
+    // SINR route: the shared gain pass replaces the once/twice collision
+    // accounting; lanes are resolved inside, so skip straight to the
+    // per-lane bookkeeping tail.
+    run_round_sinr();
+    for (int l = 0; l < lanes_; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if ((lanes & (1u << l)) == 0) continue;
+      stats_[li].deliveries =
+          static_cast<std::int64_t>(receivers_[li].size());
+      plan_[li].clear();
+    }
+    for (const NodeId b : union_) bcast_mask_[static_cast<std::size_t>(b)] = 0;
+    union_.clear();
+    return;
+  }
+
   // One shared adjacency pass over the union of every lane's broadcasters:
   // per listener, accumulate which lanes touched it once and which twice,
   // and -- only if a sender fault coin will need to be keyed by it --
@@ -195,6 +237,61 @@ void LockstepNetwork::run_round(unsigned lanes) {
   }
   for (const NodeId b : union_) bcast_mask_[static_cast<std::size_t>(b)] = 0;
   union_.clear();
+}
+
+void LockstepNetwork::run_round_sinr() {
+  // Shared touch pass: once_ doubles as a "lanes that reached v" mask (the
+  // once/twice distinction is meaningless under SINR -- interference, not
+  // collision, decides reception).
+  for (const NodeId b : union_) {
+    const LaneMask bm = bcast_mask_[static_cast<std::size_t>(b)];
+    for (const NodeId v : graph_->neighbors(b))
+      once_[static_cast<std::size_t>(v)] =
+          static_cast<LaneMask>(once_[static_cast<std::size_t>(v)] | bm);
+  }
+  // Ascending-listener scan; reading a touch mask clears it, as in the
+  // edge-fault scan.  Per touched listener one row walk accumulates every
+  // lane's interference sum and best gain at once: per lane the additions
+  // run in ascending neighbor id, exactly the scalar sinr_decode order,
+  // so the floating-point sums (and hence deliveries) are bit-identical
+  // to scalar trials.
+  const SinrParams& p = channel_.sinr;
+  const NodeId n = graph_->node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const LaneMask on = once_[vi];
+    if (on == 0) continue;
+    once_[vi] = 0;
+    const auto listen =
+        static_cast<LaneMask>(on & ~bcast_mask_[vi]);
+    if (listen == 0) continue;
+    const auto row = graph_->neighbors(v);
+    const double* gains = gain_.data() + gain_row_[vi];
+    std::array<double, kMaxLanes> sum{};
+    std::array<double, kMaxLanes> best;
+    best.fill(-1.0);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      LaneMask m = static_cast<LaneMask>(
+          bcast_mask_[static_cast<std::size_t>(row[j])] & listen);
+      if (m == 0) continue;
+      const double g = gains[j];
+      while (m != 0) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(m));
+        m = static_cast<LaneMask>(m & (m - 1));
+        sum[l] += g;
+        if (g > best[l]) best[l] = g;  // strict: gain tie keeps lower id
+      }
+    }
+    LaneMask todo = listen;
+    while (todo != 0) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(todo));
+      todo = static_cast<LaneMask>(todo & (todo - 1));
+      if (best[l] >= p.beta * (p.noise_floor + (sum[l] - best[l])))
+        receivers_[l].push_back(v);
+      else
+        ++stats_[l].interference_losses;
+    }
+  }
 }
 
 void LockstepNetwork::resolve_lane(int lane) {

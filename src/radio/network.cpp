@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "radio/sinr_gain.hpp"
+
 namespace nrn::radio {
 
 void DeliveryList::sort_by_receiver(std::vector<std::uint64_t>& scratch) {
@@ -22,7 +24,15 @@ void DeliveryList::sort_by_receiver(std::vector<std::uint64_t>& scratch) {
 
 RadioNetwork::RadioNetwork(const graph::Graph& g, FaultModel fault_model,
                            Rng rng)
-    : graph_(&g), fault_model_(fault_model), rng_(rng) {
+    : RadioNetwork(g, ChannelModel::edge_fault(fault_model), nullptr, rng) {}
+
+RadioNetwork::RadioNetwork(const graph::Graph& g, const ChannelModel& channel,
+                           const graph::Geometry* geometry, Rng rng)
+    : graph_(&g),
+      fault_model_(channel.fault),
+      channel_(channel),
+      rng_(rng),
+      geometry_(geometry) {
   const auto n = static_cast<std::size_t>(g.node_count());
   slots_.assign(n, NodeSlot{});
   candidates_.reserve(n);
@@ -55,12 +65,23 @@ RadioNetwork::RadioNetwork(const graph::Graph& g, FaultModel fault_model,
     plan_pos_.assign(n, 0);
   }
   use_bitmask_plan_ = adjacent_ok_;  // kernel_ starts as kAuto
-  reset(fault_model, rng);
+  reset(channel, rng);
 }
 
 void RadioNetwork::reset(FaultModel fault_model, Rng rng) {
-  fault_model_ = fault_model;
+  reset(ChannelModel::edge_fault(fault_model), rng);
+}
+
+void RadioNetwork::reset(const ChannelModel& channel, Rng rng) {
+  if (!(channel.sinr == channel_.sinr)) gain_table_valid_ = false;
+  channel_ = channel;
+  sinr_ = channel.kind == ChannelKind::kSinr;
+  // Under SINR the edge-fault layer is inert: protocols reading
+  // fault_model() (budget formulas) see zero edge loss, and the coin
+  // flags below price no coins, so the rng stream is never drawn from.
+  fault_model_ = sinr_ ? FaultModel::faultless() : channel.fault;
   rng_ = rng;
+  if (sinr_ && !gain_table_valid_) build_gain_table();
   const double ps = sender_fault_probability(fault_model_);
   const double pr = receiver_fault_probability(fault_model_);
   sender_coins_ = ps > 0.0;
@@ -495,6 +516,158 @@ void RadioNetwork::run_round_adjacent() {
   if (receiver_coins_) apply_receiver_coins(base);
 }
 
+void RadioNetwork::build_gain_table() {
+  NRN_EXPECTS(geometry_ != nullptr, "sinr channel requires node geometry");
+  build_sinr_gain_table(*graph_, *geometry_, channel_.sinr.alpha, gain_row_,
+                        gain_);
+  if (adjacent_ok_) {
+    // Per-node shortcuts for the word-parallel route: the row of a
+    // consecutive-id node is [v-1?, v+1?], so its gains are the row's
+    // first/last entries.  Copied (not recomputed) from gain_ so the
+    // adjacent route reads the exact doubles the row-walk kernels read.
+    const NodeId n = graph_->node_count();
+    gain_left_.assign(static_cast<std::size_t>(n), 0.0);
+    gain_right_.assign(static_cast<std::size_t>(n), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto row = graph_->neighbors(v);
+      const double* gains = gain_.data() + gain_row_[vi];
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (row[j] == v - 1)
+          gain_left_[vi] = gains[j];
+        else
+          gain_right_[vi] = gains[j];
+      }
+    }
+  }
+  gain_table_valid_ = true;
+}
+
+template <typename IsTx, typename PlanOf>
+void RadioNetwork::sinr_decode(NodeId v, IsTx&& is_tx, PlanOf&& plan_of) {
+  // Ascending row walk is the canonical interference-summation order; all
+  // kernels (and the lockstep bank) accumulate this way so floating-point
+  // sums are bit-identical across execution paths.
+  const auto row = graph_->neighbors(v);
+  const double* gains = gain_.data() + gain_row_[static_cast<std::size_t>(v)];
+  double sum = 0.0;
+  double best = -1.0;
+  NodeId best_u = -1;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const NodeId u = row[j];
+    if (!is_tx(u)) continue;
+    const double g = gains[j];
+    sum += g;
+    if (g > best) {  // strict: a gain tie keeps the lower id
+      best = g;
+      best_u = u;
+    }
+  }
+  if (best_u < 0) return;  // nobody in range transmitted
+  const SinrParams& p = channel_.sinr;
+  if (best >= p.beta * (p.noise_floor + (sum - best)))
+    deliveries_.push(v, plan_of(best_u));
+  else
+    ++last_round_.interference_losses;
+}
+
+void RadioNetwork::run_round_sinr_sparse() {
+  // Touch pass over the broadcasters' adjacency marks each heard listener
+  // once; a second pass decodes each against its full row.  Unlike the
+  // edge-fault sparse kernel there is no collided state: under SINR a
+  // multiply-touched listener is still a decode candidate, interference
+  // replaces the collision rule.
+  const auto stamp = static_cast<std::uint32_t>(epoch_);
+  if (candidates_.size() < slots_.size()) candidates_.resize(slots_.size());
+  NodeId* cand = candidates_.data();
+  std::size_t nc = 0;
+  NodeSlot* const slots = slots_.data();
+  for (const NodeId b : plan_senders_) {
+    for (const NodeId v : graph_->neighbors(b)) {
+      NodeSlot& slot = slots[static_cast<std::size_t>(v)];
+      if (slot.touch_epoch == stamp) continue;
+      slot.touch_epoch = stamp;
+      const int listening = slot.bcast_epoch != stamp ? 1 : 0;
+      cand[nc] = v;
+      nc += static_cast<std::size_t>(listening);
+    }
+  }
+  const auto is_tx = [&](NodeId u) {
+    return slots[static_cast<std::size_t>(u)].bcast_epoch == stamp;
+  };
+  const auto plan_of = [&](NodeId u) {
+    return slots[static_cast<std::size_t>(u)].plan_index;
+  };
+  for (std::size_t i = 0; i < nc; ++i) sinr_decode(cand[i], is_tx, plan_of);
+}
+
+void RadioNetwork::run_round_sinr_dense() {
+  // Listener-centric flat pass, like run_round_dense but with no early
+  // exit: the SINR sum needs every broadcasting neighbor's gain.
+  const auto stamp = static_cast<std::uint32_t>(epoch_);
+  const NodeId n = graph_->node_count();
+  NodeSlot* const slots = slots_.data();
+  const auto is_tx = [&](NodeId u) {
+    return slots[static_cast<std::size_t>(u)].bcast_epoch == stamp;
+  };
+  const auto plan_of = [&](NodeId u) {
+    return slots[static_cast<std::size_t>(u)].plan_index;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    if (slots[static_cast<std::size_t>(v)].bcast_epoch == stamp) continue;
+    sinr_decode(v, is_tx, plan_of);
+  }
+}
+
+void RadioNetwork::run_round_sinr_adjacent() {
+  // Same shift algebra as run_round_adjacent to find heard listeners, but
+  // a heard listener decodes its strongest adjacent transmitter against
+  // noise plus the other side's gain.  The per-node gain shortcuts
+  // (gain_left_/gain_right_) hold the identical doubles the row-walk
+  // kernels read, and the left gain enters the sum first (ascending row
+  // order), so results match sinr_decode bit for bit.
+  const std::size_t words = bcast_mask_.size();
+  std::uint64_t* const B = bcast_mask_.data();
+  const SinrParams& p = channel_.sinr;
+  auto& recv = deliveries_.receivers_;
+  auto& pidx = deliveries_.plan_index_;
+  std::int64_t interference = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t b = B[w];
+    const std::uint64_t next = w + 1 < words ? B[w + 1] : 0;
+    B[w] = 0;  // this pass visits every word anyway: reset inline for free
+    const std::uint64_t hl = ((b << 1) | (prev >> 63)) & left_edge_mask_[w];
+    const std::uint64_t hr = ((b >> 1) | (next << 63)) & right_edge_mask_[w];
+    prev = b;
+    std::uint64_t heard = ~b & (hl | hr);
+    const NodeId word_base = static_cast<NodeId>(w << 6);
+    while (heard != 0) {
+      const int j = std::countr_zero(heard);
+      heard &= heard - 1;
+      const NodeId v = word_base + j;
+      const auto vi = static_cast<std::size_t>(v);
+      const bool left = ((hl >> j) & 1) != 0;
+      const bool right = ((hr >> j) & 1) != 0;
+      const double gl = left ? gain_left_[vi] : 0.0;
+      const double gr = right ? gain_right_[vi] : 0.0;
+      const double sum = gl + gr;
+      // Strict-greater tie-break as in sinr_decode: left (lower id) wins.
+      const bool use_left = left && (!right || gl >= gr);
+      const double best = use_left ? gl : gr;
+      if (best >= p.beta * (p.noise_floor + (sum - best))) {
+        const NodeId s = use_left ? v - 1 : v + 1;
+        recv.push_back(v);
+        pidx.push_back(static_cast<std::int32_t>(
+            plan_pos_[static_cast<std::size_t>(s)]));
+      } else {
+        ++interference;
+      }
+    }
+  }
+  last_round_.interference_losses += interference;
+}
+
 const DeliveryList& RadioNetwork::run_round() {
   ++epoch_;
   deliveries_.clear();
@@ -527,18 +700,27 @@ const DeliveryList& RadioNetwork::run_round() {
 
   if (staged != 0) {
     if (use_bitmask_plan_) {
-      run_round_adjacent();
+      if (sinr_)
+        run_round_sinr_adjacent();
+      else
+        run_round_adjacent();
       // Deliveries were emitted by ascending bit walk: already in the v4
       // contract's order, no probe needed.
     } else {
       if (kernel_ == Kernel::kDense ||
           (kernel_ == Kernel::kAuto && staged >= dense_plan_threshold_)) {
-        run_round_dense();
+        if (sinr_)
+          run_round_sinr_dense();
+        else
+          run_round_dense();
       } else {
-        run_round_sparse();
+        if (sinr_)
+          run_round_sinr_sparse();
+        else
+          run_round_sparse();
       }
       // v4 contract: deliveries are emitted in ascending receiver id.
-      // The dense kernel scans that way natively; the sparse kernel's
+      // The dense kernels scan that way natively; the sparse kernels'
       // touch order usually is ascending too, so probe before sorting.
       if (!std::is_sorted(deliveries_.receivers_.begin(),
                           deliveries_.receivers_.end()))
@@ -553,6 +735,7 @@ const DeliveryList& RadioNetwork::run_round() {
   totals_.collision_losses += last_round_.collision_losses;
   totals_.sender_fault_losses += last_round_.sender_fault_losses;
   totals_.receiver_fault_losses += last_round_.receiver_fault_losses;
+  totals_.interference_losses += last_round_.interference_losses;
 
   // Hand the executed plan to the delivery list (its proxies reference the
   // arrays); the buffers swap back and forth so none ever reallocates in

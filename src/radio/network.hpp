@@ -55,6 +55,16 @@
 // (v3 drew one sender coin per broadcaster in staging order plus a
 // separate receiver salt; v4 collapses a round's fault randomness to a
 // single draw.  Record/shard/cache formats bumped to v5 -- docs/formats.md.)
+//
+// Channel models: the contract above describes the kEdgeFault channel.
+// Under a kSinr channel (radio/channel_model.hpp) reception is resolved
+// from summed transmitter gains instead of collision + coins; the channel
+// is deterministic, so NO salts are ever drawn -- point 5 of the contract
+// degenerates to every round, and the engine's rng stream is untouched.
+// Interference sums are accumulated in ascending neighbor id within each
+// listener's CSR row in every kernel (scalar sparse/dense/adjacent and the
+// lockstep bank), so floating-point results are bit-identical across
+// kernels.
 #pragma once
 
 #include <cstdint>
@@ -62,7 +72,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/geometry.hpp"
 #include "graph/graph.hpp"
+#include "radio/channel_model.hpp"
 #include "radio/fault_model.hpp"
 #include "radio/packet.hpp"
 
@@ -185,6 +197,9 @@ struct RoundStats {
   std::int64_t collision_losses = 0; ///< listeners with >= 2 tx neighbors
   std::int64_t sender_fault_losses = 0;
   std::int64_t receiver_fault_losses = 0;
+  /// Listeners that heard >= 1 transmitter but decoded none because the
+  /// SINR threshold failed (kSinr channel only; 0 under kEdgeFault).
+  std::int64_t interference_losses = 0;
 
   friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
@@ -197,6 +212,7 @@ struct NetworkTotals {
   std::int64_t collision_losses = 0;
   std::int64_t sender_fault_losses = 0;
   std::int64_t receiver_fault_losses = 0;
+  std::int64_t interference_losses = 0;
 };
 
 class RadioNetwork {
@@ -209,12 +225,21 @@ class RadioNetwork {
   /// several times anyway.
   static constexpr std::int64_t kDenseWorkFactor = 1;
 
-  /// The graph must outlive the network.
+  /// The graph must outlive the network.  Equivalent to the ChannelModel
+  /// constructor with an edge-fault channel.
   RadioNetwork(const graph::Graph& g, FaultModel fault_model, Rng rng);
+
+  /// General form: any channel model.  A kSinr channel requires `geometry`
+  /// (node placement matching the graph; caller keeps it alive alongside
+  /// the graph); kEdgeFault ignores it.
+  RadioNetwork(const graph::Graph& g, const ChannelModel& channel,
+               const graph::Geometry* geometry, Rng rng);
 
   /// Binding a temporary graph would dangle; force callers to keep the
   /// topology alive.
   RadioNetwork(graph::Graph&&, FaultModel, Rng) = delete;
+  RadioNetwork(graph::Graph&&, const ChannelModel&, const graph::Geometry*,
+               Rng) = delete;
 
   /// Rearms the network for a fresh trial on the same graph: new fault
   /// model and coin stream, zeroed counters and round clock -- without
@@ -222,7 +247,15 @@ class RadioNetwork {
   /// per-worker TrialWorkspace reuse.
   void reset(FaultModel fault_model, Rng rng);
 
+  /// Channel-general reset.  Reuses the gain table when the SINR
+  /// parameters are unchanged (the Driver resets an identical channel per
+  /// trial), so steady-state trials stay O(1) here too.
+  void reset(const ChannelModel& channel, Rng rng);
+
   const graph::Graph& graph() const { return *graph_; }
+  const ChannelModel& channel() const { return channel_; }
+  /// Edge-fault parameterization; faultless under a kSinr channel, so
+  /// protocol budget formulas see zero edge loss.
   const FaultModel& fault_model() const { return fault_model_; }
 
   /// True iff every edge of `g` joins consecutive node ids (the topology
@@ -335,6 +368,25 @@ class RadioNetwork {
   void run_round_sparse();
   void run_round_dense();
   void run_round_adjacent();
+  // SINR interference routes, one per staging representation / scan shape
+  // (see run_round for selection).  All accumulate each listener's
+  // interference sum in ascending neighbor id.
+  void run_round_sinr_sparse();
+  void run_round_sinr_dense();
+  void run_round_sinr_adjacent();
+
+  /// Decodes one listener under the SINR rule: walks its CSR row in
+  /// ascending neighbor id, sums the broadcasting neighbors' gains, and
+  /// pushes a delivery (or counts an interference loss).  `is_tx` reports
+  /// whether a neighbor is staged this round; `plan_of` maps a
+  /// broadcasting neighbor to its plan index.
+  template <typename IsTx, typename PlanOf>
+  void sinr_decode(NodeId v, IsTx&& is_tx, PlanOf&& plan_of);
+
+  /// Builds (or rebuilds) the per-listener gain table for the current
+  /// SINR parameters: gain_[gain_row_[v] + j] is the gain of the j-th
+  /// neighbor of v (CSR row order) at v.
+  void build_gain_table();
 
   /// Shared final pass of the sparse and dense kernels: drops tombstoned
   /// delivery candidates, applies the senders' shared fault coins (priced
@@ -369,7 +421,20 @@ class RadioNetwork {
 
   const graph::Graph* graph_;
   FaultModel fault_model_;
+  ChannelModel channel_;
   Rng rng_;
+
+  // SINR channel state.  sinr_ mirrors channel_.kind so the hot path
+  // tests one bool; the gain table is built lazily on the first SINR
+  // reset and reused while the parameters and geometry stay unchanged.
+  bool sinr_ = false;
+  const graph::Geometry* geometry_ = nullptr;
+  bool gain_table_valid_ = false;
+  std::vector<std::int64_t> gain_row_;  // CSR row offsets (n + 1)
+  std::vector<double> gain_;            // per directed edge, listener rows
+  // Adjacent-route gain shortcuts: gain at listener v from v-1 / v+1.
+  std::vector<double> gain_left_;
+  std::vector<double> gain_right_;
 
   // Fixed-point coin thresholds (v4 tape: u64 compares, no doubles) and
   // this round's tweaked mix64 salts.

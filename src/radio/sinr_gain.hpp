@@ -1,0 +1,58 @@
+// Shared gain-table construction for the SINR channel.
+//
+// Both engines (the scalar RadioNetwork and the LockstepNetwork bank)
+// precompute, per listener v, the gain of each graph neighbor u at v in
+// CSR row order:
+//     gain(u, v) = power_u / dist(u, v)^alpha
+// Gains exist only on graph edges -- out-of-range transmitters contribute
+// nothing, in the style of ROOT-Sim's gain adjacency (SNIPPETS.md
+// section 1).  Keeping one builder guarantees the two engines read the
+// exact same doubles, which the bit-identity contract between them
+// depends on.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "graph/geometry.hpp"
+#include "graph/graph.hpp"
+
+namespace nrn::radio {
+
+/// Coincident points would divide by zero; clamp the distance instead.
+/// Placement is continuous random, so real collisions are measure-zero.
+inline constexpr double kMinSinrDistance = 1e-9;
+
+/// Fills `row`/`gain` with the listener-centric gain table:
+/// gain[row[v] + j] is the gain of the j-th neighbor of v (CSR row order,
+/// ascending node id) at v; row has node_count() + 1 entries.
+inline void build_sinr_gain_table(const graph::Graph& g,
+                                  const graph::Geometry& geometry,
+                                  double alpha,
+                                  std::vector<std::int64_t>& row,
+                                  std::vector<double>& gain) {
+  NRN_EXPECTS(geometry.node_count() == g.node_count(),
+              "sinr channel requires node geometry matching the graph");
+  const graph::NodeId n = g.node_count();
+  row.assign(static_cast<std::size_t>(n) + 1, 0);
+  gain.clear();
+  gain.reserve(static_cast<std::size_t>(2 * g.edge_count()));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    row[vi] = static_cast<std::int64_t>(gain.size());
+    for (const graph::NodeId u : g.neighbors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      const double dx = geometry.x[ui] - geometry.x[vi];
+      const double dy = geometry.y[ui] - geometry.y[vi];
+      const double d =
+          std::max(std::sqrt(dx * dx + dy * dy), kMinSinrDistance);
+      gain.push_back(geometry.power[ui] / std::pow(d, alpha));
+    }
+  }
+  row[static_cast<std::size_t>(n)] = static_cast<std::int64_t>(gain.size());
+}
+
+}  // namespace nrn::radio

@@ -95,26 +95,33 @@ MetricValue progress_value(double p) {
   return MetricValue(p);
 }
 
-/// Folds one trial's TraceRecorder into the outcome's series map.
-void fold_trace(Outcome& run, const radio::TraceRecorder& trace) {
+/// Folds one trial's TraceRecorder into the outcome's series map.  Under a
+/// kSinr channel the per-round interference losses are traced too; the
+/// series is absent for edge-fault channels (where it would be all zeros),
+/// so edge-fault traces are byte-identical to pre-channel runs.
+void fold_trace(Outcome& run, const radio::TraceRecorder& trace, bool sinr) {
   const std::size_t rounds = trace.round_count();
   if (rounds == 0) return;
   std::vector<MetricValue> informed, deliveries, collisions, broadcasters;
+  std::vector<MetricValue> interference;
   informed.reserve(rounds);
   deliveries.reserve(rounds);
   collisions.reserve(rounds);
   broadcasters.reserve(rounds);
+  if (sinr) interference.reserve(rounds);
   for (std::size_t i = 0; i < rounds; ++i) {
     const radio::RoundStats& s = trace.rounds()[i];
     informed.push_back(progress_value(trace.progress()[i]));
     deliveries.emplace_back(s.deliveries);
     collisions.emplace_back(s.collision_losses);
     broadcasters.emplace_back(s.broadcasters);
+    if (sinr) interference.emplace_back(s.interference_losses);
   }
   run.set_series("informed", std::move(informed));
   run.set_series("deliveries", std::move(deliveries));
   run.set_series("collisions", std::move(collisions));
   run.set_series("broadcasters", std::move(broadcasters));
+  if (sinr) run.set_series("interference", std::move(interference));
 }
 
 }  // namespace
@@ -128,7 +135,12 @@ ExperimentReport Driver::run(const Scenario& scenario,
   report.protocol = protocol_name;
   report.scenario = scenario;
 
-  const graph::Graph graph = scenario.build_graph();
+  // Geometric placement is materialized only for SINR channels; it must
+  // outlive the workspaces below (networks borrow a pointer to it).
+  const bool sinr = !scenario.channel.is_edge_fault();
+  graph::Geometry geometry;
+  const graph::Graph graph =
+      scenario.build_graph(sinr ? &geometry : nullptr);
   report.node_count = graph.node_count();
   report.edge_count = graph.edge_count();
   report.depth =
@@ -136,9 +148,16 @@ ExperimentReport Driver::run(const Scenario& scenario,
           ? graph::eccentricity(graph, scenario.source)
           : 0;
   report.capabilities = registry_->capabilities(protocol_name);
-  report.theory_bound = registry_->theory_bound(
-      protocol_name, TheoryContext{scenario, report.node_count,
-                                   report.edge_count, report.depth});
+  if (sinr && (report.capabilities & kSinrCapable) == 0u)
+    throw SpecError("protocol '" + protocol_name +
+                    "' does not support the sinr channel");
+  // The paper's bounds assume the edge-fault model; under SINR they are
+  // reported as n/a (0 = none).
+  report.theory_bound =
+      sinr ? 0.0
+           : registry_->theory_bound(
+                 protocol_name, TheoryContext{scenario, report.node_count,
+                                              report.edge_count, report.depth});
 
   const ProtocolContext ctx{graph, scenario, options.tuning};
   const auto protocol = registry_->create(protocol_name, ctx);
@@ -189,7 +208,7 @@ ExperimentReport Driver::run(const Scenario& scenario,
       const std::size_t last = std::min(first + kLanes, report.trials.size());
       radio::LockstepNetwork& bank =
           workspaces[static_cast<std::size_t>(slot)].acquire_bank(
-              graph, scenario.fault);
+              graph, scenario.channel, sinr ? &geometry : nullptr);
       std::array<std::unique_ptr<core::RoundStepper>, kLanes> steppers;
       std::array<std::optional<radio::TraceRecorder>, kLanes> recorders;
       std::array<Rng, kLanes> algo_rngs;
@@ -207,7 +226,7 @@ ExperimentReport Driver::run(const Scenario& scenario,
       auto finish = [&](std::size_t l) {
         auto& trial = report.trials[first + l];
         trial.run = Outcome::from(steppers[l]->result());
-        if (traced) fold_trace(trial.run, *recorders[l]);
+        if (traced) fold_trace(trial.run, *recorders[l], sinr);
         active &= ~(1u << l);
       };
       while (active != 0) {
@@ -244,13 +263,14 @@ ExperimentReport Driver::run(const Scenario& scenario,
   auto run_trial = [&](std::size_t t, int slot) {
     auto& trial = report.trials[t];
     radio::RadioNetwork& net = workspaces[static_cast<std::size_t>(slot)]
-                                   .acquire(graph, scenario.fault,
+                                   .acquire(graph, scenario.channel,
+                                            sinr ? &geometry : nullptr,
                                             Rng(trial.net_seed));
     Rng algo_rng(trial.algo_seed);
     if (traced) {
       radio::TraceRecorder recorder;
       trial.run = protocol->run(net, algo_rng, &recorder);
-      fold_trace(trial.run, recorder);
+      fold_trace(trial.run, recorder, sinr);
     } else {
       trial.run = protocol->run(net, algo_rng);
     }

@@ -127,16 +127,19 @@ struct DriverOptions {
 /// slot runs, reset (O(1)) instead of reallocated (O(n)) per trial.
 class TrialWorkspace {
  public:
+  /// `geometry` must be non-null for a kSinr channel and outlive the
+  /// workspace (the Driver keeps both alive for the whole experiment).
   radio::RadioNetwork& acquire(const graph::Graph& graph,
-                               const radio::FaultModel& fault, Rng rng) {
+                               const radio::ChannelModel& channel,
+                               const graph::Geometry* geometry, Rng rng) {
     if (!net_) {
-      net_.emplace(graph, fault, rng);
+      net_.emplace(graph, channel, geometry, rng);
     } else {
       // reset() keeps the bound graph; a workspace is per-experiment, so
       // a different graph means the caller is holding it too long.
       NRN_EXPECTS(&graph == &net_->graph(),
                   "TrialWorkspace reused across different graphs");
-      net_->reset(fault, rng);
+      net_->reset(channel, rng);
     }
     return *net_;
   }
@@ -145,13 +148,14 @@ class TrialWorkspace {
   /// across the banks a pool slot runs.  Lanes are seeded by the caller
   /// (LockstepNetwork::add_lane), so no Rng is taken here.
   radio::LockstepNetwork& acquire_bank(const graph::Graph& graph,
-                                       const radio::FaultModel& fault) {
+                                       const radio::ChannelModel& channel,
+                                       const graph::Geometry* geometry) {
     if (!bank_) {
-      bank_.emplace(graph, fault);
+      bank_.emplace(graph, channel, geometry);
     } else {
       NRN_EXPECTS(&graph == &bank_->graph(),
                   "TrialWorkspace reused across different graphs");
-      bank_->reset(fault);
+      bank_->reset(channel);
     }
     return *bank_;
   }

@@ -7,13 +7,15 @@
 // reordered field, a changed number rendering, a different checksum body.
 // History: v2 typed metrics, v3 engine coin-tape overhaul (new seeds), v4
 // per-round series lines, v5 engine v4 batched coin tape (one salt per
-// round, id-keyed stateless coins -- every seeded outcome changes).  An
+// round, id-keyed stateless coins -- every seeded outcome changes), v6
+// channel models (an optional "channel " record line for non-edge
+// channels; edge-fault records change only in the version header).  An
 // unbumped change silently corrupts every warm cache and poisons fleet
 // merges, which assume bit-identical recomputes.
 #pragma once
 
 namespace nrn::sim {
 
-inline constexpr int kSweepFormatVersion = 5;
+inline constexpr int kSweepFormatVersion = 6;
 
 }  // namespace nrn::sim

@@ -11,6 +11,7 @@ std::string capability_names(CapabilitySet caps) {
       {kVerifiedPayload, "verified-payload"},
       {kScheduleGap, "schedule-gap"},
       {kTraced, "traced"},
+      {kSinrCapable, "sinr-capable"},
   };
   std::string out;
   for (const auto& [bit, name] : kNames) {

@@ -56,6 +56,12 @@ enum Capability : std::uint32_t {
   kScheduleGap = 1u << 2,
   /// Records per-round progress into a TraceRecorder when one is supplied.
   kTraced = 1u << 3,
+  /// Runs correctly under a kSinr channel: the protocol makes no
+  /// assumption tied to the edge-fault model (e.g. a precomputed schedule
+  /// calibrated to collision-freeness).  The Driver rejects non-capable
+  /// protocols under SINR, and theory bounds are reported as n/a -- the
+  /// paper's bounds assume the edge-fault model.
+  kSinrCapable = 1u << 4,
 };
 
 using CapabilitySet = std::uint32_t;

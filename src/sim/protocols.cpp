@@ -359,7 +359,7 @@ double routing_pipeline_bound(const TheoryContext& ctx) {
 
 void register_builtin_protocols(ProtocolRegistry& registry) {
   registry.add("decay", "Decay (Lemma 9): topology-oblivious, noise-robust",
-               kTraced,
+               kTraced | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<DecayProtocol>(ctx);
                },
@@ -367,21 +367,21 @@ void register_builtin_protocols(ProtocolRegistry& registry) {
   registry.add("fastbc",
                "FASTBC (Lemma 8): known-topology, D + O(log^2 n), fragile "
                "under noise",
-               kTraced,
+               kTraced | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<FastbcProtocol>(ctx);
                },
                fastbc_bound);
   registry.add("robust",
                "Robust FASTBC (Theorem 11): noise-robust diameter-linear",
-               kTraced,
+               kTraced | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<RobustFastbcProtocol>(ctx);
                },
                robust_bound);
   registry.add("rlnc-decay",
                "RLNC over the Decay pattern (Lemma 12): k-message coding",
-               kMultiMessage,
+               kMultiMessage | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<RlncProtocol>(
                      ctx, core::MultiPattern::kDecay, "rlnc-decay");
@@ -389,7 +389,7 @@ void register_builtin_protocols(ProtocolRegistry& registry) {
                rlnc_decay_bound);
   registry.add("rlnc-robust",
                "RLNC over the Robust FASTBC pattern (Lemma 13)",
-               kMultiMessage,
+               kMultiMessage | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<RlncProtocol>(
                      ctx, core::MultiPattern::kRobustFastbc, "rlnc-robust");
@@ -398,7 +398,7 @@ void register_builtin_protocols(ProtocolRegistry& registry) {
   registry.add("rlnc-decay-verified",
                "Lemma 12 composition carrying real payloads; every node's "
                "decode is checked against the source bytes",
-               kMultiMessage | kVerifiedPayload,
+               kMultiMessage | kVerifiedPayload | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<VerifiedRlncProtocol>(
                      ctx, core::MultiPattern::kDecay, "rlnc-decay-verified");
@@ -407,7 +407,7 @@ void register_builtin_protocols(ProtocolRegistry& registry) {
   registry.add("rlnc-robust-verified",
                "Lemma 13 composition carrying real payloads; every node's "
                "decode is checked against the source bytes",
-               kMultiMessage | kVerifiedPayload,
+               kMultiMessage | kVerifiedPayload | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<VerifiedRlncProtocol>(
                      ctx, core::MultiPattern::kRobustFastbc,
@@ -417,21 +417,21 @@ void register_builtin_protocols(ProtocolRegistry& registry) {
   registry.add("erasure-decay",
                "Source-side RS/GF(256) erasure coding over the Decay "
                "pattern (arXiv:1805.04165), payload-verified",
-               kMultiMessage | kVerifiedPayload,
+               kMultiMessage | kVerifiedPayload | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<ErasureProtocol>(ctx);
                },
                rlnc_decay_bound);
   registry.add("pipeline",
                "Layered adaptive-routing pipeline (Lemmas 20-21)",
-               kMultiMessage,
+               kMultiMessage | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<PipelineProtocol>(ctx);
                },
                routing_pipeline_bound);
   registry.add("greedy",
                "Greedy centralized adaptive router (Definition 14)",
-               kMultiMessage,
+               kMultiMessage | kSinrCapable,
                [](const ProtocolContext& ctx) {
                  return std::make_unique<GreedyRouterProtocol>(ctx);
                },

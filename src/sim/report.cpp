@@ -72,8 +72,10 @@ TableWriter build_table(const ExperimentReport& report) {
     columns.push_back("r100");
   }
   columns.insert(columns.end(), extras.begin(), extras.end());
+  // to_string(channel) renders the fault model for edge channels, so
+  // pre-channel experiments keep their exact titles.
   TableWriter table(report.protocol + " on " + report.scenario.topology.text +
-                        " under " + to_string(report.scenario.fault),
+                        " under " + to_string(report.scenario.channel),
                     columns);
   table.add_note("n = " + std::to_string(report.node_count) +
                  ", edges = " + std::to_string(report.edge_count) +
@@ -163,8 +165,13 @@ void write_experiment_fields(std::ostream& os, const ExperimentReport& report,
      << indent << "\"topology\": \""
      << json_escape(report.scenario.topology.text) << "\",\n"
      << indent << "\"fault\": \"" << json_escape(report.scenario.fault_text)
-     << "\",\n"
-     << indent << "\"source\": " << report.scenario.source << ",\n"
+     << "\",\n";
+  // The channel field appears only for non-edge channels, so pre-channel
+  // JSON keeps its exact shape.
+  if (report.scenario.channel_text != "none")
+    os << indent << "\"channel\": \""
+       << json_escape(report.scenario.channel_text) << "\",\n";
+  os << indent << "\"source\": " << report.scenario.source << ",\n"
      << indent << "\"k\": " << report.scenario.k << ",\n"
      // Seeds are full-range uint64; emit as strings so double-backed JSON
      // parsers cannot round them (they must reproduce trials exactly).
@@ -263,6 +270,14 @@ std::string metric_mean_cell(const ExperimentReport& exp,
 bool sweep_has_informed_series(const SweepReport& report) {
   for (const auto& cell : report.cells)
     if (has_informed_series(cell.experiment)) return true;
+  return false;
+}
+
+/// True when any cell runs a non-edge channel -- the channel column's
+/// gate, so pre-channel sweeps keep their exact column set.
+bool sweep_has_channel(const SweepReport& report) {
+  for (const auto& cell : report.cells)
+    if (cell.experiment.scenario.channel_text != "none") return true;
   return false;
 }
 
@@ -368,10 +383,13 @@ void write_json(std::ostream& os, const ExperimentReport& report) {
 void write_sweep_table(std::ostream& os, const SweepReport& report) {
   const auto metric_keys = sweep_metric_keys(report);
   const bool convergence = sweep_has_informed_series(report);
-  std::vector<std::string> columns = {
-      "cell",     "topology",      "fault",       "k",
-      "protocol", "trials",        "nodes",       "completed",
-      "median rounds", "mean rounds", "median rpm", "theory bound", "gap"};
+  const bool channels = sweep_has_channel(report);
+  std::vector<std::string> columns = {"cell", "topology", "fault"};
+  if (channels) columns.push_back("channel");
+  for (const char* column : {"k", "protocol", "trials", "nodes", "completed",
+                             "median rounds", "mean rounds", "median rpm",
+                             "theory bound", "gap"})
+    columns.push_back(column);
   if (convergence) columns.push_back("median r90");
   for (const auto& key : metric_keys) columns.push_back("mean " + key);
   columns.push_back("cache");
@@ -398,13 +416,17 @@ void write_sweep_table(std::ostream& os, const SweepReport& report) {
                    " cells)");
   for (const auto& cell : report.cells) {
     const auto& exp = cell.experiment;
-    std::vector<std::string> row = {
-        fmt(cell.cell_index), exp.scenario.topology.text,
-        exp.scenario.fault_text, fmt(exp.scenario.k), exp.protocol,
+    std::vector<std::string> row = {fmt(cell.cell_index),
+                                    exp.scenario.topology.text,
+                                    exp.scenario.fault_text};
+    if (channels) row.push_back(exp.scenario.channel_text);
+    const std::vector<std::string> tail = {
+        fmt(exp.scenario.k), exp.protocol,
         fmt(static_cast<std::int64_t>(exp.trials.size())),
         fmt(exp.node_count), completed_cell(exp),
         fmt(exp.median_rounds(), 1), fmt(exp.mean_rounds(), 2),
         fmt(median_rpm(exp), 2), theory_bound_cell(exp), gap_cell(exp)};
+    row.insert(row.end(), tail.begin(), tail.end());
     if (convergence) row.push_back(median_r90_cell(exp));
     for (const auto& key : metric_keys)
       row.push_back(metric_mean_cell(exp, key));
@@ -437,7 +459,9 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
        << ",slope=" << json_real(fit.fit.slope)
        << ",intercept=" << json_real(fit.fit.intercept)
        << ",r2=" << json_real(fit.fit.r2) << "\n";
-  os << "cell,topology,fault,source,k,protocol,trials,seed,nodes,edges,"
+  const bool channels = sweep_has_channel(report);
+  os << "cell,topology,fault," << (channels ? "channel," : "")
+     << "source,k,protocol,trials,seed,nodes,edges,"
         "depth,completed_trials,median_rounds,mean_rounds,median_rpm,"
         "theory_bound,gap";
   if (convergence) os << ",median_r90";
@@ -448,7 +472,9 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
     const auto& exp = cell.experiment;
     any_series = any_series || report_has_series(exp);
     os << cell.cell_index << "," << exp.scenario.topology.text << ","
-       << exp.scenario.fault_text << "," << exp.scenario.source << ","
+       << exp.scenario.fault_text << ","
+       << (channels ? exp.scenario.channel_text + "," : "")
+       << exp.scenario.source << ","
        << exp.scenario.k << "," << exp.protocol << "," << exp.trials.size()
        << "," << exp.scenario.seed << "," << exp.node_count << ","
        << exp.edge_count << "," << exp.depth << ","

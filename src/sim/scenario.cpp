@@ -79,12 +79,16 @@ struct KindRule {
 constexpr KindRule kKindRules[] = {
     {"barbell", 2, false, false},     {"binary-tree", 1, false, false},
     {"caterpillar", 2, false, false}, {"complete", 1, false, false},
-    {"cycle", 1, false, false},       {"gnp", 1, true, true},
+    {"cycle", 1, false, false},
+    {"disk", 0, false, true},  // special: n:radius with optional :power
+    {"gnp", 1, true, true},
     {"grid", 0, false, false},  // special RxC argument
     {"hypercube", 1, false, false},   {"link", 0, false, false},
     {"lollipop", 2, false, false},    {"path", 1, false, false},
     {"regular", 2, false, true},      {"ring", 2, false, false},
     {"star", 1, false, false},        {"tree", 1, false, true},
+    {"uniform", 0, false, true},  // special: n:density (two reals never fit
+                                  // the one-trailing-real rule shape)
     {"wct", 1, false, true},  // special: 1 (budget) or 4 (M:L:C:S) arguments
 };
 
@@ -124,6 +128,18 @@ TopologySpec TopologySpec::parse(const std::string& spec) {
       bad_spec("wct wants wct:budget or wct:M:L:C:S");
     for (std::size_t i = 1; i < parts.size(); ++i)
       out.ints.push_back(parse_spec_int(parts[i], "wct argument"));
+  } else if (out.kind == "disk") {
+    if (parts.size() != 3 && parts.size() != 4)
+      bad_spec("disk wants disk:n:radius or disk:n:radius:power");
+    out.ints.push_back(parse_spec_int(parts[1], "disk n"));
+    out.reals.push_back(parse_spec_real(parts[2], "disk radius"));
+    out.reals.push_back(parts.size() == 4
+                            ? parse_spec_real(parts[3], "disk power")
+                            : 1.0);
+  } else if (out.kind == "uniform") {
+    if (parts.size() != 3) bad_spec("uniform wants uniform:n:density");
+    out.ints.push_back(parse_spec_int(parts[1], "uniform n"));
+    out.reals.push_back(parse_spec_real(parts[2], "uniform density"));
   } else {
     const std::size_t expected =
         1 + static_cast<std::size_t>(rule->int_args) + (rule->has_real ? 1 : 0);
@@ -184,6 +200,16 @@ TopologySpec TopologySpec::parse(const std::string& spec) {
     if (out.ints[0] < out.ints[1] + 1) bad_spec("regular degree too large for n");
     if ((out.ints[0] * out.ints[1]) % 2 != 0)
       bad_spec("regular requires n * degree to be even");
+  } else if (out.kind == "disk") {
+    positive_arg(out, 0, "n");
+    if (out.reals[0] <= 0.0)
+      bad_spec("topology '" + spec + "': radius must be positive");
+    if (out.reals[1] <= 0.0)
+      bad_spec("topology '" + spec + "': power must be positive");
+  } else if (out.kind == "uniform") {
+    positive_arg(out, 0, "n");
+    if (out.reals[0] <= 0.0)
+      bad_spec("topology '" + spec + "': density must be positive");
   } else if (out.kind == "wct") {
     if (out.ints.size() == 1) {
       if (out.ints[0] < 16) bad_spec("wct node budget must be at least 16");
@@ -223,9 +249,14 @@ topology::WctParams TopologySpec::wct_params() const {
   return params;
 }
 
-graph::Graph TopologySpec::build(Rng& rng) const {
+graph::Graph TopologySpec::build(Rng& rng, graph::Geometry* geometry) const {
   using graph::NodeId;
   auto n = [&](std::size_t i) { return static_cast<NodeId>(ints.at(i)); };
+  if (kind == "disk")
+    return graph::make_unit_disk(n(0), reals.at(0), reals.at(1), rng,
+                                 geometry);
+  if (kind == "uniform")
+    return graph::make_uniform_density(n(0), reals.at(0), rng, geometry);
   if (kind == "path") return graph::make_path(n(0));
   if (kind == "cycle") return graph::make_cycle(n(0));
   if (kind == "star") return graph::make_star(n(0));
@@ -277,6 +308,32 @@ radio::FaultModel parse_fault_spec(const std::string& spec) {
   bad_spec("unknown fault model '" + kind + "'");
 }
 
+radio::ChannelModel parse_channel_spec(const std::string& spec,
+                                       const radio::FaultModel& fault) {
+  const auto parts = split(spec, ':');
+  if (parts.empty() || parts[0].empty()) bad_spec("empty channel spec");
+  const std::string& kind = parts[0];
+  if (kind == "none") {
+    if (parts.size() != 1) bad_spec("channel 'none' takes no arguments");
+    return radio::ChannelModel::edge_fault(fault);
+  }
+  if (kind == "sinr") {
+    if (parts.size() != 4)
+      bad_spec("channel 'sinr' wants sinr:alpha:noise:beta");
+    const double alpha = parse_spec_real(parts[1], "sinr alpha");
+    const double noise = parse_spec_real(parts[2], "sinr noise floor");
+    const double beta = parse_spec_real(parts[3], "sinr beta");
+    if (alpha <= 0.0)
+      bad_spec("channel '" + spec + "': alpha must be positive");
+    if (noise < 0.0)
+      bad_spec("channel '" + spec + "': noise floor must be non-negative");
+    if (beta <= 0.0)
+      bad_spec("channel '" + spec + "': beta must be positive");
+    return radio::ChannelModel::sinr_channel(alpha, noise, beta);
+  }
+  bad_spec("unknown channel model '" + kind + "'");
+}
+
 const std::vector<std::string>& topology_kinds() {
   static const std::vector<std::string> kinds = [] {
     std::vector<std::string> out;
@@ -288,28 +345,42 @@ const std::vector<std::string>& topology_kinds() {
 
 Scenario Scenario::parse(const std::string& topology_spec,
                          const std::string& fault_spec, graph::NodeId source,
-                         std::int64_t k, std::uint64_t seed) {
+                         std::int64_t k, std::uint64_t seed,
+                         const std::string& channel_spec) {
   if (source < 0) bad_spec("source must be non-negative");
   if (k < 1) bad_spec("k must be positive");
   Scenario sc;
   sc.topology = TopologySpec::parse(topology_spec);
   sc.fault_text = fault_spec;
   sc.fault = parse_fault_spec(fault_spec);
+  sc.channel_text = channel_spec.empty() ? "none" : channel_spec;
+  sc.channel = parse_channel_spec(sc.channel_text, sc.fault);
+  if (!sc.channel.is_edge_fault()) {
+    // SINR replaces the edge-fault layer (it prices no fault coins) and
+    // needs node coordinates to price gains: reject contradictions at
+    // parse time instead of deep inside the engine.
+    if (!sc.fault.is_faultless())
+      bad_spec("channel '" + sc.channel_text + "': cannot combine with fault '" +
+               fault_spec + "'");
+    if (!sc.topology.geometric())
+      bad_spec("channel '" + sc.channel_text +
+               "': requires a geometric topology, got '" + topology_spec + "'");
+  }
   sc.source = source;
   sc.k = k;
   sc.seed = seed;
   return sc;
 }
 
-graph::Graph Scenario::build_graph() const {
+graph::Graph Scenario::build_graph(graph::Geometry* geometry) const {
   // Randomized topologies draw from a stream derived only from the master
   // seed, so trial streams never perturb the graph (and vice versa).
   Rng topo_rng = topology_rng();
-  return topology.build(topo_rng);
+  return topology.build(topo_rng, geometry);
 }
 
 std::string Scenario::describe() const {
-  std::string out = topology.text + " under " + to_string(fault);
+  std::string out = topology.text + " under " + to_string(channel);
   if (k > 1) out += ", k=" + std::to_string(k);
   out += ", seed=" + std::to_string(seed);
   return out;

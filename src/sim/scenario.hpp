@@ -11,7 +11,17 @@
 //               caterpillar:spine:legs  ring:cliques:size
 //               barbell:clique:bridge  lollipop:clique:tail
 //               regular:n:d  link  wct:budget  wct:M:L:C:S
+//               disk:n:radius[:power]  uniform:n:density
 //   faults:     none  sender:p  receiver:p  combined:ps:pr
+//   channels:   none  sinr:alpha:noise:beta
+//
+// disk and uniform are the geometric families (node coordinates exist):
+// disk places n nodes uniformly in the unit square joining pairs within
+// `radius` (shared transmit power, default 1); uniform places n nodes at
+// expected density `density` per unit square joining pairs within unit
+// distance.  Only geometric topologies can host the sinr channel, and a
+// sinr channel cannot combine with an edge-fault spec -- it replaces the
+// fault layer (see radio/channel_model.hpp and docs/channel_models.md).
 //
 // The wct family has two forms: wct:budget scales all dimensions from a
 // target node count (WctParams::from_node_budget), while wct:M:L:C:S pins
@@ -28,7 +38,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/geometry.hpp"
 #include "graph/graph.hpp"
+#include "radio/channel_model.hpp"
 #include "radio/fault_model.hpp"
 
 namespace nrn::topology {
@@ -64,10 +76,19 @@ struct TopologySpec {
   std::vector<double> reals;        ///< validated real arguments (gnp's p)
 
   static TopologySpec parse(const std::string& spec);
-  graph::Graph build(Rng& rng) const;
 
-  /// True iff build() consumes randomness (gnp, tree, regular, wct).
+  /// Builds the graph; geometric families (disk, uniform) additionally
+  /// export their node placement to `geometry` when non-null.  The rng
+  /// draws do not depend on whether geometry was requested.
+  graph::Graph build(Rng& rng, graph::Geometry* geometry = nullptr) const;
+
+  /// True iff build() consumes randomness (gnp, tree, regular, wct,
+  /// disk, uniform).
   bool randomized() const;
+
+  /// True iff the family places nodes in the plane (disk, uniform) --
+  /// the precondition for hosting an SINR channel.
+  bool geometric() const { return kind == "disk" || kind == "uniform"; }
 
   /// The WCT parameters this spec pins down (budget-scaled for wct:budget,
   /// exact for wct:M:L:C:S).  Only valid for kind == "wct"; protocol
@@ -81,6 +102,12 @@ struct TopologySpec {
 /// Parses a fault spec ("none", "sender:p", "receiver:p", "combined:ps:pr").
 radio::FaultModel parse_fault_spec(const std::string& spec);
 
+/// Parses a channel spec ("none" or "sinr:alpha:noise:beta").  "none"
+/// yields an edge-fault channel carrying `fault`; parameter validation
+/// errors carry the full spec text, like the topology parser's.
+radio::ChannelModel parse_channel_spec(const std::string& spec,
+                                       const radio::FaultModel& fault);
+
 /// Every topology family name the grammar accepts, sorted.
 const std::vector<std::string>& topology_kinds();
 
@@ -89,18 +116,26 @@ struct Scenario {
   TopologySpec topology;
   std::string fault_text = "none";
   radio::FaultModel fault = radio::FaultModel::faultless();
+  std::string channel_text = "none";
+  radio::ChannelModel channel =
+      radio::ChannelModel::edge_fault(radio::FaultModel::faultless());
   graph::NodeId source = 0;
   std::int64_t k = 1;            ///< messages for multi-message protocols
   std::uint64_t seed = 1;        ///< master seed for graph + trials
 
-  /// Parses and validates both specs; throws SpecError on any problem.
+  /// Parses and validates all specs; throws SpecError on any problem.
+  /// A non-"none" channel requires a faultless fault spec and a geometric
+  /// topology.
   static Scenario parse(const std::string& topology_spec,
                         const std::string& fault_spec, graph::NodeId source = 0,
-                        std::int64_t k = 1, std::uint64_t seed = 1);
+                        std::int64_t k = 1, std::uint64_t seed = 1,
+                        const std::string& channel_spec = "none");
 
   /// Materializes the topology deterministically from `seed` (randomized
   /// families use a stream derived from the seed, independent of trials).
-  graph::Graph build_graph() const;
+  /// Geometric topologies export their placement to `geometry` when
+  /// requested; the graph is identical either way.
+  graph::Graph build_graph(graph::Geometry* geometry = nullptr) const;
 
   /// The exact stream build_graph() draws from.  Protocol factories that
   /// must reconstruct a randomized topology's structure (e.g. the WCT

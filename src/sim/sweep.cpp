@@ -169,6 +169,9 @@ std::string SweepCell::key() const {
          "|k=" + std::to_string(scenario.k) +
          "|seed=" + std::to_string(scenario.seed) + "|protocol=" + protocol +
          "|trials=" + std::to_string(trials) +
+         (scenario.channel_text == "none" ? ""
+                                          : "|channel=" +
+                                                scenario.channel_text) +
          (trace ? "|trace=1" : "");
 }
 
@@ -204,6 +207,9 @@ SweepPlan SweepPlan::parse(const std::string& spec) {
     } else if (key == "fault" || key == "faults") {
       once("fault");
       plan.faults = expand_spec_list(value);
+    } else if (key == "channel" || key == "channels") {
+      once("channel");
+      plan.channels = expand_spec_list(value);
     } else if (key == "protocol" || key == "protocols") {
       once("protocols");
       plan.protocols = expand_spec_list(value);
@@ -239,6 +245,7 @@ SweepPlan SweepPlan::parse(const std::string& spec) {
   if (plan.topologies.empty()) bad_spec("sweep plan needs a topology= clause");
   if (plan.protocols.empty()) bad_spec("sweep plan needs a protocols= clause");
   if (plan.faults.empty()) plan.faults = {"none"};
+  if (plan.channels.empty()) plan.channels = {"none"};
   if (k_items.empty()) k_items = {"1"};
   if (plan.trials < 1) bad_spec("sweep trials must be positive");
   if (plan.source < 0) bad_spec("sweep source must be non-negative");
@@ -252,11 +259,14 @@ SweepPlan SweepPlan::parse(const std::string& spec) {
   // naming the offending spec, not mid-run.
   for (const auto& topology : plan.topologies) TopologySpec::parse(topology);
   for (const auto& fault : plan.faults) parse_fault_spec(fault);
+  for (const auto& channel : plan.channels)
+    parse_channel_spec(channel, radio::FaultModel::faultless());
   for (const auto& protocol : plan.protocols)
     if (protocol.empty()) bad_spec("empty protocol name in sweep plan");
 
   const std::size_t total = plan.topologies.size() * plan.faults.size() *
-                            plan.ks.size() * plan.protocols.size();
+                            plan.channels.size() * plan.ks.size() *
+                            plan.protocols.size();
   if (total > kMaxCells)
     bad_spec("sweep plan expands to " + std::to_string(total) +
              " cells (cap " + std::to_string(kMaxCells) + ")");
@@ -265,27 +275,31 @@ SweepPlan SweepPlan::parse(const std::string& spec) {
   int index = 0;
   for (const auto& topology : plan.topologies) {
     for (const auto& fault : plan.faults) {
-      for (const std::int64_t k : plan.ks) {
-        // The scenario seed mixes the master seed with the scenario
-        // identity only: protocols sharing a scenario get identical graphs
-        // and fault tapes, and unrelated cells keep their seeds when axes
-        // grow or shrink.
-        const std::string identity = "topology=" + topology + "|fault=" +
-                                     fault + "|source=" +
-                                     std::to_string(plan.source) +
-                                     "|k=" + std::to_string(k);
-        std::uint64_t mix = plan.master_seed ^ fnv1a64(identity);
-        const std::uint64_t cell_seed = splitmix64(mix);
-        const Scenario scenario =
-            Scenario::parse(topology, fault, plan.source, k, cell_seed);
-        for (const auto& protocol : plan.protocols) {
-          SweepCell cell;
-          cell.index = index++;
-          cell.scenario = scenario;
-          cell.protocol = protocol;
-          cell.trials = plan.trials;
-          cell.trace = plan.trace;
-          plan.cells.push_back(std::move(cell));
+      for (const auto& channel : plan.channels) {
+        for (const std::int64_t k : plan.ks) {
+          // The scenario seed mixes the master seed with the scenario
+          // identity only: protocols sharing a scenario get identical
+          // graphs and fault tapes, and unrelated cells keep their seeds
+          // when axes grow or shrink.  A "none" channel contributes
+          // nothing to the identity, so pre-channel plans reproduce their
+          // exact seeds.
+          const std::string identity =
+              "topology=" + topology + "|fault=" + fault + "|source=" +
+              std::to_string(plan.source) + "|k=" + std::to_string(k) +
+              (channel == "none" ? "" : "|channel=" + channel);
+          std::uint64_t mix = plan.master_seed ^ fnv1a64(identity);
+          const std::uint64_t cell_seed = splitmix64(mix);
+          const Scenario scenario = Scenario::parse(
+              topology, fault, plan.source, k, cell_seed, channel);
+          for (const auto& protocol : plan.protocols) {
+            SweepCell cell;
+            cell.index = index++;
+            cell.scenario = scenario;
+            cell.protocol = protocol;
+            cell.trials = plan.trials;
+            cell.trace = plan.trace;
+            plan.cells.push_back(std::move(cell));
+          }
         }
       }
     }

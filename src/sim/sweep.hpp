@@ -12,6 +12,8 @@
 //   topology=SPEC[,SPEC...]    required; TopologySpec grammar per item
 //   protocols=NAME[,NAME...]   required; registry protocol names
 //   fault=SPEC[,SPEC...]       default none
+//   channel=SPEC[,SPEC...]     default none; "sinr:alpha:noise:beta" items
+//                              require geometric topologies and fault=none
 //   k=N[,N...]                 default 1
 //   source=N                   default 0
 //   trials=N                   default 1
@@ -31,13 +33,14 @@
 //   lo..hi+d     arithmetic, step d        0..10+5   -> 0 5 10
 //   lo..hi*f     geometric, factor f       64..512*2 -> 64 128 256 512
 //
-// Cells enumerate in nested order: topology (outermost), fault, k,
-// protocol (innermost).  Each distinct scenario (topology, fault, source,
-// k) derives its seed by mixing the master seed with a hash of the
-// scenario's identity, so (a) every protocol sharing a scenario sees the
-// same graph and the same per-trial fault coins (paired comparisons), and
-// (b) adding or removing axis values never perturbs the seeds of the
-// remaining cells (stable cache keys).
+// Cells enumerate in nested order: topology (outermost), fault, channel,
+// k, protocol (innermost).  Each distinct scenario (topology, fault,
+// channel, source, k) derives its seed by mixing the master seed with a
+// hash of the scenario's identity, so (a) every protocol sharing a
+// scenario sees the same graph and the same per-trial fault coins (paired
+// comparisons), and (b) adding or removing axis values never perturbs the
+// seeds of the remaining cells (stable cache keys).  A "none" channel is
+// omitted from the identity, so pre-channel plans keep their seeds.
 #pragma once
 
 #include <cstdint>
@@ -79,10 +82,11 @@ struct SweepCell {
 
   /// Canonical identity string, e.g.
   /// "topology=path:64|fault=none|source=0|k=1|seed=123|protocol=decay|trials=3".
-  /// "|trace=1" is appended only for traced cells, so untraced keys (and
-  /// their warm cache entries) are unchanged.  Two cells with equal keys
-  /// reproduce bit-identical ExperimentReports (modulo tuning, which the
-  /// runner appends for cache keys).
+  /// "|channel=..." and "|trace=1" are appended only for non-"none"
+  /// channels / traced cells, so pre-channel untraced keys (and their warm
+  /// cache entries) are unchanged.  Two cells with equal keys reproduce
+  /// bit-identical ExperimentReports (modulo tuning, which the runner
+  /// appends for cache keys).
   std::string key() const;
 };
 
@@ -92,6 +96,7 @@ struct SweepPlan {
   std::uint64_t master_seed = 1;
   std::vector<std::string> topologies;
   std::vector<std::string> faults;
+  std::vector<std::string> channels;
   std::vector<std::string> protocols;
   std::vector<std::int64_t> ks;
   graph::NodeId source = 0;

@@ -26,7 +26,7 @@ namespace {
 
 // Every "experiment vN" / "nrn-sweep-shard vN" / "nrn-sweep-cache vN"
 // literal below must track this constant (nrn_lint enforces agreement).
-static_assert(kSweepFormatVersion == 5,
+static_assert(kSweepFormatVersion == 6,
               "update every vN format literal in this file alongside "
               "kSweepFormatVersion, then regenerate the goldens");
 
@@ -89,11 +89,15 @@ std::vector<std::string> split_spaces(const std::string& s) {
 
 void append_experiment_record(std::ostream& os,
                               const ExperimentReport& report) {
-  os << "experiment v5\n"
+  os << "experiment v6\n"
      << "protocol " << report.protocol << "\n"
      << "topology " << report.scenario.topology.text << "\n"
-     << "fault " << report.scenario.fault_text << "\n"
-     << "source " << report.scenario.source << "\n"
+     << "fault " << report.scenario.fault_text << "\n";
+  // Since v6: one optional channel line for non-edge channels.  Edge-fault
+  // records stay byte-identical to v5 modulo the version header.
+  if (report.scenario.channel_text != "none")
+    os << "channel " << report.scenario.channel_text << "\n";
+  os << "source " << report.scenario.source << "\n"
      << "k " << report.scenario.k << "\n"
      << "seed " << report.scenario.seed << "\n"
      << "nodes " << report.node_count << "\n"
@@ -125,17 +129,19 @@ void append_experiment_record(std::ostream& os,
 }
 
 ExperimentReport parse_experiment_cursor(LineCursor& cursor) {
-  cursor.literal("experiment v5");
+  cursor.literal("experiment v6");
   ExperimentReport report;
   report.protocol = cursor.field("protocol ");
   const std::string topology = cursor.field("topology ");
   const std::string fault = cursor.field("fault ");
+  const std::string channel =
+      cursor.peek_prefix("channel ") ? cursor.field("channel ") : "none";
   const std::int64_t source = parse_spec_int(cursor.field("source "), "source");
   const std::int64_t k = parse_spec_int(cursor.field("k "), "k");
   const std::uint64_t seed = parse_spec_uint(cursor.field("seed "), "seed");
   report.scenario = Scenario::parse(topology, fault,
                                     static_cast<graph::NodeId>(source), k,
-                                    seed);
+                                    seed, channel);
   report.node_count = parse_spec_int(cursor.field("nodes "), "nodes");
   report.edge_count = parse_spec_int(cursor.field("edges "), "edges");
   report.depth = parse_spec_int(cursor.field("depth "), "depth");
@@ -253,7 +259,7 @@ std::optional<ExperimentReport> ResultCache::load(
   raw << in.rdbuf();
   try {
     LineCursor cursor(verified_body(raw.str()));
-    cursor.literal("nrn-sweep-cache v5");
+    cursor.literal("nrn-sweep-cache v6");
     if (cursor.field("key ") != key) return std::nullopt;  // hash collision
     ExperimentReport report = parse_experiment_cursor(cursor);
     if (!cursor.done()) bad_format("trailing data in cache entry");
@@ -282,7 +288,7 @@ std::string unique_suffix() {
 void ResultCache::store(const std::string& key,
                         const ExperimentReport& report) const {
   std::ostringstream body;
-  body << "nrn-sweep-cache v5\n"
+  body << "nrn-sweep-cache v6\n"
        << "key " << key << "\n";
   append_experiment_record(body, report);
   const std::string path = entry_path(key);
@@ -387,7 +393,7 @@ bool SweepReport::all_completed() const {
 
 void write_shard_file(std::ostream& os, const SweepReport& report) {
   std::ostringstream body;
-  body << "nrn-sweep-shard v5\n"
+  body << "nrn-sweep-shard v6\n"
        << "plan " << report.plan_text << "\n"
        << "master-seed " << report.master_seed << "\n"
        << "total-cells " << report.total_cells << "\n"
@@ -403,7 +409,7 @@ SweepReport read_shard_file(std::istream& is) {
   std::ostringstream raw;
   raw << is.rdbuf();
   LineCursor cursor(verified_body(raw.str()));
-  cursor.literal("nrn-sweep-shard v5");
+  cursor.literal("nrn-sweep-shard v6");
   SweepReport report;
   report.plan_text = cursor.field("plan ");
   report.master_seed =

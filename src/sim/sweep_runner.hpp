@@ -37,14 +37,14 @@
 // fails verification and is silently recomputed -- the cache can make a
 // sweep faster, never wrong.
 //
-// Formats are versioned ("experiment v5" / "nrn-sweep-shard v5" /
-// "nrn-sweep-cache v5"; see docs/formats.md for the grammar).  v5 keeps
-// the v4 grammar (optional per-round `series` lines, locale-independent
-// real rendering) but marks the engine's v4 batched coin tape
-// (radio/network.hpp): every seeded outcome changes, so mixing v4 and v5
-// records would poison caches and fleet merges.  Records and cache
-// entries from older versions fail the version literal and are recomputed
-// rather than silently mixed with v5 results.
+// Formats are versioned ("experiment v6" / "nrn-sweep-shard v6" /
+// "nrn-sweep-cache v6"; see docs/formats.md for the grammar).  v6 adds
+// one optional `channel` record line for non-edge channel models
+// (radio/channel_model.hpp); edge-fault records keep the v5 bytes apart
+// from the version header itself.  v5 marked the engine's v4 batched
+// coin tape (radio/network.hpp), which changed every seeded outcome.
+// Records and cache entries from older versions fail the version literal
+// and are recomputed rather than silently mixed with v6 results.
 #pragma once
 
 #include <condition_variable>

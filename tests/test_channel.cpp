@@ -1,0 +1,276 @@
+// SINR channel semantics (radio/channel_model.hpp): hand-computable
+// reception cases (capture vs. collision, noise-limited losses, gain
+// ties), determinism (the channel draws no coins, so the engine rng is
+// irrelevant), bit-identical agreement across the scalar kernel routes,
+// lockstep-lane-vs-scalar bit-identity, and driver-level report equality
+// plus the interference trace series.
+#include "radio/channel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radio/lockstep.hpp"
+#include "radio/network.hpp"
+#include "sim/driver.hpp"
+#include "sim/scenario.hpp"
+
+namespace nrn::radio {
+namespace {
+
+using graph::Geometry;
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<NodeId> receivers_of(const DeliveryList& deliveries) {
+  std::vector<NodeId> out;
+  for (const auto& d : deliveries) out.push_back(d.receiver);
+  return out;
+}
+
+/// Three nodes on a line: listener 0 with graph edges to 1 (distance 1)
+/// and 2 (distance 2); no edge between 1 and 2.
+struct LineFixture {
+  Graph graph{3, {{0, 1}, {0, 2}}};
+  Geometry geometry{{0.0, 1.0, 2.0}, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+};
+
+TEST(SinrChannel, CaptureBeatsCollisionWhenTheStrongSignalClears) {
+  LineFixture fx;
+  // alpha=2: gain(1->0) = 1.0, gain(2->0) = 0.25.
+  const auto channel = ChannelModel::sinr_channel(2.0, 0.1, 1.0);
+  RadioNetwork net(fx.graph, channel, &fx.geometry, Rng(1));
+  net.set_broadcast(1, Packet{7});
+  net.set_broadcast(2, Packet{8});
+  const auto& deliveries = net.run_round();
+  // 1.0 >= beta * (noise + interference) = 1.0 * (0.1 + 0.25): node 0
+  // decodes the stronger transmitter where the edge-fault channel would
+  // have recorded a collision.
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries.front().receiver, 0);
+  EXPECT_EQ(deliveries.front().sender, 1);
+  EXPECT_EQ(deliveries.front().packet.id, 7);
+  EXPECT_EQ(net.last_round().deliveries, 1);
+  EXPECT_EQ(net.last_round().collision_losses, 0);
+  EXPECT_EQ(net.last_round().interference_losses, 0);
+
+  // The identical staging under the edge-fault channel: a collision.
+  RadioNetwork edge(fx.graph, FaultModel::faultless(), Rng(1));
+  edge.set_broadcast(1, Packet{7});
+  edge.set_broadcast(2, Packet{8});
+  EXPECT_TRUE(edge.run_round().empty());
+  EXPECT_EQ(edge.last_round().collision_losses, 1);
+}
+
+TEST(SinrChannel, ThresholdFailureCountsAnInterferenceLoss) {
+  LineFixture fx;
+  const auto channel = ChannelModel::sinr_channel(2.0, 0.1, 4.0);
+  RadioNetwork net(fx.graph, channel, &fx.geometry, Rng(1));
+  net.set_broadcast(1, Packet{7});
+  net.set_broadcast(2, Packet{8});
+  // 1.0 < 4.0 * (0.1 + 0.25): the listener heard transmitters but decoded
+  // none -- an interference loss, never a collision loss.
+  EXPECT_TRUE(net.run_round().empty());
+  EXPECT_EQ(net.last_round().interference_losses, 1);
+  EXPECT_EQ(net.last_round().collision_losses, 0);
+
+  // Noise-limited: a lone weak transmitter fails the same threshold
+  // (0.25 < 4.0 * 0.1) with zero interference.
+  net.set_broadcast(2, Packet{8});
+  EXPECT_TRUE(net.run_round().empty());
+  EXPECT_EQ(net.last_round().interference_losses, 1);
+
+  // Relaxed beta: the same lone transmitter clears (0.25 >= 1.0 * 0.1).
+  net.reset(ChannelModel::sinr_channel(2.0, 0.1, 1.0), Rng(1));
+  net.set_broadcast(2, Packet{8});
+  ASSERT_EQ(net.run_round().size(), 1u);
+  EXPECT_EQ(net.last_round().deliveries, 1);
+}
+
+TEST(SinrChannel, GainTieResolvesToTheLowestSenderId) {
+  // Listener 0 between equidistant transmitters 1 and 2: identical gains,
+  // and the ascending row walk's strict-greater compare keeps the lowest
+  // sender id.
+  Graph g(3, {{0, 1}, {0, 2}});
+  Geometry geo{{0.0, 1.0, -1.0}, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  const auto channel = ChannelModel::sinr_channel(2.0, 0.0, 0.5);
+  RadioNetwork net(g, channel, &geo, Rng(1));
+  net.set_broadcast(2, Packet{8});  // staged first: staging order must not
+  net.set_broadcast(1, Packet{7});  // override the id-order tie break
+  const auto& deliveries = net.run_round();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries.front().sender, 1);
+  EXPECT_EQ(deliveries.front().packet.id, 7);
+}
+
+TEST(SinrChannel, DeterministicRegardlessOfEngineSeed) {
+  // The channel prices no coins, so two engines with different rng seeds
+  // must agree round for round on a nontrivial geometric graph.
+  const auto scenario =
+      sim::Scenario::parse("disk:80:0.3", "none", 0, 1, 17, "sinr:2.5:0.01:0.8");
+  Geometry geo;
+  const Graph g = scenario.build_graph(&geo);
+  RadioNetwork a(g, scenario.channel, &geo, Rng(1));
+  RadioNetwork b(g, scenario.channel, &geo, Rng(999));
+  Rng plan_rng(5);
+  for (int round = 0; round < 25; ++round) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (!plan_rng.bernoulli(0.25)) continue;
+      a.set_broadcast(u, Packet{u});
+      b.set_broadcast(u, Packet{u});
+    }
+    const auto ra = receivers_of(a.run_round());
+    const auto rb = receivers_of(b.run_round());
+    ASSERT_EQ(ra, rb) << "round " << round;
+    ASSERT_EQ(a.last_round(), b.last_round()) << "round " << round;
+  }
+}
+
+TEST(SinrChannel, ScalarKernelRoutesAgree) {
+  const auto scenario = sim::Scenario::parse("disk:120:0.25", "none", 0, 1, 5,
+                                             "sinr:2.5:0.01:0.5");
+  Geometry geo;
+  const Graph g = scenario.build_graph(&geo);
+  RadioNetwork sparse(g, scenario.channel, &geo, Rng(1));
+  RadioNetwork dense(g, scenario.channel, &geo, Rng(1));
+  sparse.set_kernel(RadioNetwork::Kernel::kSparse);
+  dense.set_kernel(RadioNetwork::Kernel::kDense);
+  Rng plan_rng(11);
+  for (int round = 0; round < 20; ++round) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (!plan_rng.bernoulli(0.3)) continue;
+      sparse.set_broadcast(u, Packet{u});
+      dense.set_broadcast(u, Packet{u});
+    }
+    const auto rs = receivers_of(sparse.run_round());
+    const auto rd = receivers_of(dense.run_round());
+    ASSERT_EQ(rs, rd) << "round " << round;
+    ASSERT_EQ(sparse.last_round(), dense.last_round()) << "round " << round;
+  }
+}
+
+TEST(SinrChannel, AdjacentRouteMatchesSparseOnAPathGeometry) {
+  // A path graph with hand-placed equally spaced nodes qualifies for the
+  // word-parallel adjacent route; its gl/gr shortcut gains must reproduce
+  // the sparse route's row walk bit for bit.
+  constexpr NodeId kN = 67;  // odd and > 64: exercises the partial word
+  const Graph g = graph::make_path(kN);
+  Geometry geo;
+  for (NodeId u = 0; u < kN; ++u) {
+    geo.x.push_back(0.37 * u);
+    geo.y.push_back(0.0);
+    geo.power.push_back(u % 2 == 0 ? 1.0 : 1.5);
+  }
+  const auto channel = ChannelModel::sinr_channel(3.0, 0.005, 0.9);
+  RadioNetwork adjacent(g, channel, &geo, Rng(1));
+  RadioNetwork sparse(g, channel, &geo, Rng(1));
+  adjacent.set_kernel(RadioNetwork::Kernel::kAdjacent);
+  sparse.set_kernel(RadioNetwork::Kernel::kSparse);
+  Rng plan_rng(23);
+  for (int round = 0; round < 30; ++round) {
+    for (NodeId u = 0; u < kN; ++u) {
+      if (!plan_rng.bernoulli(0.4)) continue;
+      adjacent.set_broadcast(u, Packet{u});
+      sparse.set_broadcast(u, Packet{u});
+    }
+    const auto ra = receivers_of(adjacent.run_round());
+    const auto rs = receivers_of(sparse.run_round());
+    ASSERT_EQ(ra, rs) << "round " << round;
+    ASSERT_EQ(adjacent.last_round(), sparse.last_round()) << "round " << round;
+  }
+}
+
+TEST(SinrChannel, LockstepLanesMatchScalarRoundByRound) {
+  const auto scenario = sim::Scenario::parse("uniform:90:2.5", "none", 0, 1,
+                                             31, "sinr:2:0.002:0.7");
+  Geometry geo;
+  const Graph g = scenario.build_graph(&geo);
+  Rng meta(424242);
+  LockstepNetwork bank(g, scenario.channel, &geo);
+  std::vector<RadioNetwork> scalars;
+  const int lanes = LockstepNetwork::kMaxLanes;
+  std::vector<Rng> plan_rngs;
+  for (int l = 0; l < lanes; ++l) {
+    const std::uint64_t seed = meta();
+    ASSERT_EQ(bank.add_lane(Rng(seed)), l);
+    scalars.emplace_back(g, scenario.channel, &geo, Rng(seed));
+    plan_rngs.emplace_back(seed ^ 0xfeed);
+  }
+  for (int round = 0; round < 25; ++round) {
+    const unsigned mask = static_cast<unsigned>(meta.next_below(1u << lanes));
+    for (int l = 0; l < lanes; ++l) {
+      if ((mask & (1u << l)) == 0) continue;
+      auto& rng = plan_rngs[static_cast<std::size_t>(l)];
+      for (NodeId u = g.node_count() - 1; u >= 0; --u) {
+        if (!rng.bernoulli(0.3)) continue;
+        bank.stage(l, u);
+        scalars[static_cast<std::size_t>(l)].set_broadcast(u, Packet{u});
+      }
+    }
+    if (mask == 0) continue;
+    bank.run_round(mask);
+    for (int l = 0; l < lanes; ++l) {
+      if ((mask & (1u << l)) == 0) continue;
+      auto& scalar = scalars[static_cast<std::size_t>(l)];
+      const auto expected = receivers_of(scalar.run_round());
+      const auto got = bank.receivers(l);
+      ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()), expected)
+          << "lane " << l << " round " << round;
+      ASSERT_EQ(bank.last_round(l), scalar.last_round())
+          << "lane " << l << " round " << round;
+    }
+  }
+}
+
+TEST(SinrChannel, DriverScalarAndLockstepReportsAreIdentical) {
+  const auto scenario = sim::Scenario::parse("disk:96:0.3", "none", 0, 1, 9,
+                                             "sinr:2.5:0.005:0.6");
+  sim::DriverOptions scalar_opts;
+  scalar_opts.execution = sim::TrialExecution::kScalar;
+  sim::DriverOptions lockstep_opts;
+  lockstep_opts.execution = sim::TrialExecution::kLockstep;
+  for (const char* protocol : {"decay", "fastbc"}) {
+    SCOPED_TRACE(protocol);
+    const auto a = sim::Driver().run(scenario, protocol, 6, scalar_opts);
+    const auto b = sim::Driver().run(scenario, protocol, 6, lockstep_opts);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(a.all_completed());
+  }
+}
+
+TEST(SinrChannel, TracedRunsCarryTheInterferenceSeries) {
+  sim::DriverOptions opts;
+  opts.trace = true;
+  const auto sinr = sim::Scenario::parse("disk:64:0.3", "none", 0, 1, 13,
+                                         "sinr:2.5:0.005:0.6");
+  const auto traced = sim::Driver().run(sinr, "decay", 2, opts);
+  const auto keys = traced.series_keys();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "interference"), keys.end());
+
+  // Edge-fault traces must stay byte-compatible: no interference series.
+  const auto edge = sim::Scenario::parse("path:32", "receiver:0.2", 0, 1, 13);
+  const auto edge_traced = sim::Driver().run(edge, "decay", 2, opts);
+  const auto edge_keys = edge_traced.series_keys();
+  EXPECT_EQ(std::find(edge_keys.begin(), edge_keys.end(), "interference"),
+            edge_keys.end());
+}
+
+TEST(SinrChannel, UnsupportedProtocolIsRejectedUpFront) {
+  // The schedule protocols carry no kSinrCapable bit: the driver must
+  // reject them before any factory runs, naming the protocol.
+  const auto scenario = sim::Scenario::parse("disk:48:0.3", "none", 0, 1, 3,
+                                             "sinr:2:0.001:1");
+  try {
+    sim::Driver(sim::extended_registry()).run(scenario, "star-coding", 1);
+    ADD_FAILURE() << "expected SpecError";
+  } catch (const sim::SpecError& e) {
+    EXPECT_STREQ(e.what(),
+                 "protocol 'star-coding' does not support the sinr channel");
+  }
+}
+
+}  // namespace
+}  // namespace nrn::radio

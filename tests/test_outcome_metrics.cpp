@@ -117,10 +117,11 @@ TEST(ExperimentReport, MetricAggregationAcrossTrials) {
 
 TEST(Registry, CapabilitiesAreExposedPerProtocol) {
   const auto& registry = extended_registry();
-  EXPECT_EQ(registry.capabilities("decay"), kTraced);
-  EXPECT_EQ(registry.capabilities("rlnc-decay"), kMultiMessage);
+  EXPECT_EQ(registry.capabilities("decay"), kTraced | kSinrCapable);
+  EXPECT_EQ(registry.capabilities("rlnc-decay"),
+            kMultiMessage | kSinrCapable);
   EXPECT_EQ(registry.capabilities("erasure-decay"),
-            kMultiMessage | kVerifiedPayload);
+            kMultiMessage | kVerifiedPayload | kSinrCapable);
   EXPECT_EQ(registry.capabilities("star-coding"),
             kMultiMessage | kScheduleGap);
   EXPECT_TRUE(registry.has_capability("rlnc-robust-verified",
@@ -131,12 +132,16 @@ TEST(Registry, CapabilitiesAreExposedPerProtocol) {
   EXPECT_EQ(capability_names(0), "-");
   EXPECT_EQ(capability_names(kMultiMessage | kScheduleGap),
             "multi-message+schedule-gap");
+  EXPECT_EQ(capability_names(kTraced | kSinrCapable), "traced+sinr-capable");
+  // The schedule protocols stay edge-fault only: their gap accounting has
+  // no SINR analogue.
+  EXPECT_FALSE(registry.has_capability("star-coding", kSinrCapable));
 }
 
 TEST(Driver, ReportsCarryCapabilitiesDepthAndTheoryBound) {
   const auto scenario = Scenario::parse("path:16", "receiver:0.2", 0, 1, 3);
   const auto report = Driver().run(scenario, "decay", 2);
-  EXPECT_EQ(report.capabilities, kTraced);
+  EXPECT_EQ(report.capabilities, kTraced | kSinrCapable);
   EXPECT_EQ(report.depth, 15);  // path eccentricity from node 0
   ASSERT_TRUE(report.has_theory_bound());
   // Lemma 9 form: (D + log2 n) (log2 n) / (1 - p).

@@ -35,6 +35,8 @@ TEST(TopologySpec, EveryDocumentedKindBuilds) {
       {"regular:16:4", 16},
       {"link", 2},
       {"wct:100", -1},
+      {"disk:40:0.35", 40},
+      {"uniform:40:3.0", 40},
   };
   for (const auto& c : cases) {
     const auto g = build_topology(c.spec);
@@ -47,7 +49,7 @@ TEST(TopologySpec, EveryDocumentedKindBuilds) {
 
 TEST(TopologySpec, KindListMatchesGrammar) {
   const auto& kinds = topology_kinds();
-  EXPECT_EQ(kinds.size(), 16u);
+  EXPECT_EQ(kinds.size(), 18u);
   for (const auto& kind : kinds) {
     SCOPED_TRACE(kind);
     // Every advertised kind must at least be recognized by the parser
@@ -66,8 +68,17 @@ TEST(TopologySpec, RandomizedFamiliesAreFlagged) {
   EXPECT_TRUE(TopologySpec::parse("tree:40").randomized());
   EXPECT_TRUE(TopologySpec::parse("regular:16:4").randomized());
   EXPECT_TRUE(TopologySpec::parse("wct:100").randomized());
+  EXPECT_TRUE(TopologySpec::parse("disk:40:0.3").randomized());
+  EXPECT_TRUE(TopologySpec::parse("uniform:40:2.0").randomized());
   EXPECT_FALSE(TopologySpec::parse("path:64").randomized());
   EXPECT_FALSE(TopologySpec::parse("grid:4x6").randomized());
+}
+
+TEST(TopologySpec, GeometricFamiliesAreFlagged) {
+  EXPECT_TRUE(TopologySpec::parse("disk:40:0.3").geometric());
+  EXPECT_TRUE(TopologySpec::parse("uniform:40:2.0").geometric());
+  EXPECT_FALSE(TopologySpec::parse("gnp:40:0.2").geometric());
+  EXPECT_FALSE(TopologySpec::parse("grid:4x6").geometric());
 }
 
 TEST(TopologySpec, RejectsMalformedSpecs) {
@@ -105,6 +116,109 @@ TEST(TopologySpec, RejectsMalformedSpecs) {
   };
   for (const auto& spec : bad)
     EXPECT_THROW(TopologySpec::parse(spec), SpecError) << "'" << spec << "'";
+}
+
+/// Runs `fn`, which must throw SpecError, and returns the exact message.
+template <typename Fn>
+std::string spec_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const SpecError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected SpecError, got no exception";
+  return "";
+}
+
+TEST(TopologySpec, GeometricRejectionsNameTheProblem) {
+  struct Case {
+    std::string spec;
+    std::string message;
+  };
+  const Case cases[] = {
+      {"disk:16", "disk wants disk:n:radius or disk:n:radius:power"},
+      {"disk:16:0.3:1.0:9", "disk wants disk:n:radius or disk:n:radius:power"},
+      {"disk:0:0.3", "topology 'disk:0:0.3': n must be positive"},
+      {"disk:16:-0.5", "topology 'disk:16:-0.5': radius must be positive"},
+      {"disk:16:0", "topology 'disk:16:0': radius must be positive"},
+      {"disk:16:0.3:0", "topology 'disk:16:0.3:0': power must be positive"},
+      {"uniform:16", "uniform wants uniform:n:density"},
+      {"uniform:16:2.0:9", "uniform wants uniform:n:density"},
+      {"uniform:0:2.0", "topology 'uniform:0:2.0': n must be positive"},
+      {"uniform:16:-2", "topology 'uniform:16:-2': density must be positive"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.spec);
+    EXPECT_EQ(spec_error_of([&] { TopologySpec::parse(c.spec); }), c.message);
+  }
+}
+
+TEST(ChannelSpec, ParsesAllDocumentedForms) {
+  const auto fault = parse_fault_spec("receiver:0.25");
+  const auto edge = parse_channel_spec("none", fault);
+  EXPECT_TRUE(edge.is_edge_fault());
+  EXPECT_EQ(edge.fault.kind, radio::FaultKind::kReceiver);
+  const auto sinr =
+      parse_channel_spec("sinr:2.5:0.001:1.25", radio::FaultModel::faultless());
+  EXPECT_FALSE(sinr.is_edge_fault());
+  EXPECT_DOUBLE_EQ(sinr.sinr.alpha, 2.5);
+  EXPECT_DOUBLE_EQ(sinr.sinr.noise_floor, 0.001);
+  EXPECT_DOUBLE_EQ(sinr.sinr.beta, 1.25);
+}
+
+TEST(ChannelSpec, RejectionsNameTheProblem) {
+  struct Case {
+    std::string spec;
+    std::string message;
+  };
+  const Case cases[] = {
+      {"", "empty channel spec"},
+      {"none:1", "channel 'none' takes no arguments"},
+      {"sinr", "channel 'sinr' wants sinr:alpha:noise:beta"},
+      {"sinr:2.0", "channel 'sinr' wants sinr:alpha:noise:beta"},
+      {"sinr:2:0.1:1:9", "channel 'sinr' wants sinr:alpha:noise:beta"},
+      {"sinr:0:0.1:1", "channel 'sinr:0:0.1:1': alpha must be positive"},
+      {"sinr:-2:0.1:1", "channel 'sinr:-2:0.1:1': alpha must be positive"},
+      {"sinr:2:-0.1:1",
+       "channel 'sinr:2:-0.1:1': noise floor must be non-negative"},
+      {"sinr:2:0.1:0", "channel 'sinr:2:0.1:0': beta must be positive"},
+      {"awgn:1", "unknown channel model 'awgn'"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.spec);
+    EXPECT_EQ(spec_error_of([&] {
+                parse_channel_spec(c.spec, radio::FaultModel::faultless());
+              }),
+              c.message);
+  }
+  // Non-numeric arguments route through the strict real parser.
+  EXPECT_THROW(
+      parse_channel_spec("sinr:two:0.1:1", radio::FaultModel::faultless()),
+      SpecError);
+  EXPECT_THROW(
+      parse_channel_spec("sinr:2:nan:1", radio::FaultModel::faultless()),
+      SpecError);
+}
+
+TEST(ChannelSpec, ScenarioRejectsContradictoryCombinations) {
+  // SINR replaces the fault layer: combining it with an edge-fault spec or
+  // a coordinate-free topology must fail at parse time, with the message
+  // naming both halves of the contradiction.
+  EXPECT_EQ(spec_error_of([] {
+              Scenario::parse("disk:32:0.3", "sender:0.1", 0, 1, 1,
+                              "sinr:2:0.001:1");
+            }),
+            "channel 'sinr:2:0.001:1': cannot combine with fault 'sender:0.1'");
+  EXPECT_EQ(spec_error_of([] {
+              Scenario::parse("path:32", "none", 0, 1, 1, "sinr:2:0.001:1");
+            }),
+            "channel 'sinr:2:0.001:1': requires a geometric topology, got "
+            "'path:32'");
+  // The happy paths on either side of those rejections.
+  EXPECT_NO_THROW(
+      Scenario::parse("disk:32:0.3", "none", 0, 1, 1, "sinr:2:0.001:1"));
+  EXPECT_NO_THROW(Scenario::parse("path:32", "sender:0.1", 0, 1, 1, "none"));
+  EXPECT_NO_THROW(Scenario::parse("uniform:32:2.0", "combined:0.2:0.1"));
 }
 
 TEST(FaultSpec, ParsesAllDocumentedForms) {
@@ -183,6 +297,43 @@ TEST(Scenario, GraphBuildIsDeterministicInSeed) {
   EXPECT_TRUE(any_difference);
 }
 
+TEST(Scenario, DiskPlacementIsDeterministicInSeed) {
+  const auto a =
+      Scenario::parse("disk:48:0.3:2.0", "none", 0, 1, 21, "sinr:2:0.001:1");
+  const auto b =
+      Scenario::parse("disk:48:0.3:2.0", "none", 0, 1, 21, "sinr:2:0.001:1");
+  graph::Geometry geo_a, geo_b;
+  const auto ga = a.build_graph(&geo_a);
+  const auto gb = b.build_graph(&geo_b);
+  EXPECT_EQ(geo_a, geo_b);
+  EXPECT_EQ(ga.edge_count(), gb.edge_count());
+  for (graph::NodeId u = 0; u < ga.node_count(); ++u)
+    ASSERT_EQ(ga.degree(u), gb.degree(u)) << u;
+  EXPECT_EQ(geo_a.node_count(), 48);
+  EXPECT_DOUBLE_EQ(geo_a.power.at(0), 2.0);  // disk:n:radius:power
+
+  // Requesting geometry must not perturb the rng draws or the graph.
+  const auto g_plain = a.build_graph();
+  EXPECT_EQ(g_plain.edge_count(), ga.edge_count());
+  for (graph::NodeId u = 0; u < ga.node_count(); ++u)
+    ASSERT_EQ(g_plain.degree(u), ga.degree(u)) << u;
+
+  // Replaying topology_rng() through TopologySpec::build reproduces the
+  // identical placement -- the contract protocol factories rely on.
+  Rng replay = a.topology_rng();
+  graph::Geometry geo_replay;
+  const auto g_replay = a.topology.build(replay, &geo_replay);
+  EXPECT_EQ(geo_replay, geo_a);
+  EXPECT_EQ(g_replay.edge_count(), ga.edge_count());
+
+  // A different seed almost surely moves the nodes.
+  const auto c =
+      Scenario::parse("disk:48:0.3:2.0", "none", 0, 1, 22, "sinr:2:0.001:1");
+  graph::Geometry geo_c;
+  (void)c.build_graph(&geo_c);
+  EXPECT_NE(geo_c, geo_a);
+}
+
 TEST(Scenario, DescribeMentionsTheParts) {
   const auto sc = Scenario::parse("path:8", "receiver:0.5", 0, 2, 9);
   const auto text = sc.describe();
@@ -190,6 +341,9 @@ TEST(Scenario, DescribeMentionsTheParts) {
   EXPECT_NE(text.find("receiver"), std::string::npos);
   EXPECT_NE(text.find("k=2"), std::string::npos);
   EXPECT_NE(text.find("seed=9"), std::string::npos);
+  const auto sinr =
+      Scenario::parse("disk:16:0.4", "none", 0, 1, 3, "sinr:2:0.001:1");
+  EXPECT_NE(sinr.describe().find("sinr"), std::string::npos);
 }
 
 }  // namespace

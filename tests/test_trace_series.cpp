@@ -96,7 +96,7 @@ TEST(TraceSeries, SeriesSurviveShardRoundTrip) {
                "trials=2; seed=11; trace=1");
   ASSERT_TRUE(report.cells.at(0).experiment.has_series());
   const auto bytes = shard_bytes(report);
-  EXPECT_NE(bytes.find("nrn-sweep-shard v5"), std::string::npos);
+  EXPECT_NE(bytes.find("nrn-sweep-shard v6"), std::string::npos);
   EXPECT_NE(bytes.find("series informed "), std::string::npos);
   std::istringstream in(bytes);
   const auto parsed = read_shard_file(in);

@@ -47,6 +47,7 @@ struct Options {
   std::string topology = "path:64";
   std::string algorithm = "decay";
   std::string fault = "none";
+  std::string channel = "none";
   std::int64_t source = 0;
   std::int64_t k = 1;
   std::uint64_t seed = 1;
@@ -61,11 +62,14 @@ struct Options {
   std::cerr << "error: " << error << "\n\n"
             << "usage: nrn_sim [--topology=SPEC] [--algorithm=NAME] "
                "[--fault=SPEC]\n"
-            << "               [--source=N] [--k=N] [--seed=N] [--trials=N]\n"
+            << "               [--channel=SPEC] [--source=N] [--k=N] "
+               "[--seed=N] [--trials=N]\n"
             << "               [--threads=N] [--trace] [--csv] [--json] "
                "[--list]\n"
             << "       nrn_sim protocols   (list protocols with "
                "capabilities)\n"
+            << "       nrn_sim topologies  (list topology families with "
+               "their arguments)\n"
             << "       nrn_sim sweep --plan=PLAN [--shard=I/K] "
                "[--cache-dir=DIR]\n"
             << "               [--fleet | --resume] [--claim-ttl=SECONDS]\n"
@@ -88,11 +92,16 @@ struct Options {
             << "            caterpillar:spine:legs  ring:cliques:size\n"
             << "            barbell:clique:bridge  lollipop:clique:tail\n"
             << "            regular:n:d  link  wct:budget  wct:M:L:C:S\n"
+            << "            disk:n:radius[:power]  uniform:n:density\n"
             << "algorithms:";
   for (const auto& name : sim::extended_registry().names())
     std::cerr << " " << name;
   std::cerr << "\nfaults:     none  sender:p  receiver:p  combined:ps:pr\n"
-            << "plans:      topology=...; protocols=...; fault=...; k=...;\n"
+            << "channels:   none  sinr:alpha:noise:beta  (sinr needs a "
+               "geometric\n"
+            << "            topology -- disk or uniform -- and fault=none)\n"
+            << "plans:      topology=...; protocols=...; fault=...; "
+               "channel=...; k=...;\n"
             << "            trials=N; seed=N; source=N; trace=0|1  (lists "
                "expand {a,b},\n"
             << "            {lo..hi*f}, {lo..hi+d})\n"
@@ -144,6 +153,8 @@ Options parse_args(int argc, char** argv) {
       opt.algorithm = value;
     } else if (key == "--fault") {
       opt.fault = value;
+    } else if (key == "--channel") {
+      opt.channel = value;
     } else if (key == "--source") {
       opt.source = int_value(key, value);
     } else if (key == "--k") {
@@ -612,6 +623,64 @@ int protocols_main() {
   return 0;
 }
 
+// The `topologies` subcommand: every family the grammar accepts with its
+// argument signature and a one-line description.  The list is driven by
+// sim::topology_kinds() so a family added to the grammar without a doc
+// line here fails loudly instead of printing an incomplete table.
+int topologies_main() {
+  struct KindDoc {
+    const char* kind;
+    const char* args;
+    const char* doc;
+  };
+  static constexpr KindDoc kDocs[] = {
+      {"barbell", "barbell:clique:bridge",
+       "two k-cliques joined by a bridge path"},
+      {"binary-tree", "binary-tree:n", "complete binary tree, heap indexing"},
+      {"caterpillar", "caterpillar:spine:legs",
+       "spine path with pendant leaves per spine node"},
+      {"complete", "complete:n", "complete graph K_n"},
+      {"cycle", "cycle:n", "cycle on n >= 3 nodes"},
+      {"disk", "disk:n:radius[:power]",
+       "geometric: n nodes uniform in the unit square, edges within "
+       "radius; hosts channel=sinr"},
+      {"gnp", "gnp:n:p", "connected Erdos-Renyi G(n, p)"},
+      {"grid", "grid:RxC", "R x C grid"},
+      {"hypercube", "hypercube:d", "d-dimensional hypercube, 2^d nodes"},
+      {"link", "link", "two nodes, one edge (Appendix A)"},
+      {"lollipop", "lollipop:clique:tail", "clique with a pendant path"},
+      {"path", "path:n", "path 0 - 1 - ... - (n-1)"},
+      {"regular", "regular:n:d", "random d-regular-ish pairing model"},
+      {"ring", "ring:cliques:size",
+       "ring of cliques joined by single edges"},
+      {"star", "star:leaves", "hub node 0 with `leaves` leaves"},
+      {"tree", "tree:n", "uniform random attachment tree"},
+      {"uniform", "uniform:n:density",
+       "geometric: n nodes at expected density per unit square, unit-range "
+       "edges; hosts channel=sinr"},
+      {"wct", "wct:budget | wct:M:L:C:S",
+       "weak connectivity tree instance (Lemma 18)"},
+  };
+  const auto& kinds = sim::topology_kinds();
+  std::size_t args_width = 0;
+  for (const auto& doc : kDocs)
+    args_width = std::max(args_width, std::string(doc.args).size());
+  for (const auto& kind : kinds) {
+    const KindDoc* found = nullptr;
+    for (const auto& doc : kDocs)
+      if (kind == doc.kind) found = &doc;
+    if (found == nullptr) {
+      std::cerr << "error: topology kind '" << kind
+                << "' has no doc line in nrn_sim topologies\n";
+      return 2;
+    }
+    const std::string args = found->args;
+    std::cout << args << std::string(args_width - args.size() + 2, ' ')
+              << found->doc << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -632,6 +701,8 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "shutdown")
     return shutdown_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "protocols") return protocols_main();
+  if (argc > 1 && std::string(argv[1]) == "topologies")
+    return topologies_main();
   const Options opt = parse_args(argc, argv);
   const auto& registry = sim::extended_registry();
 
@@ -640,7 +711,7 @@ int main(int argc, char** argv) {
   try {
     const auto scenario = sim::Scenario::parse(
         opt.topology, opt.fault, static_cast<graph::NodeId>(opt.source),
-        opt.k, opt.seed);
+        opt.k, opt.seed, opt.channel);
     sim::DriverOptions driver_options;
     driver_options.threads = static_cast<int>(opt.threads);
     driver_options.trace = opt.trace;
